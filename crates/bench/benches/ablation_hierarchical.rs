@@ -1,0 +1,77 @@
+//! §VIII ablation: Privelet (Haar) vs the Hay et al.-style hierarchical
+//! mechanism with consistency, on one-dimensional data.
+//!
+//! The paper notes the concurrent hierarchical/consistency approach
+//! "provides comparable utility guarantees" but only handles
+//! one-dimensional data. Expected shape: on 1-D range queries both
+//! polylog mechanisms land within a small factor of each other, and both
+//! beat Basic by a wide margin on large ranges.
+
+use privelet::mechanism::{
+    publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig,
+};
+use privelet_data::distributions::zipf_weights;
+use privelet_data::schema::{Attribute, Schema};
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::NdMatrix;
+use privelet_noise::derive_rng;
+use privelet_query::{Predicate, RangeQuery};
+use rand::Rng;
+
+const DOMAIN: usize = 1024;
+
+fn main() {
+    let schema = Schema::new(vec![Attribute::ordinal("X", DOMAIN)]).unwrap();
+    let weights = zipf_weights(DOMAIN, 0.9);
+    let total: f64 = weights.iter().sum();
+    let counts: Vec<f64> =
+        weights.iter().map(|w| (w / total * 500_000.0).round()).collect();
+    let fm = FrequencyMatrix::from_parts(
+        schema,
+        NdMatrix::from_vec(&[DOMAIN], counts).unwrap(),
+    )
+    .unwrap();
+
+    let mut rng = derive_rng(0x8A7, 1);
+    let workload: Vec<(RangeQuery, f64)> = (0..400)
+        .map(|_| {
+            let a = rng.random_range(0..DOMAIN);
+            let b = rng.random_range(0..DOMAIN);
+            let q = RangeQuery::new(vec![Predicate::Range { lo: a.min(b), hi: a.max(b) }]);
+            let act = q.evaluate(&fm).unwrap();
+            (q, act)
+        })
+        .collect();
+
+    println!("§VIII ablation — 1-D range queries, |A| = {DOMAIN}, 400 random intervals");
+    println!(
+        "{:>8} {:>16} {:>18} {:>20}",
+        "epsilon", "Basic MSE", "Privelet MSE", "Hierarchical MSE"
+    );
+    for epsilon in [0.5f64, 1.0] {
+        let trials = 30u64;
+        let (mut basic, mut privelet, mut hier) = (0.0f64, 0.0f64, 0.0f64);
+        for trial in 0..trials {
+            let b = publish_basic(&fm, epsilon, trial).unwrap();
+            let p = publish_privelet(&fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
+            let h = publish_hierarchical_1d(&fm, epsilon, trial).unwrap();
+            for (q, act) in &workload {
+                let xb = q.evaluate(&b).unwrap();
+                let xp = q.evaluate(&p.matrix).unwrap();
+                let xh = q.evaluate(&h).unwrap();
+                basic += (xb - act) * (xb - act);
+                privelet += (xp - act) * (xp - act);
+                hier += (xh - act) * (xh - act);
+            }
+        }
+        let denom = (trials as usize * workload.len()) as f64;
+        basic /= denom;
+        privelet /= denom;
+        hier /= denom;
+        println!("{epsilon:>8} {basic:>16.0} {privelet:>18.0} {hier:>20.0}");
+        assert!(privelet < basic, "Privelet must beat Basic on 1-D ranges");
+        assert!(hier < basic, "hierarchical must beat Basic on 1-D ranges");
+    }
+    println!("\n(paper: the two polylog mechanisms offer comparable 1-D utility;");
+    println!(" Basic's Θ(m) variance dominates on random ranges)");
+}

@@ -1,0 +1,125 @@
+//! §V-D ablation: the nominal wavelet transform vs the HWT applied to a
+//! nominal attribute through an imposed total order.
+//!
+//! The paper's worked example uses the Occupation attribute (m = 512
+//! leaves, hierarchy height 3): the HWT's analytic noise-variance bound is
+//! 4400/ε² while the nominal transform's is 288/ε² — a ~15-fold reduction.
+//! This bench prints the bounds and then *measures* the mean square error
+//! of every hierarchy-node query under both transforms at the same ε.
+
+use privelet::bounds::{eq4_ordinal_bound, eq6_nominal_bound};
+use privelet::mechanism::{publish_privelet, PriveletConfig};
+use privelet_data::distributions::zipf_weights;
+use privelet_data::schema::{Attribute, Schema};
+use privelet_data::FrequencyMatrix;
+use privelet_hierarchy::builder::three_level;
+use privelet_matrix::NdMatrix;
+use privelet_query::{Predicate, RangeQuery};
+
+const LEAVES: usize = 512;
+const GROUPS: usize = 22;
+const EPSILON: f64 = 1.0;
+
+fn main() {
+    let epsilon = EPSILON;
+    let hierarchy = three_level(LEAVES, GROUPS).expect("occupation hierarchy");
+    // Occupation-like counts: Zipf-distributed over 512 occupations,
+    // scaled to ~1M tuples.
+    let weights = zipf_weights(LEAVES, 1.1);
+    let total: f64 = weights.iter().sum();
+    let counts: Vec<f64> =
+        weights.iter().map(|w| (w / total * 1_000_000.0).round()).collect();
+
+    let nominal_schema =
+        Schema::new(vec![Attribute::nominal("Occupation", hierarchy.clone())]).unwrap();
+    let ordinal_schema = Schema::new(vec![Attribute::ordinal("Occupation", LEAVES)]).unwrap();
+    let nominal_fm = FrequencyMatrix::from_parts(
+        nominal_schema.clone(),
+        NdMatrix::from_vec(&[LEAVES], counts.clone()).unwrap(),
+    )
+    .unwrap();
+    let ordinal_fm = FrequencyMatrix::from_parts(
+        ordinal_schema,
+        NdMatrix::from_vec(&[LEAVES], counts).unwrap(),
+    )
+    .unwrap();
+
+    // Queries: every non-root hierarchy node (leaf and subtree queries) —
+    // the §II-A nominal predicate space. On the ordinal (imposed-order)
+    // copy each node is the equivalent contiguous interval.
+    let node_queries: Vec<(RangeQuery, RangeQuery, f64)> = hierarchy
+        .non_root_nodes()
+        .map(|node| {
+            let (lo, hi) = hierarchy.leaf_range(node);
+            let nom = RangeQuery::new(vec![Predicate::Node { node }]);
+            let ord = RangeQuery::new(vec![Predicate::Range { lo, hi }]);
+            let act = nom.evaluate(&nominal_fm).unwrap();
+            (nom, ord, act)
+        })
+        .collect();
+
+    // Accumulate MSE per hierarchy level: level 1 = root (whole domain),
+    // level 2 = the 22 groups (the roll-up queries the nominal transform
+    // is designed for), level 3 = the 512 leaves. A flat average would be
+    // dominated by the cheap leaf queries and hide the gap.
+    let trials = 40u64;
+    let height = hierarchy.height();
+    let mut nominal_mse = vec![0.0f64; height + 1];
+    let mut haar_mse = vec![0.0f64; height + 1];
+    let mut counts = vec![0usize; height + 1];
+    for trial in 0..trials {
+        let nom_out =
+            publish_privelet(&nominal_fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
+        let ord_out =
+            publish_privelet(&ordinal_fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
+        for (node, (nq, oq, act)) in hierarchy.non_root_nodes().zip(&node_queries) {
+            let level = hierarchy.level(node);
+            let xn = nq.evaluate(&nom_out.matrix).unwrap();
+            let xo = oq.evaluate(&ord_out.matrix).unwrap();
+            nominal_mse[level] += (xn - act) * (xn - act);
+            haar_mse[level] += (xo - act) * (xo - act);
+            if trial == 0 {
+                counts[level] += 1;
+            }
+        }
+    }
+
+    println!("§V-D ablation — nominal wavelet transform vs HWT on imposed order");
+    println!("dataset: 1-D Occupation, m = {LEAVES} leaves, hierarchy height 3, ε = {epsilon}");
+    println!(
+        "analytic bounds: HWT (Eq.4) = {:.0}/ε², nominal (Eq.6) = {:.0}/ε²  →  {:.1}x (paper: ~15x)",
+        eq4_ordinal_bound(LEAVES, epsilon),
+        eq6_nominal_bound(3, epsilon),
+        eq4_ordinal_bound(LEAVES, epsilon) / eq6_nominal_bound(3, epsilon)
+    );
+    println!(
+        "\n{:<24} {:>8} {:>14} {:>16} {:>8}",
+        "query class", "queries", "HWT MSE", "nominal MSE", "ratio"
+    );
+    let mut group_ratio = 0.0;
+    for level in 2..=height {
+        let n = (counts[level] * trials as usize) as f64;
+        let hw = haar_mse[level] / n;
+        let nm = nominal_mse[level] / n;
+        let label = if level == 2 { "groups (roll-ups)" } else { "leaves (points)" };
+        println!(
+            "{label:<24} {:>8} {hw:>14.1} {nm:>16.1} {:>7.1}x",
+            counts[level],
+            hw / nm
+        );
+        if level == 2 {
+            group_ratio = hw / nm;
+        }
+    }
+    println!(
+        "\n(The bounds are worst-case over all node queries; the measured gap\n\
+         concentrates on internal-node roll-ups, where the imposed-order HWT\n\
+         pays for misaligned dyadic boundaries. Leaf queries cost both\n\
+         transforms about the same, as the per-coefficient noise analysis\n\
+         predicts.)"
+    );
+    assert!(
+        group_ratio > 2.0,
+        "nominal transform must clearly beat the imposed-order HWT on roll-ups (got {group_ratio}x)"
+    );
+}

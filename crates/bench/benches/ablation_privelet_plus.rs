@@ -1,0 +1,99 @@
+//! §VI-D ablation: the Privelet⁺ hybrid and the SA selection rule.
+//!
+//! The paper's worked example: a single ordinal attribute with |A| = 16
+//! gives Privelet a bound of 600/ε² while Basic's worst query costs only
+//! 128/ε² — small domains favour Basic, large domains favour Privelet, and
+//! the rule "put A in SA iff |A| ≤ P(A)²·H(A)" combines the two. This
+//! bench sweeps |A|, printing the analytic bounds, the measured mean
+//! square error of random interval queries for both mechanisms, and the
+//! rule's verdict; it then prints the rule's choices on the census schemas
+//! (expected: SA = {Age, Gender}).
+
+use privelet::bounds::{
+    basic_query_variance, hn_variance_bound, recommend_sa, should_exclude,
+};
+use privelet::mechanism::{publish_basic, publish_privelet, PriveletConfig};
+use privelet::transform::HnTransform;
+use privelet_data::census::CensusConfig;
+use privelet_data::schema::{Attribute, Schema};
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::NdMatrix;
+use privelet_noise::derive_rng;
+use privelet_query::{Predicate, RangeQuery};
+use rand::Rng;
+use std::collections::BTreeSet;
+
+const EPSILON: f64 = 1.0;
+
+/// Measured mean square error of random interval queries on 1-D data of
+/// domain size `size`, for Basic and pure Privelet.
+fn measure(size: usize, trials: u64, queries: usize) -> (f64, f64) {
+    let schema = Schema::new(vec![Attribute::ordinal("A", size)]).unwrap();
+    let counts: Vec<f64> = (0..size).map(|i| ((i * 13) % 97) as f64).collect();
+    let fm = FrequencyMatrix::from_parts(
+        schema.clone(),
+        NdMatrix::from_vec(&[size], counts).unwrap(),
+    )
+    .unwrap();
+    let mut rng = derive_rng(0xAB1A, size as u64);
+    let workload: Vec<(RangeQuery, f64)> = (0..queries)
+        .map(|_| {
+            let a = rng.random_range(0..size);
+            let b = rng.random_range(0..size);
+            let q = RangeQuery::new(vec![Predicate::Range { lo: a.min(b), hi: a.max(b) }]);
+            let act = q.evaluate(&fm).unwrap();
+            (q, act)
+        })
+        .collect();
+    let (mut basic_mse, mut privelet_mse) = (0.0f64, 0.0f64);
+    for trial in 0..trials {
+        let b = publish_basic(&fm, EPSILON, trial).unwrap();
+        let p = publish_privelet(&fm, &PriveletConfig::pure(EPSILON, trial)).unwrap();
+        for (q, act) in &workload {
+            let xb = q.evaluate(&b).unwrap();
+            let xp = q.evaluate(&p.matrix).unwrap();
+            basic_mse += (xb - act) * (xb - act);
+            privelet_mse += (xp - act) * (xp - act);
+        }
+    }
+    let denom = (trials as usize * workload.len()) as f64;
+    (basic_mse / denom, privelet_mse / denom)
+}
+
+fn main() {
+    println!("§VI-D ablation — Basic vs Privelet across domain sizes (ε = {EPSILON})");
+    println!(
+        "{:>6} {:>14} {:>16} {:>14} {:>16} {:>9}",
+        "|A|", "Basic bound", "Privelet bound", "Basic MSE", "Privelet MSE", "rule: SA?"
+    );
+    for exp in [3u32, 4, 5, 6, 7, 8, 9, 10, 12] {
+        let size = 1usize << exp;
+        let schema = Schema::new(vec![Attribute::ordinal("A", size)]).unwrap();
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let (basic_mse, privelet_mse) = measure(size, 30, 200);
+        println!(
+            "{size:>6} {:>14.0} {:>16.0} {:>14.0} {:>16.0} {:>9}",
+            basic_query_variance(EPSILON, size),
+            hn_variance_bound(&hn, EPSILON),
+            basic_mse,
+            privelet_mse,
+            if should_exclude(schema.attr(0)) { "yes" } else { "no" }
+        );
+    }
+    println!("\n(|A| = 16 row reproduces the paper's 128/ε² vs 600/ε² example.");
+    println!(" The rule compares worst-case bounds, which cross where its verdict");
+    println!(" flips; the measured average-case crossover arrives a bit earlier");
+    println!(" because random intervals rarely realize Basic's worst case.)");
+
+    for cfg in [CensusConfig::brazil(), CensusConfig::us()] {
+        let schema = cfg.schema().unwrap();
+        let sa = recommend_sa(&schema);
+        let names: Vec<&str> =
+            sa.iter().map(|&i| schema.attr(i).name()).collect();
+        println!(
+            "census {}: recommended SA = {names:?} (paper: [\"Age\", \"Gender\"])",
+            cfg.name
+        );
+        assert_eq!(names, vec!["Age", "Gender"]);
+    }
+}

@@ -1,0 +1,11 @@
+//! Figure 6: average square error vs query coverage (Brazil),
+//! ε ∈ {0.5, 0.75, 1, 1.25}. Expected shape: Basic grows linearly with
+//! coverage; Privelet⁺ is insensitive to coverage and its maximum average
+//! error sits about two orders of magnitude below Basic's.
+
+use privelet_bench::{accuracy_panels, print_panels, Dataset};
+
+fn main() {
+    let panels = accuracy_panels(Dataset::Brazil);
+    print_panels("Figure 6", "coverage", "square error", &panels, true);
+}

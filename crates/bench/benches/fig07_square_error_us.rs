@@ -1,0 +1,9 @@
+//! Figure 7: average square error vs query coverage (US),
+//! ε ∈ {0.5, 0.75, 1, 1.25}. Same expected shape as Figure 6.
+
+use privelet_bench::{accuracy_panels, print_panels, Dataset};
+
+fn main() {
+    let panels = accuracy_panels(Dataset::Us);
+    print_panels("Figure 7", "coverage", "square error", &panels, true);
+}

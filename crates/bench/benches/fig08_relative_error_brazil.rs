@@ -1,0 +1,12 @@
+//! Figure 8: average relative error vs query selectivity (Brazil),
+//! ε ∈ {0.5, 0.75, 1, 1.25}; sanity bound s = 0.1%·n. Expected shape:
+//! Privelet⁺ below Basic except at very small selectivities (≲ 10⁻⁷ at
+//! paper scale), Privelet⁺ ≤ ~25% everywhere while Basic exceeds 70% on
+//! some buckets.
+
+use privelet_bench::{accuracy_panels, print_panels, Dataset};
+
+fn main() {
+    let panels = accuracy_panels(Dataset::Brazil);
+    print_panels("Figure 8", "selectivity", "relative error", &panels, false);
+}

@@ -1,0 +1,9 @@
+//! Figure 9: average relative error vs query selectivity (US),
+//! ε ∈ {0.5, 0.75, 1, 1.25}. Same expected shape as Figure 8.
+
+use privelet_bench::{accuracy_panels, print_panels, Dataset};
+
+fn main() {
+    let panels = accuracy_panels(Dataset::Us);
+    print_panels("Figure 9", "selectivity", "relative error", &panels, false);
+}

@@ -1,0 +1,30 @@
+//! Figure 10: computation time vs the number of tuples n (m fixed).
+//! Expected shape: both Basic and Privelet⁺ scale linearly in n, with
+//! Privelet⁺ a constant factor above Basic (it pays for the wavelet
+//! transforms; run with SA = ∅ as in §VII-B to maximize its work).
+
+use privelet_eval::config::{Scale, TimingSweepConfig};
+use privelet_eval::report::print_timing;
+use privelet_eval::timing::{linear_fit, r_squared, run_timing_n_sweep};
+
+fn main() {
+    let cfg = TimingSweepConfig::paper(Scale::from_env());
+    eprintln!(
+        "[bench] Figure 10 sweep: n = {:?}, m target = {}",
+        cfg.n_values, cfg.m_for_n_sweep
+    );
+    let points = run_timing_n_sweep(&cfg).expect("timing sweep failed");
+    print_timing("Figure 10 — computation time vs n", "n", &points);
+
+    let xs: Vec<f64> = points.iter().map(|p| p.n as f64).collect();
+    for (name, ys) in [
+        ("Basic", points.iter().map(|p| p.basic_secs).collect::<Vec<_>>()),
+        ("Privelet+", points.iter().map(|p| p.privelet_secs).collect::<Vec<_>>()),
+    ] {
+        let (slope, icept) = linear_fit(&xs, &ys);
+        println!(
+            "{name:>10}: time ≈ {slope:.3e}·n + {icept:.3}s   (R² = {:.4}; paper: linear in n)",
+            r_squared(&xs, &ys)
+        );
+    }
+}

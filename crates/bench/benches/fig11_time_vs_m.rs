@@ -1,0 +1,29 @@
+//! Figure 11: computation time vs the number of frequency-matrix cells m
+//! (n fixed). Expected shape: both Basic and Privelet⁺ scale linearly in
+//! m, Privelet⁺ a constant factor above Basic.
+
+use privelet_eval::config::{Scale, TimingSweepConfig};
+use privelet_eval::report::print_timing;
+use privelet_eval::timing::{linear_fit, r_squared, run_timing_m_sweep};
+
+fn main() {
+    let cfg = TimingSweepConfig::paper(Scale::from_env());
+    eprintln!(
+        "[bench] Figure 11 sweep: m targets = {:?}, n = {}",
+        cfg.m_values, cfg.n_for_m_sweep
+    );
+    let points = run_timing_m_sweep(&cfg).expect("timing sweep failed");
+    print_timing("Figure 11 — computation time vs m", "m", &points);
+
+    let xs: Vec<f64> = points.iter().map(|p| p.m as f64).collect();
+    for (name, ys) in [
+        ("Basic", points.iter().map(|p| p.basic_secs).collect::<Vec<_>>()),
+        ("Privelet+", points.iter().map(|p| p.privelet_secs).collect::<Vec<_>>()),
+    ] {
+        let (slope, icept) = linear_fit(&xs, &ys);
+        println!(
+            "{name:>10}: time ≈ {slope:.3e}·m + {icept:.3}s   (R² = {:.4}; paper: linear in m)",
+            r_squared(&xs, &ys)
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Table III: sizes of attribute domains (and hierarchy heights) for the
+//! Brazil and US census datasets, at both paper scale and the scaled
+//! default used by the benches.
+
+use privelet_data::census::CensusConfig;
+use privelet_eval::config::Scale;
+
+fn print_row(cfg: &CensusConfig) {
+    let schema = cfg.schema().expect("census schema is valid");
+    print!("{:<16}", cfg.name);
+    for attr in schema.attrs() {
+        match attr.domain().hierarchy() {
+            Some(h) => print!(" {:>6} ({})", attr.size(), h.height()),
+            None => print!(" {:>10}", attr.size()),
+        }
+    }
+    println!(" | n = {:>9}  m = {:>11}", cfg.n_tuples, cfg.cell_count());
+}
+
+fn main() {
+    println!("Table III — sizes of attribute domains");
+    println!(
+        "{:<16} {:>10} {:>10} {:>10} {:>10}",
+        "dataset", "Age", "Gender", "Occupation", "Income"
+    );
+    println!("paper scale:");
+    print_row(&CensusConfig::brazil());
+    print_row(&CensusConfig::us());
+    println!("scaled (bench default; PRIVELET_SCALE=full restores paper scale):");
+    print_row(&Scale::Scaled.apply(CensusConfig::brazil()));
+    print_row(&Scale::Scaled.apply(CensusConfig::us()));
+    println!("\n(parenthesized numbers are hierarchy heights, as in Table III)");
+}

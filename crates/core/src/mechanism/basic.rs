@@ -1,0 +1,146 @@
+//! The Basic mechanism (Dwork et al., §II-B).
+//!
+//! The frequency matrix is a set of functions of `T` with sensitivity 2
+//! (modifying one tuple offsets two cells by one each), so adding
+//! independent `Lap(λ)` noise to every cell with `λ = 2/ε` satisfies
+//! ε-differential privacy (Theorem 1). Every cell then carries variance
+//! `2λ² = 8/ε²`, and a query covering `k` cells carries `8k/ε²` — the Θ(m)
+//! behaviour Privelet improves on.
+
+use crate::privacy::lambda_for_epsilon;
+use crate::Result;
+use privelet_data::FrequencyMatrix;
+use privelet_noise::{derive_rng, Laplace, TwoSidedGeometric};
+
+/// Publishes a noisy frequency matrix under ε-DP by adding `Lap(2/ε)` to
+/// every cell.
+pub fn publish_basic(fm: &FrequencyMatrix, epsilon: f64, seed: u64) -> Result<FrequencyMatrix> {
+    let lambda = lambda_for_epsilon(epsilon, 1.0)?;
+    let lap = Laplace::new(lambda)?;
+    let mut rng = derive_rng(seed, super::NOISE_STREAM);
+    let mut noisy = fm.matrix().clone();
+    for v in noisy.as_mut_slice() {
+        *v += lap.sample(&mut rng);
+    }
+    Ok(FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?)
+}
+
+/// Publishes a noisy frequency matrix under ε-DP with **integer** cells by
+/// adding two-sided geometric (discrete Laplace) noise with ratio
+/// `α = e^(−ε/2)` to every cell.
+///
+/// Extension beyond the paper: the geometric mechanism
+/// (Ghosh–Roughgarden–Sundararajan) is the utility-optimal way to release
+/// integer counts, and it sidesteps the non-integrality of Laplace
+/// releases (one of the consistency concerns §VIII attributes to Barak et
+/// al.). The sensitivity argument is identical to Basic's: one modified
+/// tuple changes two cells by one each, and the discrete noise with scale
+/// `λ = 2/ε` hides it.
+pub fn publish_basic_geometric(
+    fm: &FrequencyMatrix,
+    epsilon: f64,
+    seed: u64,
+) -> Result<FrequencyMatrix> {
+    let lambda = lambda_for_epsilon(epsilon, 1.0)?;
+    let geom = TwoSidedGeometric::with_scale(lambda)?;
+    let mut rng = derive_rng(seed, super::NOISE_STREAM);
+    let mut noisy = fm.matrix().clone();
+    for v in noisy.as_mut_slice() {
+        *v += geom.sample(&mut rng) as f64;
+    }
+    Ok(FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::medical::medical_example;
+    use privelet_noise::RunningStats;
+
+    fn medical_fm() -> FrequencyMatrix {
+        FrequencyMatrix::from_table(&medical_example()).unwrap()
+    }
+
+    #[test]
+    fn preserves_schema_and_shape() {
+        let fm = medical_fm();
+        let out = publish_basic(&fm, 1.0, 7).unwrap();
+        assert_eq!(out.schema().dims(), fm.schema().dims());
+        assert_eq!(out.cell_count(), fm.cell_count());
+        // Noise actually applied.
+        assert_ne!(out.matrix().as_slice(), fm.matrix().as_slice());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let fm = medical_fm();
+        let a = publish_basic(&fm, 1.0, 7).unwrap();
+        let b = publish_basic(&fm, 1.0, 7).unwrap();
+        assert_eq!(a.matrix().as_slice(), b.matrix().as_slice());
+        let c = publish_basic(&fm, 1.0, 8).unwrap();
+        assert_ne!(a.matrix().as_slice(), c.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        let fm = medical_fm();
+        assert!(publish_basic(&fm, 0.0, 1).is_err());
+        assert!(publish_basic(&fm, f64::NAN, 1).is_err());
+    }
+
+    #[test]
+    fn geometric_release_is_integral_and_unbiased() {
+        let fm = medical_fm();
+        let eps = 1.0;
+        let mut sums = vec![0.0; fm.cell_count()];
+        let trials = 2000u64;
+        for t in 0..trials {
+            let out = publish_basic_geometric(&fm, eps, t).unwrap();
+            for (s, (&noisy, &exact)) in sums
+                .iter_mut()
+                .zip(out.matrix().as_slice().iter().zip(fm.matrix().as_slice()))
+            {
+                assert_eq!(noisy, noisy.round(), "geometric cells must be integers");
+                *s += noisy - exact;
+            }
+        }
+        for (i, s) in sums.iter().enumerate() {
+            let mean = s / trials as f64;
+            assert!(mean.abs() < 0.5, "cell {i}: noise mean {mean}");
+        }
+    }
+
+    #[test]
+    fn geometric_variance_tracks_laplace() {
+        // At scale λ = 2/ε the discrete noise variance ~ 2λ² (slightly
+        // above; exactly 2α/(1−α)²).
+        let fm = medical_fm();
+        let eps = 1.0;
+        let mut stats = RunningStats::new();
+        for t in 0..4000u64 {
+            let out = publish_basic_geometric(&fm, eps, t).unwrap();
+            stats.push(out.matrix().as_slice()[0] - fm.matrix().as_slice()[0]);
+        }
+        let expected = privelet_noise::TwoSidedGeometric::with_scale(2.0 / eps)
+            .unwrap()
+            .variance();
+        let rel = (stats.variance() - expected).abs() / expected;
+        assert!(rel < 0.15, "empirical {} vs expected {expected}", stats.variance());
+    }
+
+    #[test]
+    fn per_cell_variance_is_eight_over_eps_squared() {
+        let fm = medical_fm();
+        let eps = 1.0;
+        let mut stats = RunningStats::new();
+        for trial in 0..4000u64 {
+            let out = publish_basic(&fm, eps, trial).unwrap();
+            // Collect the noise in the first cell across trials.
+            stats.push(out.matrix().as_slice()[0] - fm.matrix().as_slice()[0]);
+        }
+        let expected = 8.0 / (eps * eps);
+        let rel = (stats.variance() - expected).abs() / expected;
+        assert!(rel < 0.15, "empirical {} vs expected {expected}", stats.variance());
+        assert!(stats.mean().abs() < 0.25, "noise mean {}", stats.mean());
+    }
+}

@@ -1,0 +1,134 @@
+//! Marginal releases derived from a Privelet publication.
+//!
+//! §VIII contrasts Privelet with Barak et al.'s mechanism, which is
+//! purpose-built for releasing *marginals* (projections of the frequency
+//! matrix onto attribute subsets). Privelet supports the same product for
+//! free: because marginalization is a pure function of the published
+//! matrix `M*`, projecting `M*` costs no additional privacy budget, and
+//! every marginal cell is itself a range-count query (the full range on
+//! the summed-out attributes), so Theorem 3's variance bound applies to it
+//! verbatim.
+//!
+//! This module packages that pattern and its accounting; the trade-off
+//! against Barak et al. (their linear program enforces non-negativity and
+//! cross-marginal consistency; Privelet's marginals are consistent by
+//! construction — they are projections of one matrix — but may be
+//! negative) is recorded in DESIGN.md.
+
+use crate::bounds::hn_variance_bound;
+use crate::transform::HnTransform;
+use crate::{CoreError, Result};
+use privelet_data::schema::Schema;
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::marginalize;
+use std::collections::BTreeSet;
+
+/// Projects a published matrix onto the attributes in `keep` (in schema
+/// order), summing out the rest. Costs no privacy budget: it is
+/// post-processing of the release.
+pub fn marginal_of(published: &FrequencyMatrix, keep: &BTreeSet<usize>) -> Result<FrequencyMatrix> {
+    let schema = published.schema();
+    if let Some(&bad) = keep.iter().find(|&&i| i >= schema.arity()) {
+        return Err(CoreError::BadSaIndex { index: bad, arity: schema.arity() });
+    }
+    if keep.is_empty() {
+        return Err(CoreError::Unsupported(
+            "marginal must keep at least one attribute".into(),
+        ));
+    }
+    let summed: Vec<usize> = (0..schema.arity()).filter(|i| !keep.contains(i)).collect();
+    let matrix = marginalize(published.matrix(), &summed)?;
+    let attrs: Vec<_> = keep.iter().map(|&i| schema.attr(i).clone()).collect();
+    let sub_schema = Schema::new(attrs)?;
+    Ok(FrequencyMatrix::from_parts(sub_schema, matrix)?)
+}
+
+/// The per-cell noise-variance bound for a marginal derived from a
+/// Privelet publication: each marginal cell is a range-count query (full
+/// range on the summed attributes, a point on the kept ones), so
+/// Corollary 1's bound applies unchanged.
+pub fn marginal_cell_variance_bound(
+    schema: &Schema,
+    sa: &BTreeSet<usize>,
+    epsilon: f64,
+) -> Result<f64> {
+    let hn = HnTransform::for_schema(schema, sa)?;
+    crate::privacy::check_epsilon(epsilon)?;
+    Ok(hn_variance_bound(&hn, epsilon))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{publish_privelet, PriveletConfig};
+    use privelet_data::medical::medical_example;
+    use privelet_noise::RunningStats;
+
+    fn medical_fm() -> FrequencyMatrix {
+        FrequencyMatrix::from_table(&medical_example()).unwrap()
+    }
+
+    #[test]
+    fn exact_marginals_match_manual_sums() {
+        let fm = medical_fm();
+        // Age marginal: row sums of Table II.
+        let age = marginal_of(&fm, &BTreeSet::from([0])).unwrap();
+        assert_eq!(age.schema().dims(), vec![5]);
+        assert_eq!(age.matrix().as_slice(), &[2.0, 1.0, 3.0, 1.0, 1.0]);
+        // Diabetes marginal: 2 yes, 6 no.
+        let dia = marginal_of(&fm, &BTreeSet::from([1])).unwrap();
+        assert_eq!(dia.matrix().as_slice(), &[2.0, 6.0]);
+        // Keeping everything is the identity.
+        let both = marginal_of(&fm, &BTreeSet::from([0, 1])).unwrap();
+        assert_eq!(both.matrix().as_slice(), fm.matrix().as_slice());
+    }
+
+    #[test]
+    fn rejects_bad_keep_sets() {
+        let fm = medical_fm();
+        assert!(marginal_of(&fm, &BTreeSet::new()).is_err());
+        assert!(marginal_of(&fm, &BTreeSet::from([7])).is_err());
+    }
+
+    #[test]
+    fn noisy_marginals_are_consistent_across_projections() {
+        // Marginals of one published matrix agree on shared sub-marginals
+        // (here: both 1-D marginals sum to the same noisy total) — the
+        // consistency property Barak et al. pay an LP for.
+        let fm = medical_fm();
+        let out = publish_privelet(&fm, &PriveletConfig::pure(1.0, 3)).unwrap();
+        let age = marginal_of(&out.matrix, &BTreeSet::from([0])).unwrap();
+        let dia = marginal_of(&out.matrix, &BTreeSet::from([1])).unwrap();
+        assert!((age.total() - dia.total()).abs() < 1e-9);
+        assert!((age.total() - out.matrix.total()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_cells_respect_the_variance_bound() {
+        let fm = medical_fm();
+        let eps = 1.0;
+        let bound =
+            marginal_cell_variance_bound(fm.schema(), &BTreeSet::new(), eps).unwrap();
+        // Empirical variance of one marginal cell across publishes.
+        let mut stats = RunningStats::new();
+        for t in 0..400u64 {
+            let out = publish_privelet(&fm, &PriveletConfig::pure(eps, t)).unwrap();
+            let age = marginal_of(&out.matrix, &BTreeSet::from([0])).unwrap();
+            stats.push(age.matrix().as_slice()[2]);
+        }
+        assert!(
+            stats.sample_variance() <= bound * 1.25,
+            "marginal cell variance {} exceeds bound {bound}",
+            stats.sample_variance()
+        );
+    }
+
+    #[test]
+    fn bound_validates_inputs() {
+        let fm = medical_fm();
+        assert!(marginal_cell_variance_bound(fm.schema(), &BTreeSet::new(), 0.0).is_err());
+        assert!(
+            marginal_cell_variance_bound(fm.schema(), &BTreeSet::from([9]), 1.0).is_err()
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Privacy accounting: generalized sensitivity and the ε ↔ λ conversion.
+//!
+//! Lemma 1 of the paper: if a set of functions (here, wavelet coefficients)
+//! has generalized sensitivity `ρ` w.r.t. a weight function `W`, then
+//! publishing `f(M) + Lap(λ/W(f))` for every `f` satisfies
+//! `(2ρ/λ)`-differential privacy. The factor 2 comes from the paper's
+//! neighboring-database notion: *modifying* one tuple (two frequency cells
+//! change by one each, `‖M − M'‖₁ = 2`).
+//!
+//! Hence for a target ε the mechanisms use `λ = 2ρ/ε`:
+//!
+//! - Basic (§II-B): `ρ = 1` per cell with unit weights → `λ = 2/ε`.
+//! - Privelet with the HN transform: `ρ = ∏ P(Aᵢ)` (Theorem 2).
+
+use crate::{CoreError, Result};
+
+/// Validates that ε is finite and strictly positive.
+pub fn check_epsilon(epsilon: f64) -> Result<f64> {
+    if !epsilon.is_finite() || epsilon <= 0.0 {
+        return Err(CoreError::BadEpsilon(epsilon));
+    }
+    Ok(epsilon)
+}
+
+/// The Laplace magnitude `λ = 2ρ/ε` achieving ε-DP for a transform of
+/// generalized sensitivity `ρ` (Lemma 1 with tuple-modification neighbors).
+pub fn lambda_for_epsilon(epsilon: f64, rho: f64) -> Result<f64> {
+    check_epsilon(epsilon)?;
+    if !rho.is_finite() || rho <= 0.0 {
+        return Err(CoreError::Unsupported(format!(
+            "generalized sensitivity must be finite and > 0, got {rho}"
+        )));
+    }
+    Ok(2.0 * rho / epsilon)
+}
+
+/// The privacy level `ε = 2ρ/λ` provided by noise magnitude `λ`.
+pub fn epsilon_for_lambda(lambda: f64, rho: f64) -> Result<f64> {
+    if !lambda.is_finite() || lambda <= 0.0 {
+        return Err(CoreError::Unsupported(format!(
+            "lambda must be finite and > 0, got {lambda}"
+        )));
+    }
+    Ok(2.0 * rho / lambda)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lambda_epsilon_roundtrip() {
+        let rho = 72.0;
+        let eps = 0.75;
+        let lambda = lambda_for_epsilon(eps, rho).unwrap();
+        assert!((lambda - 192.0).abs() < 1e-12);
+        assert!((epsilon_for_lambda(lambda, rho).unwrap() - eps).abs() < 1e-12);
+    }
+
+    #[test]
+    fn basic_lambda_is_two_over_epsilon() {
+        // §II-B: Basic ensures (2/λ)-DP, i.e. λ = 2/ε with ρ = 1.
+        assert_eq!(lambda_for_epsilon(1.0, 1.0).unwrap(), 2.0);
+        assert_eq!(lambda_for_epsilon(0.5, 1.0).unwrap(), 4.0);
+    }
+
+    #[test]
+    fn rejects_bad_epsilon() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(check_epsilon(bad), Err(CoreError::BadEpsilon(_))));
+            assert!(lambda_for_epsilon(bad, 1.0).is_err());
+        }
+        assert!(check_epsilon(1e-9).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_rho_and_lambda() {
+        assert!(lambda_for_epsilon(1.0, 0.0).is_err());
+        assert!(lambda_for_epsilon(1.0, f64::NAN).is_err());
+        assert!(epsilon_for_lambda(0.0, 1.0).is_err());
+    }
+}

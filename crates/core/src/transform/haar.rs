@@ -1,0 +1,296 @@
+//! The one-dimensional Haar wavelet transform (§IV).
+//!
+//! The HWT requires a vector of `2^l` totally ordered elements; shorter
+//! ordinal domains are zero-padded ("dummy values", §IV). Coefficients use
+//! the classic binary-heap layout:
+//!
+//! - index `0` — the *base coefficient* `c₀` (mean of all entries);
+//! - index `j ∈ [1, 2^l)` — the coefficient of the decomposition-tree node
+//!   at level `⌊log₂ j⌋ + 1` (the root `c₁` is index 1; node `j`'s children
+//!   are `2j` and `2j+1`). A node's coefficient is `(a₁ − a₂)/2` where `a₁`
+//!   (`a₂`) is the average of the leaves in its left (right) subtree.
+//!
+//! The weight function `W_Haar` (§IV-B) assigns `m` to the base coefficient
+//! and `2^(l−i+1)` to a level-`i` coefficient, giving generalized
+//! sensitivity `1 + log₂ m` (Lemma 2) and per-query noise variance at most
+//! `(2 + log₂ m)/2 · σ²` (Lemma 3).
+
+/// The 1-D Haar transform for an ordinal dimension of `input_len` values,
+/// zero-padded to `padded_len = 2^l`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HaarTransform {
+    input_len: usize,
+    padded_len: usize,
+    levels: u32,
+}
+
+impl HaarTransform {
+    /// Builds the transform for a domain of `input_len ≥ 1` values.
+    pub fn new(input_len: usize) -> Self {
+        assert!(input_len >= 1, "Haar transform needs a non-empty domain");
+        let padded_len = input_len.next_power_of_two();
+        let levels = padded_len.trailing_zeros();
+        HaarTransform { input_len, padded_len, levels }
+    }
+
+    /// Domain size |A| before padding.
+    #[inline]
+    pub fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Padded length `2^l` (= number of coefficients).
+    #[inline]
+    pub fn output_len(&self) -> usize {
+        self.padded_len
+    }
+
+    /// Number of decomposition-tree levels `l = log₂(padded_len)`.
+    #[inline]
+    pub fn levels(&self) -> u32 {
+        self.levels
+    }
+
+    /// Forward transform with caller-provided scratch (hot path for the
+    /// multi-dimensional transform, which reuses one buffer across lanes):
+    /// `src.len() == input_len`, `dst.len() == padded_len`,
+    /// `scratch.len() >= padded_len`.
+    pub fn forward_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.input_len);
+        debug_assert_eq!(dst.len(), self.padded_len);
+        debug_assert!(scratch.len() >= self.padded_len);
+        dst[..self.input_len].copy_from_slice(src);
+        dst[self.input_len..].fill(0.0);
+        let mut width = self.padded_len;
+        // Fold one level at a time: averages land in the front half,
+        // details in the back half, which is exactly the heap layout slot
+        // for this level's coefficients.
+        while width > 1 {
+            let half = width / 2;
+            for i in 0..half {
+                let a = dst[2 * i];
+                let b = dst[2 * i + 1];
+                scratch[i] = 0.5 * (a + b);
+                scratch[half + i] = 0.5 * (a - b);
+            }
+            dst[..width].copy_from_slice(&scratch[..width]);
+            width = half;
+        }
+    }
+
+    /// Forward transform (allocating convenience wrapper).
+    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
+        let mut scratch = vec![0.0f64; self.padded_len];
+        self.forward_scratch(src, dst, &mut scratch);
+    }
+
+    /// Inverse transform (Equation 3 applied level by level) with
+    /// caller-provided scratch: `src.len() == padded_len`,
+    /// `dst.len() == input_len`, `scratch.len() >= padded_len`. Entries
+    /// beyond the original domain (padding) are discarded.
+    pub fn inverse_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.padded_len);
+        debug_assert_eq!(dst.len(), self.input_len);
+        debug_assert!(scratch.len() >= self.padded_len);
+        scratch[0] = src[0];
+        let mut half = 1usize;
+        while half < self.padded_len {
+            // Expand from the back so parents are read before their slots
+            // are overwritten.
+            for i in (0..half).rev() {
+                let parent = scratch[i];
+                let detail = src[half + i];
+                scratch[2 * i] = parent + detail;
+                scratch[2 * i + 1] = parent - detail;
+            }
+            half *= 2;
+        }
+        dst.copy_from_slice(&scratch[..self.input_len]);
+    }
+
+    /// Inverse transform (allocating convenience wrapper).
+    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
+        let mut scratch = vec![0.0f64; self.padded_len];
+        self.inverse_scratch(src, dst, &mut scratch);
+    }
+
+    /// The weight vector `W_Haar` over the coefficient layout: index 0 → `m`
+    /// (padded), index `j` at level `i = ⌊log₂ j⌋+1` → `2^(l−i+1)`.
+    pub fn weights(&self) -> Vec<f64> {
+        let l = self.levels;
+        let mut w = Vec::with_capacity(self.padded_len);
+        w.push(self.padded_len as f64);
+        for j in 1..self.padded_len {
+            let level_minus_1 = usize::BITS - 1 - j.leading_zeros(); // floor(log2 j)
+            w.push((1u64 << (l - level_minus_1)) as f64);
+        }
+        w
+    }
+
+    /// Generalized sensitivity `P(A) = 1 + log₂ m` of the transform w.r.t.
+    /// its weights (Lemma 2, exact — property-tested below).
+    pub fn p_value(&self) -> f64 {
+        1.0 + f64::from(self.levels)
+    }
+
+    /// Per-query variance factor `H(A) = (2 + log₂ m)/2` (Lemma 3).
+    pub fn h_value(&self) -> f64 {
+        (2.0 + f64::from(self.levels)) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure-2 example: M = [9,3,6,2,8,4,5,7].
+    const FIG2: [f64; 8] = [9.0, 3.0, 6.0, 2.0, 8.0, 4.0, 5.0, 7.0];
+
+    #[test]
+    fn figure2_coefficients() {
+        let t = HaarTransform::new(8);
+        let mut c = vec![0.0; 8];
+        t.forward(&FIG2, &mut c);
+        // c0..c7 per Figure 2: 5.5, -0.5, 1, 0, 3, 2, 2, -1.
+        assert_eq!(c, vec![5.5, -0.5, 1.0, 0.0, 3.0, 2.0, 2.0, -1.0]);
+    }
+
+    #[test]
+    fn figure2_weights() {
+        // WHaar assigns 8, 8, 4, 2 to c0, c1, c2, c4 (§IV-B).
+        let t = HaarTransform::new(8);
+        let w = t.weights();
+        assert_eq!(w, vec![8.0, 8.0, 4.0, 4.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn example2_reconstruction_identity() {
+        // v2 = c0 + c1 + c2 - c4 (Example 2).
+        let t = HaarTransform::new(8);
+        let mut c = vec![0.0; 8];
+        t.forward(&FIG2, &mut c);
+        assert_eq!(c[0] + c[1] + c[2] - c[4], 3.0);
+        let mut back = vec![0.0; 8];
+        t.inverse(&c, &mut back);
+        assert_eq!(back, FIG2.to_vec());
+    }
+
+    #[test]
+    fn roundtrip_with_padding() {
+        // |A| = 5 pads to 8; inverse truncates the dummies.
+        let t = HaarTransform::new(5);
+        assert_eq!(t.output_len(), 8);
+        let src = [1.0, -2.0, 3.5, 0.0, 7.0];
+        let mut c = vec![0.0; 8];
+        t.forward(&src, &mut c);
+        let mut back = vec![0.0; 5];
+        t.inverse(&c, &mut back);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_lengths() {
+        // |A| = 1: single base coefficient, identity mapping.
+        let t = HaarTransform::new(1);
+        assert_eq!(t.output_len(), 1);
+        assert_eq!(t.levels(), 0);
+        let mut c = vec![0.0];
+        t.forward(&[42.0], &mut c);
+        assert_eq!(c, vec![42.0]);
+        assert_eq!(t.weights(), vec![1.0]);
+        assert_eq!(t.p_value(), 1.0);
+        let mut back = vec![0.0];
+        t.inverse(&c, &mut back);
+        assert_eq!(back, vec![42.0]);
+
+        // |A| = 2: base + one detail.
+        let t2 = HaarTransform::new(2);
+        let mut c2 = vec![0.0; 2];
+        t2.forward(&[10.0, 4.0], &mut c2);
+        assert_eq!(c2, vec![7.0, 3.0]);
+        assert_eq!(t2.weights(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    fn base_coefficient_is_mean() {
+        let t = HaarTransform::new(8);
+        let mut c = vec![0.0; 8];
+        t.forward(&FIG2, &mut c);
+        let mean: f64 = FIG2.iter().sum::<f64>() / 8.0;
+        assert!((c[0] - mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn linearity() {
+        let t = HaarTransform::new(8);
+        let a = FIG2;
+        let b: Vec<f64> = FIG2.iter().map(|v| v * -0.5 + 1.0).collect();
+        let sum: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        let mut ca = vec![0.0; 8];
+        let mut cb = vec![0.0; 8];
+        let mut cs = vec![0.0; 8];
+        t.forward(&a, &mut ca);
+        t.forward(&b, &mut cb);
+        t.forward(&sum, &mut cs);
+        for i in 0..8 {
+            assert!((cs[i] - (ca[i] + cb[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn lemma2_sensitivity_is_exact_for_every_cell() {
+        // Changing any single entry by delta changes the weighted coefficient
+        // L1 norm by exactly (1 + log2 m) * delta.
+        for len in [4usize, 8, 16] {
+            let t = HaarTransform::new(len);
+            let w = t.weights();
+            let delta = 1.0;
+            for cell in 0..len {
+                let mut unit = vec![0.0; len];
+                unit[cell] = delta;
+                let mut c = vec![0.0; t.output_len()];
+                t.forward(&unit, &mut c);
+                let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
+                let expected = t.p_value() * delta;
+                assert!(
+                    (weighted - expected).abs() < 1e-9,
+                    "len={len} cell={cell}: {weighted} vs {expected}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn padded_sensitivity_uses_padded_levels() {
+        // |A| = 5 pads to 8 -> P = 1 + 3 = 4 for real cells too.
+        let t = HaarTransform::new(5);
+        let w = t.weights();
+        for cell in 0..5 {
+            let mut unit = vec![0.0; 5];
+            unit[cell] = 1.0;
+            let mut c = vec![0.0; 8];
+            t.forward(&unit, &mut c);
+            let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
+            assert!((weighted - 4.0).abs() < 1e-9, "cell {cell}: {weighted}");
+        }
+    }
+
+    #[test]
+    fn scratch_and_alloc_paths_agree() {
+        let t = HaarTransform::new(6);
+        let src = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0];
+        let mut c1 = vec![0.0; 8];
+        let mut c2 = vec![0.0; 8];
+        let mut scratch = vec![0.0; 8];
+        t.forward(&src, &mut c1);
+        t.forward_scratch(&src, &mut c2, &mut scratch);
+        assert_eq!(c1, c2);
+        let mut b1 = vec![0.0; 6];
+        let mut b2 = vec![0.0; 6];
+        t.inverse(&c1, &mut b1);
+        t.inverse_scratch(&c1, &mut b2, &mut scratch);
+        assert_eq!(b1, b2);
+    }
+}

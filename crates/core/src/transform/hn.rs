@@ -1,0 +1,379 @@
+//! The multi-dimensional Haar–nominal (HN) wavelet transform (§VI).
+//!
+//! Standard decomposition: the 1-D transforms are applied along each
+//! dimension in turn; the step-`i` matrix `Cᵢ` is the input to step `i+1`.
+//! Coefficient coordinates on non-transformed axes are inherited from the
+//! source vector, so the output is again a dense matrix whose size on axis
+//! `i` is the 1-D transform's output length (padded power of two for Haar,
+//! node count for the over-complete nominal transform).
+//!
+//! **Weight factorization.** §VI-B assigns each coefficient the product of
+//! its 1-D weight and the weight shared by its source vector. Unrolling the
+//! recursion, the weight of the coefficient at coordinates `(x₁,…,x_d)` is
+//! exactly `∏ᵢ wᵢ[xᵢ]` where `wᵢ` is dimension `i`'s 1-D weight vector.
+//! [`HnTransform::for_each_weight`] iterates that product in O(m') without
+//! materializing a weight matrix.
+//!
+//! Because all three 1-D transforms are linear and act on disjoint axes,
+//! the composition commutes across axis order; we apply axes `0..d`
+//! forward and `d..0` on the inverse (with the nominal mean-subtraction
+//! refinement applied to each lane right before that axis is inverted —
+//! footnote 2 of §VI-B).
+
+use super::DimTransform;
+use crate::{CoreError, Result};
+use privelet_data::schema::Schema;
+use privelet_matrix::{map_lanes, NdMatrix};
+use std::collections::BTreeSet;
+
+/// The multi-dimensional HN wavelet transform: one [`DimTransform`] per
+/// dimension, with cached per-dimension weight vectors.
+#[derive(Debug, Clone)]
+pub struct HnTransform {
+    transforms: Vec<DimTransform>,
+    weights: Vec<Vec<f64>>,
+}
+
+impl HnTransform {
+    /// Builds the transform from per-dimension 1-D transforms.
+    pub fn new(transforms: Vec<DimTransform>) -> Result<Self> {
+        if transforms.is_empty() {
+            return Err(CoreError::EmptyTransform);
+        }
+        let weights = transforms.iter().map(DimTransform::weights).collect();
+        Ok(HnTransform { transforms, weights })
+    }
+
+    /// Builds the transform for a schema: Haar for ordinal dimensions,
+    /// nominal for nominal dimensions, identity for dimensions in `sa`
+    /// (Privelet⁺). `sa` indices must be valid attribute indices.
+    pub fn for_schema(schema: &Schema, sa: &BTreeSet<usize>) -> Result<Self> {
+        if let Some(&bad) = sa.iter().find(|&&i| i >= schema.arity()) {
+            return Err(CoreError::BadSaIndex { index: bad, arity: schema.arity() });
+        }
+        let transforms = schema
+            .attrs()
+            .iter()
+            .enumerate()
+            .map(|(i, attr)| DimTransform::for_attribute(attr, sa.contains(&i)))
+            .collect();
+        Self::new(transforms)
+    }
+
+    /// The per-dimension transforms.
+    pub fn transforms(&self) -> &[DimTransform] {
+        &self.transforms
+    }
+
+    /// Number of dimensions.
+    pub fn ndim(&self) -> usize {
+        self.transforms.len()
+    }
+
+    /// Expected input dimension sizes (= the frequency matrix dims).
+    pub fn input_dims(&self) -> Vec<usize> {
+        self.transforms.iter().map(DimTransform::input_len).collect()
+    }
+
+    /// Output dimension sizes (= the coefficient matrix dims).
+    pub fn output_dims(&self) -> Vec<usize> {
+        self.transforms.iter().map(DimTransform::output_len).collect()
+    }
+
+    /// Number of coefficients `m' = ∏ output_len(i)`.
+    pub fn output_cells(&self) -> usize {
+        self.transforms.iter().map(DimTransform::output_len).product()
+    }
+
+    /// Per-dimension 1-D weight vectors.
+    pub fn weight_vectors(&self) -> &[Vec<f64>] {
+        &self.weights
+    }
+
+    /// Generalized sensitivity `ρ = ∏ P(Aᵢ)` (Theorem 2).
+    pub fn rho(&self) -> f64 {
+        self.transforms.iter().map(DimTransform::p_value).product()
+    }
+
+    /// Variance factor `∏ H(Aᵢ)` (Theorem 3 / Corollary 1).
+    pub fn variance_factor(&self) -> f64 {
+        self.transforms.iter().map(DimTransform::h_value).product()
+    }
+
+    /// Forward transform `M → C_d`.
+    pub fn forward(&self, m: &NdMatrix) -> Result<NdMatrix> {
+        if m.dims() != self.input_dims() {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.input_dims(),
+                got: m.dims().to_vec(),
+            });
+        }
+        let mut cur = m.clone();
+        for (axis, t) in self.transforms.iter().enumerate() {
+            let mut scratch = vec![0.0f64; t.output_len()];
+            cur = map_lanes(&cur, axis, t.output_len(), |src, dst| {
+                t.forward_lane(src, dst, &mut scratch);
+            })
+            .map_err(CoreError::Matrix)?;
+        }
+        Ok(cur)
+    }
+
+    /// Inverse transform `C_d → M` without refinement (exact algebraic
+    /// inverse; used by round-trip tests).
+    pub fn inverse(&self, c: &NdMatrix) -> Result<NdMatrix> {
+        self.inverse_impl(c, false)
+    }
+
+    /// Inverse transform with the mean-subtraction refinement applied to
+    /// every nominal lane right before that dimension is inverted
+    /// (footnote 2 of §VI-B). This is the path the Privelet mechanism uses
+    /// on noisy coefficients; it is a no-op on exact coefficients.
+    pub fn inverse_refined(&self, c: &NdMatrix) -> Result<NdMatrix> {
+        self.inverse_impl(c, true)
+    }
+
+    fn inverse_impl(&self, c: &NdMatrix, refined: bool) -> Result<NdMatrix> {
+        if c.dims() != self.output_dims() {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.output_dims(),
+                got: c.dims().to_vec(),
+            });
+        }
+        let mut cur = c.clone();
+        for (axis, t) in self.transforms.iter().enumerate().rev() {
+            let mut scratch = vec![0.0f64; t.output_len()];
+            let mut lane = vec![0.0f64; t.output_len()];
+            cur = map_lanes(&cur, axis, t.input_len(), |src, dst| {
+                if refined {
+                    lane.copy_from_slice(src);
+                    t.refine_lane(&mut lane);
+                    t.inverse_lane(&lane, dst, &mut scratch);
+                } else {
+                    t.inverse_lane(src, dst, &mut scratch);
+                }
+            })
+            .map_err(CoreError::Matrix)?;
+        }
+        Ok(cur)
+    }
+
+    /// Visits every coefficient cell of the output matrix in row-major
+    /// order with its factorized weight `W_HN = ∏ᵢ wᵢ[xᵢ]`.
+    pub fn for_each_weight(&self, mut f: impl FnMut(usize, f64)) {
+        let dims = self.output_dims();
+        let d = dims.len();
+        let total: usize = dims.iter().product();
+        let mut coords = vec![0usize; d];
+        // prod[i+1] = prod[i] * w_i[coords[i]]; prod[0] = 1.
+        let mut prod = vec![1.0f64; d + 1];
+        for i in 0..d {
+            prod[i + 1] = prod[i] * self.weights[i][0];
+        }
+        for linear in 0..total {
+            f(linear, prod[d]);
+            // Odometer increment, last axis fastest; refresh the prefix
+            // products from the changed axis onward.
+            let mut axis = d;
+            while axis > 0 {
+                axis -= 1;
+                coords[axis] += 1;
+                if coords[axis] < dims[axis] {
+                    for i in axis..d {
+                        prod[i + 1] = prod[i] * self.weights[i][coords[i]];
+                    }
+                    break;
+                }
+                coords[axis] = 0;
+            }
+        }
+    }
+
+    /// The weight of the coefficient at explicit coordinates (test/debug
+    /// path; the hot path is [`Self::for_each_weight`]).
+    pub fn weight_at(&self, coords: &[usize]) -> f64 {
+        coords
+            .iter()
+            .zip(&self.weights)
+            .map(|(&x, w)| w[x])
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::schema::Attribute;
+    use privelet_hierarchy::builder::{flat, three_level};
+
+    fn ordinal_2x2() -> HnTransform {
+        let schema = Schema::new(vec![
+            Attribute::ordinal("r", 2),
+            Attribute::ordinal("c", 2),
+        ])
+        .unwrap();
+        HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap()
+    }
+
+    #[test]
+    fn figure4_coefficients() {
+        // M = [[8,4],[1,5]] -> C2 = [[4.5, 0], [1.5, 2]] (Figure 4; the
+        // result is axis-order independent because the 1-D transforms act
+        // on disjoint axes).
+        let hn = ordinal_2x2();
+        let m = NdMatrix::from_vec(&[2, 2], vec![8.0, 4.0, 1.0, 5.0]).unwrap();
+        let c = hn.forward(&m).unwrap();
+        assert_eq!(c.as_slice(), &[4.5, 0.0, 1.5, 2.0]);
+        let back = hn.inverse(&c).unwrap();
+        assert_eq!(back.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    fn figure4_weights_factorize() {
+        // Each dim is Haar on 2 entries: weights [2, 2]; WHN = 4 everywhere.
+        let hn = ordinal_2x2();
+        assert_eq!(hn.weight_at(&[0, 0]), 4.0);
+        assert_eq!(hn.weight_at(&[1, 1]), 4.0);
+        let mut seen = Vec::new();
+        hn.for_each_weight(|lin, w| seen.push((lin, w)));
+        assert_eq!(seen, vec![(0, 4.0), (1, 4.0), (2, 4.0), (3, 4.0)]);
+    }
+
+    fn mixed_transform() -> (Schema, HnTransform) {
+        let schema = Schema::new(vec![
+            Attribute::ordinal("age", 5),                               // pads to 8
+            Attribute::nominal("gender", flat(2).unwrap()),             // 3 nodes
+            Attribute::nominal("occ", three_level(6, 2).unwrap()),      // 9 nodes
+            Attribute::ordinal("income", 4),                            // exact 4
+        ])
+        .unwrap();
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        (schema, hn)
+    }
+
+    #[test]
+    fn mixed_shapes_and_factors() {
+        let (_, hn) = mixed_transform();
+        assert_eq!(hn.input_dims(), vec![5, 2, 6, 4]);
+        assert_eq!(hn.output_dims(), vec![8, 3, 9, 4]);
+        assert_eq!(hn.output_cells(), 8 * 3 * 9 * 4);
+        // rho = P products: (1+3) * 2 * 3 * (1+2) = 72.
+        assert_eq!(hn.rho(), 72.0);
+        // variance factor = H products: (2+3)/2 * 4 * 4 * (2+2)/2 = 80.
+        assert_eq!(hn.variance_factor(), 80.0);
+    }
+
+    #[test]
+    fn mixed_roundtrip_both_inverses() {
+        let (_, hn) = mixed_transform();
+        let n: usize = hn.input_dims().iter().product();
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let m = NdMatrix::from_vec(&hn.input_dims(), data).unwrap();
+        let c = hn.forward(&m).unwrap();
+        for back in [hn.inverse(&c).unwrap(), hn.inverse_refined(&c).unwrap()] {
+            assert_eq!(back.dims(), m.dims());
+            for (a, b) in m.as_slice().iter().zip(back.as_slice()) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn privelet_plus_identity_dims() {
+        let schema = Schema::new(vec![
+            Attribute::ordinal("small", 3),
+            Attribute::ordinal("large", 16),
+        ])
+        .unwrap();
+        let sa = BTreeSet::from([0usize]);
+        let hn = HnTransform::for_schema(&schema, &sa).unwrap();
+        assert_eq!(hn.transforms()[0].kind(), "identity");
+        assert_eq!(hn.transforms()[1].kind(), "haar");
+        assert_eq!(hn.output_dims(), vec![3, 16]);
+        // rho excludes identity dims: P = 1 * (1 + 4) = 5.
+        assert_eq!(hn.rho(), 5.0);
+        // variance factor includes |A| for SA dims: 3 * (2+4)/2 = 9.
+        assert_eq!(hn.variance_factor(), 9.0);
+    }
+
+    #[test]
+    fn bad_sa_index_is_rejected() {
+        let schema = Schema::new(vec![Attribute::ordinal("a", 4)]).unwrap();
+        let sa = BTreeSet::from([1usize]);
+        assert!(matches!(
+            HnTransform::for_schema(&schema, &sa).unwrap_err(),
+            CoreError::BadSaIndex { index: 1, arity: 1 }
+        ));
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let (_, hn) = mixed_transform();
+        let wrong = NdMatrix::zeros(&[5, 2, 6, 5]).unwrap();
+        assert!(matches!(
+            hn.forward(&wrong).unwrap_err(),
+            CoreError::ShapeMismatch { .. }
+        ));
+        let wrong_c = NdMatrix::zeros(&[8, 3, 9, 5]).unwrap();
+        assert!(matches!(
+            hn.inverse(&wrong_c).unwrap_err(),
+            CoreError::ShapeMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn empty_transform_is_rejected() {
+        assert!(matches!(
+            HnTransform::new(vec![]).unwrap_err(),
+            CoreError::EmptyTransform
+        ));
+    }
+
+    #[test]
+    fn for_each_weight_matches_weight_at() {
+        let (_, hn) = mixed_transform();
+        let dims = hn.output_dims();
+        let shape = privelet_matrix::Shape::new(&dims).unwrap();
+        let mut coords = vec![0usize; dims.len()];
+        hn.for_each_weight(|lin, w| {
+            shape.coords(lin, &mut coords).unwrap();
+            let direct = hn.weight_at(&coords);
+            assert!(
+                (w - direct).abs() < 1e-12,
+                "linear {lin}: odometer {w} vs direct {direct}"
+            );
+        });
+    }
+
+    #[test]
+    fn theorem2_sensitivity_exact_on_uniform_depth_dims() {
+        // All dims Haar or uniform-depth nominal: the weighted L1 change
+        // from a unit cell bump equals rho exactly, for every cell.
+        let (_, hn) = mixed_transform();
+        let dims = hn.input_dims();
+        let n: usize = dims.iter().product();
+        let weights = hn.weight_vectors().to_vec();
+        let shape = privelet_matrix::Shape::new(&hn.output_dims()).unwrap();
+        for cell in 0..n {
+            let mut unit = vec![0.0; n];
+            unit[cell] = 1.0;
+            let m = NdMatrix::from_vec(&dims, unit).unwrap();
+            let c = hn.forward(&m).unwrap();
+            let mut coords = vec![0usize; dims.len()];
+            let mut weighted = 0.0;
+            for (lin, &v) in c.as_slice().iter().enumerate() {
+                if v != 0.0 {
+                    shape.coords(lin, &mut coords).unwrap();
+                    let w: f64 =
+                        coords.iter().zip(&weights).map(|(&x, wv)| wv[x]).product();
+                    weighted += w * v.abs();
+                }
+            }
+            assert!(
+                (weighted - hn.rho()).abs() < 1e-6,
+                "cell {cell}: {weighted} vs rho {}",
+                hn.rho()
+            );
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! The identity "transform" used by Privelet⁺ for attributes in `SA`.
+//!
+//! Privelet⁺ (§VI-D) splits the frequency matrix along the dimensions in
+//! `SA` and applies the HN wavelet transform only to the remaining
+//! dimensions. Algebraically this is the HN transform in which every `SA`
+//! dimension uses the identity map with unit weights: the per-sub-matrix
+//! processing of Figure 5 and the identity-dimension formulation touch the
+//! same cells with the same weights (asserted by `tests/equivalence.rs` at
+//! the workspace root). The identity transform has generalized sensitivity
+//! `P(A) = 1` and per-query variance factor `H(A) = |A|` (Corollary 1).
+
+/// Identity transform over a domain of `len` values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IdentityTransform {
+    len: usize,
+}
+
+impl IdentityTransform {
+    /// Builds the identity transform for a domain of `len ≥ 1` values.
+    pub fn new(len: usize) -> Self {
+        assert!(len >= 1, "identity transform needs a non-empty domain");
+        IdentityTransform { len }
+    }
+
+    /// Domain size |A|.
+    #[inline]
+    pub fn input_len(&self) -> usize {
+        self.len
+    }
+
+    /// Output length (= input length).
+    #[inline]
+    pub fn output_len(&self) -> usize {
+        self.len
+    }
+
+    /// Forward: copy.
+    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.len);
+        debug_assert_eq!(dst.len(), self.len);
+        dst.copy_from_slice(src);
+    }
+
+    /// Inverse: copy.
+    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
+        debug_assert_eq!(src.len(), self.len);
+        debug_assert_eq!(dst.len(), self.len);
+        dst.copy_from_slice(src);
+    }
+
+    /// Unit weights.
+    pub fn weights(&self) -> Vec<f64> {
+        vec![1.0; self.len]
+    }
+
+    /// Generalized sensitivity factor `P(A) = 1`.
+    pub fn p_value(&self) -> f64 {
+        1.0
+    }
+
+    /// Variance factor `H(A) = |A|`.
+    pub fn h_value(&self) -> f64 {
+        self.len as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copies_both_ways() {
+        let t = IdentityTransform::new(4);
+        let src = [1.0, -2.0, 3.0, 4.5];
+        let mut c = [0.0; 4];
+        t.forward(&src, &mut c);
+        assert_eq!(c, src);
+        let mut back = [0.0; 4];
+        t.inverse(&c, &mut back);
+        assert_eq!(back, src);
+    }
+
+    #[test]
+    fn factors_match_corollary_1() {
+        let t = IdentityTransform::new(16);
+        assert_eq!(t.p_value(), 1.0);
+        assert_eq!(t.h_value(), 16.0);
+        assert_eq!(t.weights(), vec![1.0; 16]);
+        assert_eq!(t.output_len(), 16);
+    }
+}

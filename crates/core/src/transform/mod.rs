@@ -1,0 +1,199 @@
+//! Wavelet transforms: 1-D building blocks and the multi-dimensional
+//! Haar–nominal composition.
+//!
+//! - [`haar`] — the Haar wavelet transform for ordinal dimensions (§IV).
+//! - [`nominal`] — the novel nominal wavelet transform for hierarchy-equipped
+//!   dimensions (§V), including the mean-subtraction refinement.
+//! - [`identity`] — the pass-through used by Privelet⁺ for `SA` dimensions
+//!   (§VI-D).
+//! - [`hn`] — the multi-dimensional HN transform via standard decomposition
+//!   (§VI-A) with factorized weights (§VI-B).
+
+pub mod haar;
+pub mod hn;
+pub mod identity;
+pub mod nominal;
+
+pub use haar::HaarTransform;
+pub use hn::HnTransform;
+pub use identity::IdentityTransform;
+pub use nominal::NominalTransform;
+
+use privelet_data::schema::{Attribute, Domain};
+
+/// The 1-D transform applied along one dimension of the HN transform.
+#[derive(Debug, Clone)]
+pub enum DimTransform {
+    /// Haar wavelet transform (ordinal dimension).
+    Haar(HaarTransform),
+    /// Nominal wavelet transform (nominal dimension with hierarchy).
+    Nominal(NominalTransform),
+    /// Identity (dimension in Privelet⁺'s `SA` set).
+    Identity(IdentityTransform),
+}
+
+impl DimTransform {
+    /// Chooses the transform for an attribute: Haar for ordinal, nominal
+    /// for nominal — unless the attribute is in `SA`, in which case the
+    /// identity transform is used (Privelet⁺, §VI-D).
+    pub fn for_attribute(attr: &Attribute, in_sa: bool) -> DimTransform {
+        if in_sa {
+            return DimTransform::Identity(IdentityTransform::new(attr.size()));
+        }
+        match attr.domain() {
+            Domain::Ordinal { size } => DimTransform::Haar(HaarTransform::new(*size)),
+            Domain::Nominal { hierarchy } => {
+                DimTransform::Nominal(NominalTransform::new(hierarchy.clone()))
+            }
+        }
+    }
+
+    /// Input (domain) length.
+    pub fn input_len(&self) -> usize {
+        match self {
+            DimTransform::Haar(t) => t.input_len(),
+            DimTransform::Nominal(t) => t.input_len(),
+            DimTransform::Identity(t) => t.input_len(),
+        }
+    }
+
+    /// Output (coefficient) length.
+    pub fn output_len(&self) -> usize {
+        match self {
+            DimTransform::Haar(t) => t.output_len(),
+            DimTransform::Nominal(t) => t.output_len(),
+            DimTransform::Identity(t) => t.output_len(),
+        }
+    }
+
+    /// Applies the forward 1-D transform to one lane. `scratch` must have
+    /// at least `output_len()` elements.
+    pub fn forward_lane(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            DimTransform::Haar(t) => t.forward_scratch(src, dst, scratch),
+            DimTransform::Nominal(t) => t.forward_scratch(src, dst, scratch),
+            DimTransform::Identity(t) => t.forward(src, dst),
+        }
+    }
+
+    /// Applies the inverse 1-D transform to one lane. `scratch` must have
+    /// at least `output_len()` elements.
+    pub fn inverse_lane(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        match self {
+            DimTransform::Haar(t) => t.inverse_scratch(src, dst, scratch),
+            DimTransform::Nominal(t) => t.inverse_scratch(src, dst, scratch),
+            DimTransform::Identity(t) => t.inverse(src, dst),
+        }
+    }
+
+    /// Applies the refinement step to one noisy coefficient lane: mean
+    /// subtraction for nominal dimensions (§V-B and footnote 2 of §VI-B),
+    /// a no-op otherwise.
+    pub fn refine_lane(&self, coeffs: &mut [f64]) {
+        if let DimTransform::Nominal(t) = self {
+            t.mean_subtract(coeffs);
+        }
+    }
+
+    /// The 1-D weight vector over the coefficient layout.
+    pub fn weights(&self) -> Vec<f64> {
+        match self {
+            DimTransform::Haar(t) => t.weights(),
+            DimTransform::Nominal(t) => t.weights(),
+            DimTransform::Identity(t) => t.weights(),
+        }
+    }
+
+    /// Generalized-sensitivity factor `P(A)` (§VI-C).
+    pub fn p_value(&self) -> f64 {
+        match self {
+            DimTransform::Haar(t) => t.p_value(),
+            DimTransform::Nominal(t) => t.p_value(),
+            DimTransform::Identity(t) => t.p_value(),
+        }
+    }
+
+    /// Variance factor `H(A)` (§VI-C; `|A|` for identity per Corollary 1).
+    pub fn h_value(&self) -> f64 {
+        match self {
+            DimTransform::Haar(t) => t.h_value(),
+            DimTransform::Nominal(t) => t.h_value(),
+            DimTransform::Identity(t) => t.h_value(),
+        }
+    }
+
+    /// Short kind label for diagnostics.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            DimTransform::Haar(_) => "haar",
+            DimTransform::Nominal(_) => "nominal",
+            DimTransform::Identity(_) => "identity",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_hierarchy::builder::three_level;
+
+    #[test]
+    fn for_attribute_picks_by_domain_kind() {
+        let ord = Attribute::ordinal("age", 10);
+        let nom = Attribute::nominal("occ", three_level(8, 2).unwrap());
+        assert_eq!(DimTransform::for_attribute(&ord, false).kind(), "haar");
+        assert_eq!(DimTransform::for_attribute(&nom, false).kind(), "nominal");
+        assert_eq!(DimTransform::for_attribute(&ord, true).kind(), "identity");
+        assert_eq!(DimTransform::for_attribute(&nom, true).kind(), "identity");
+    }
+
+    #[test]
+    fn lane_dispatch_roundtrips() {
+        let nom = Attribute::nominal("occ", three_level(9, 3).unwrap());
+        for t in [
+            DimTransform::for_attribute(&Attribute::ordinal("a", 7), false),
+            DimTransform::for_attribute(&nom, false),
+            DimTransform::for_attribute(&Attribute::ordinal("a", 7), true),
+        ] {
+            let n = t.input_len();
+            let src: Vec<f64> = (0..n).map(|i| (i as f64) * 1.5 - 3.0).collect();
+            let mut c = vec![0.0; t.output_len()];
+            let mut scratch = vec![0.0; t.output_len()];
+            t.forward_lane(&src, &mut c, &mut scratch);
+            t.refine_lane(&mut c); // no-op on exact coefficients
+            let mut back = vec![0.0; n];
+            t.inverse_lane(&c, &mut back, &mut scratch);
+            for (a, b) in src.iter().zip(&back) {
+                assert!((a - b).abs() < 1e-10, "{} roundtrip", t.kind());
+            }
+        }
+    }
+
+    #[test]
+    fn factors_match_section_vi_c() {
+        // P(A) = 1 + log2|A| (ordinal), h (nominal), 1 (identity);
+        // H(A) = (2 + log2|A|)/2, 4, |A|.
+        let ord = DimTransform::for_attribute(&Attribute::ordinal("a", 16), false);
+        assert_eq!(ord.p_value(), 5.0);
+        assert_eq!(ord.h_value(), 3.0);
+        let nom = DimTransform::for_attribute(
+            &Attribute::nominal("o", three_level(16, 4).unwrap()),
+            false,
+        );
+        assert_eq!(nom.p_value(), 3.0);
+        assert_eq!(nom.h_value(), 4.0);
+        let id = DimTransform::for_attribute(&Attribute::ordinal("a", 16), true);
+        assert_eq!(id.p_value(), 1.0);
+        assert_eq!(id.h_value(), 16.0);
+    }
+
+    #[test]
+    fn weights_length_matches_output() {
+        let t = DimTransform::for_attribute(
+            &Attribute::nominal("o", three_level(10, 3).unwrap()),
+            false,
+        );
+        assert_eq!(t.weights().len(), t.output_len());
+        assert_eq!(t.output_len(), 14); // 10 leaves + 3 groups + root
+    }
+}

@@ -1,0 +1,353 @@
+//! The nominal wavelet transform (§V).
+//!
+//! Given a 1-D frequency vector over a nominal domain with hierarchy `H`,
+//! the transform produces one coefficient per node of `H` (the
+//! decomposition tree `R` is `H` with a value-child attached to each leaf,
+//! so `H`'s nodes are exactly `R`'s internal nodes):
+//!
+//! - the *base coefficient* (root) is the sum of all entries (leaf-sum of
+//!   the root);
+//! - any other node's coefficient is its leaf-sum minus the **average**
+//!   leaf-sum of its parent's children.
+//!
+//! Coefficients are laid out in level order of `H` (base first), matching
+//! §VI-A. The transform is *over-complete*: it emits `node_count ≥
+//! leaf_count` coefficients.
+//!
+//! Reconstruction follows Equation 5: an entry `v` equals the reconstructed
+//! leaf-sum of its `H`-leaf, computed top-down as
+//! `ls(node) = c(node) + ls(parent)/fanout(parent)`.
+//!
+//! The weight function `W_Nom` (§V-B) assigns 1 to the base coefficient and
+//! `f/(2f−2)` (where `f` is the parent's fanout) to every other
+//! coefficient, giving generalized sensitivity `h` (the hierarchy height,
+//! Lemma 4). The *mean-subtraction* refinement (§V-B) re-centers every
+//! noisy sibling group to sum to zero; on exact coefficients it is a no-op,
+//! and after it every range-count query carries noise variance `< 4σ²`
+//! (Lemma 5).
+
+use privelet_hierarchy::Hierarchy;
+use std::sync::Arc;
+
+/// The 1-D nominal wavelet transform for a hierarchy-equipped domain.
+#[derive(Debug, Clone)]
+pub struct NominalTransform {
+    hierarchy: Arc<Hierarchy>,
+}
+
+impl NominalTransform {
+    /// Builds the transform over a hierarchy.
+    pub fn new(hierarchy: Arc<Hierarchy>) -> Self {
+        NominalTransform { hierarchy }
+    }
+
+    /// The underlying hierarchy.
+    pub fn hierarchy(&self) -> &Arc<Hierarchy> {
+        &self.hierarchy
+    }
+
+    /// Domain size |A| (= leaf count).
+    #[inline]
+    pub fn input_len(&self) -> usize {
+        self.hierarchy.leaf_count()
+    }
+
+    /// Number of coefficients `m'` (= node count; over-complete).
+    #[inline]
+    pub fn output_len(&self) -> usize {
+        self.hierarchy.node_count()
+    }
+
+    /// Forward transform: `src.len() == leaf_count`,
+    /// `dst.len() == node_count`; `scratch.len() >= node_count` holds
+    /// leaf-sums.
+    pub fn forward_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        let h = &self.hierarchy;
+        debug_assert_eq!(src.len(), h.leaf_count());
+        debug_assert_eq!(dst.len(), h.node_count());
+        debug_assert!(scratch.len() >= h.node_count());
+        // Leaf-sums bottom-up: reverse level order visits children first.
+        for pos in 0..h.leaf_count() {
+            scratch[h.leaf_node(pos)] = src[pos];
+        }
+        for &id in h.level_order().iter().rev() {
+            if !h.is_leaf(id) {
+                scratch[id] = h.children(id).iter().map(|&c| scratch[c]).sum();
+            }
+        }
+        // Coefficients in level order.
+        for &id in h.level_order() {
+            let pos = h.level_order_pos(id);
+            dst[pos] = match h.parent(id) {
+                None => scratch[id], // base = leaf-sum of the root
+                Some(p) => scratch[id] - scratch[p] / h.fanout(p) as f64,
+            };
+        }
+    }
+
+    /// Forward transform (allocating convenience wrapper).
+    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
+        let mut scratch = vec![0.0f64; self.output_len()];
+        self.forward_scratch(src, dst, &mut scratch);
+    }
+
+    /// Inverse transform (Equation 5): `src.len() == node_count`,
+    /// `dst.len() == leaf_count`; `scratch.len() >= node_count` holds the
+    /// reconstructed leaf-sums.
+    pub fn inverse_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        let h = &self.hierarchy;
+        debug_assert_eq!(src.len(), h.node_count());
+        debug_assert_eq!(dst.len(), h.leaf_count());
+        debug_assert!(scratch.len() >= h.node_count());
+        // Leaf-sums top-down.
+        for &id in h.level_order() {
+            let pos = h.level_order_pos(id);
+            scratch[id] = match h.parent(id) {
+                None => src[pos],
+                Some(p) => src[pos] + scratch[p] / h.fanout(p) as f64,
+            };
+        }
+        for pos in 0..h.leaf_count() {
+            dst[pos] = scratch[h.leaf_node(pos)];
+        }
+    }
+
+    /// Inverse transform (allocating convenience wrapper).
+    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
+        let mut scratch = vec![0.0f64; self.output_len()];
+        self.inverse_scratch(src, dst, &mut scratch);
+    }
+
+    /// The mean-subtraction refinement (§V-B): within every sibling group
+    /// (children of one internal node), subtract the group mean so the
+    /// group sums to zero. Operates on a coefficient lane in level-order
+    /// layout. A no-op on exact coefficients.
+    pub fn mean_subtract(&self, coeffs: &mut [f64]) {
+        let h = &self.hierarchy;
+        debug_assert_eq!(coeffs.len(), h.node_count());
+        for group in h.sibling_groups() {
+            let mean: f64 = group
+                .iter()
+                .map(|&id| coeffs[h.level_order_pos(id)])
+                .sum::<f64>()
+                / group.len() as f64;
+            for &id in group {
+                coeffs[h.level_order_pos(id)] -= mean;
+            }
+        }
+    }
+
+    /// The weight vector `W_Nom` over the level-order coefficient layout:
+    /// base → 1; otherwise `f/(2f−2)` where `f` is the parent's fanout.
+    pub fn weights(&self) -> Vec<f64> {
+        let h = &self.hierarchy;
+        let mut w = vec![0.0f64; h.node_count()];
+        for &id in h.level_order() {
+            let pos = h.level_order_pos(id);
+            w[pos] = match h.parent(id) {
+                None => 1.0,
+                Some(p) => {
+                    let f = h.fanout(p) as f64;
+                    f / (2.0 * f - 2.0)
+                }
+            };
+        }
+        w
+    }
+
+    /// Generalized sensitivity `P(A) = h` (Lemma 4; for non-uniform-depth
+    /// hierarchies this is the maximum leaf depth, which the sensitivity
+    /// achieves at the deepest leaves).
+    pub fn p_value(&self) -> f64 {
+        self.hierarchy.height() as f64
+    }
+
+    /// Per-query variance factor `H(A) = 4` (Lemma 5; requires the
+    /// mean-subtraction refinement).
+    pub fn h_value(&self) -> f64 {
+        4.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_hierarchy::Spec;
+
+    /// The Figure-3 hierarchy and frequency vector M = [9,3,6,2,8,2].
+    fn figure3() -> (Arc<Hierarchy>, [f64; 6]) {
+        let h = Spec::internal(
+            "any",
+            vec![
+                Spec::internal("c1", vec![Spec::leaf("v1"), Spec::leaf("v2"), Spec::leaf("v3")]),
+                Spec::internal("c2", vec![Spec::leaf("v4"), Spec::leaf("v5"), Spec::leaf("v6")]),
+            ],
+        )
+        .build()
+        .unwrap();
+        (Arc::new(h), [9.0, 3.0, 6.0, 2.0, 8.0, 2.0])
+    }
+
+    #[test]
+    fn figure3_coefficients() {
+        let (h, m) = figure3();
+        let t = NominalTransform::new(h);
+        assert_eq!(t.input_len(), 6);
+        assert_eq!(t.output_len(), 9);
+        let mut c = vec![0.0; 9];
+        t.forward(&m, &mut c);
+        // Level order: c0 (base), c1, c2, then the six leaves c3..c8.
+        // Figure 3: c0=30, c1=3, c2=-3, c3..c8 = 3, -3, 0, -2, 4, -2.
+        assert_eq!(c, vec![30.0, 3.0, -3.0, 3.0, -3.0, 0.0, -2.0, 4.0, -2.0]);
+    }
+
+    #[test]
+    fn example3_reconstruction() {
+        // v1 = c3 + c0/2/3 + c1/3 = 3 + 5 + 1 = 9.
+        let (h, m) = figure3();
+        let t = NominalTransform::new(h);
+        let mut c = vec![0.0; 9];
+        t.forward(&m, &mut c);
+        assert_eq!(c[3] + c[0] / 6.0 + c[1] / 3.0, 9.0);
+        let mut back = vec![0.0; 6];
+        t.inverse(&c, &mut back);
+        for (a, b) in m.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn weights_depend_on_parent_fanout() {
+        let (h, _) = figure3();
+        let t = NominalTransform::new(h);
+        let w = t.weights();
+        assert_eq!(w[0], 1.0);
+        // c1, c2 have parent fanout 2 -> 2/(2*2-2) = 1.
+        assert_eq!(w[1], 1.0);
+        assert_eq!(w[2], 1.0);
+        // Leaves have parent fanout 3 -> 3/4.
+        for &leaf_w in &w[3..9] {
+            assert_eq!(leaf_w, 0.75);
+        }
+    }
+
+    #[test]
+    fn sibling_groups_sum_to_zero_exactly() {
+        let (h, m) = figure3();
+        let t = NominalTransform::new(h.clone());
+        let mut c = vec![0.0; 9];
+        t.forward(&m, &mut c);
+        for group in h.sibling_groups() {
+            let s: f64 = group.iter().map(|&id| c[h.level_order_pos(id)]).sum();
+            assert!(s.abs() < 1e-12, "group sums to {s}");
+        }
+    }
+
+    #[test]
+    fn mean_subtraction_is_noop_on_exact_coefficients() {
+        let (h, m) = figure3();
+        let t = NominalTransform::new(h);
+        let mut c = vec![0.0; 9];
+        t.forward(&m, &mut c);
+        let before = c.clone();
+        t.mean_subtract(&mut c);
+        for (a, b) in before.iter().zip(&c) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn mean_subtraction_recenters_noisy_groups() {
+        let (h, m) = figure3();
+        let t = NominalTransform::new(h.clone());
+        let mut c = vec![0.0; 9];
+        t.forward(&m, &mut c);
+        // Perturb one leaf coefficient; its group no longer sums to 0.
+        c[3] += 6.0;
+        t.mean_subtract(&mut c);
+        for group in h.sibling_groups() {
+            let s: f64 = group.iter().map(|&id| c[h.level_order_pos(id)]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+        // The perturbation is spread: c3 got +6 - 2 = +4 relative to exact.
+        assert_eq!(c[3], 3.0 + 4.0);
+        assert_eq!(c[4], -3.0 - 2.0);
+    }
+
+    #[test]
+    fn lemma4_sensitivity_is_exact_for_every_cell() {
+        let (h, _) = figure3();
+        let t = NominalTransform::new(h);
+        let w = t.weights();
+        for cell in 0..6 {
+            let mut unit = vec![0.0; 6];
+            unit[cell] = 1.0;
+            let mut c = vec![0.0; 9];
+            t.forward(&unit, &mut c);
+            let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
+            assert!(
+                (weighted - 3.0).abs() < 1e-9,
+                "cell {cell}: {weighted} (h = 3)"
+            );
+        }
+    }
+
+    #[test]
+    fn uneven_depth_sensitivity_bounded_by_height() {
+        // Root -> (leaf a, internal b -> (leaf c, leaf d)): h = 3.
+        let h = Arc::new(
+            Spec::internal(
+                "root",
+                vec![Spec::leaf("a"), Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")])],
+            )
+            .build()
+            .unwrap(),
+        );
+        let t = NominalTransform::new(h);
+        let w = t.weights();
+        let mut worst: f64 = 0.0;
+        for cell in 0..3 {
+            let mut unit = vec![0.0; 3];
+            unit[cell] = 1.0;
+            let mut c = vec![0.0; t.output_len()];
+            t.forward(&unit, &mut c);
+            let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
+            assert!(weighted <= 3.0 + 1e-9, "cell {cell}: {weighted}");
+            worst = worst.max(weighted);
+        }
+        // The deep leaves achieve the bound; the shallow leaf costs less.
+        assert!((worst - 3.0).abs() < 1e-9);
+        assert_eq!(t.p_value(), 3.0);
+    }
+
+    #[test]
+    fn degenerate_single_leaf() {
+        let h = Arc::new(Spec::leaf("only").build().unwrap());
+        let t = NominalTransform::new(h);
+        assert_eq!(t.input_len(), 1);
+        assert_eq!(t.output_len(), 1);
+        let mut c = vec![0.0];
+        t.forward(&[5.0], &mut c);
+        assert_eq!(c, vec![5.0]);
+        let mut back = vec![0.0];
+        t.inverse(&c, &mut back);
+        assert_eq!(back, vec![5.0]);
+        assert_eq!(t.p_value(), 1.0);
+        assert_eq!(t.weights(), vec![1.0]);
+    }
+
+    #[test]
+    fn flat_hierarchy_roundtrip() {
+        let h = Arc::new(privelet_hierarchy::builder::flat(5).unwrap());
+        let t = NominalTransform::new(h);
+        let src = [1.0, 2.0, 3.0, 4.0, 10.0];
+        let mut c = vec![0.0; t.output_len()];
+        t.forward(&src, &mut c);
+        assert_eq!(c[0], 20.0); // base = total
+        let mut back = vec![0.0; 5];
+        t.inverse(&c, &mut back);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Reference-implementation tests: the fast transforms must agree with
+//! coefficients computed *directly from the paper's definitions*.
+//!
+//! - Haar (§IV-A): "it generates a wavelet coefficient c for each internal
+//!   node N, such that c = (a₁ − a₂)/2, where a₁ (a₂) is the average value
+//!   of the leaves in the left (right) subtree of N"; the base coefficient
+//!   is the mean of all leaves.
+//! - Nominal (§V-A): "The coefficient for the root node is set to the sum
+//!   of all leaves in its subtree ... For any other internal node, its
+//!   coefficient equals its leaf-sum minus the average leaf-sum of its
+//!   parent's children."
+
+use privelet::transform::{HaarTransform, NominalTransform};
+use privelet_hierarchy::builder::random as random_hierarchy;
+use privelet_hierarchy::Hierarchy;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// O(m log m) Haar coefficients straight from the definition, heap layout.
+fn haar_reference(data: &[f64]) -> Vec<f64> {
+    let p = data.len().next_power_of_two();
+    let mut padded = data.to_vec();
+    padded.resize(p, 0.0);
+    let mut coef = vec![0.0; p];
+    coef[0] = padded.iter().sum::<f64>() / p as f64;
+    // Node j (j >= 1) at level floor(log2 j) + 1 covers a segment of
+    // seg_len = p / 2^(level-1) leaves starting at (j - 2^(level-1)) * seg_len.
+    for (j, c) in coef.iter_mut().enumerate().skip(1) {
+        let level_m1 = (usize::BITS - 1 - j.leading_zeros()) as usize; // floor(log2 j)
+        let nodes_at_level = 1usize << level_m1;
+        let seg_len = p / nodes_at_level;
+        let start = (j - nodes_at_level) * seg_len;
+        let half = seg_len / 2;
+        let left: f64 = padded[start..start + half].iter().sum::<f64>() / half as f64;
+        let right: f64 =
+            padded[start + half..start + seg_len].iter().sum::<f64>() / half as f64;
+        *c = 0.5 * (left - right);
+    }
+    coef
+}
+
+/// Leaf-sum of a hierarchy node by explicit traversal.
+fn leaf_sum(h: &Hierarchy, node: usize, data: &[f64]) -> f64 {
+    let (lo, hi) = h.leaf_range(node);
+    data[lo..=hi].iter().sum()
+}
+
+/// Nominal coefficients straight from the definition, level-order layout.
+fn nominal_reference(h: &Hierarchy, data: &[f64]) -> Vec<f64> {
+    let mut coef = vec![0.0; h.node_count()];
+    for &id in h.level_order() {
+        let pos = h.level_order_pos(id);
+        coef[pos] = match h.parent(id) {
+            None => leaf_sum(h, id, data),
+            Some(p) => {
+                let avg: f64 = h
+                    .children(p)
+                    .iter()
+                    .map(|&c| leaf_sum(h, c, data))
+                    .sum::<f64>()
+                    / h.fanout(p) as f64;
+                leaf_sum(h, id, data) - avg
+            }
+        };
+    }
+    coef
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fast Haar == definitional Haar for arbitrary data and lengths.
+    #[test]
+    fn haar_matches_reference(data in prop::collection::vec(-50.0f64..50.0, 1..48)) {
+        let t = HaarTransform::new(data.len());
+        let mut fast = vec![0.0; t.output_len()];
+        t.forward(&data, &mut fast);
+        let reference = haar_reference(&data);
+        prop_assert_eq!(fast.len(), reference.len());
+        for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "coef {i}: {a} vs {b}");
+        }
+    }
+
+    /// Fast nominal == definitional nominal for random hierarchies.
+    #[test]
+    fn nominal_matches_reference(
+        leaves in 1usize..=30,
+        hseed in any::<u64>(),
+    ) {
+        let h = Arc::new(random_hierarchy(leaves, 5, hseed).unwrap());
+        let data: Vec<f64> = (0..leaves).map(|i| ((i * 17) % 29) as f64 - 14.0).collect();
+        let t = NominalTransform::new(h.clone());
+        let mut fast = vec![0.0; t.output_len()];
+        t.forward(&data, &mut fast);
+        let reference = nominal_reference(&h, &data);
+        for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
+            prop_assert!((a - b).abs() < 1e-9, "coef {i}: {a} vs {b}");
+        }
+    }
+
+    /// Equation 3: every entry reconstructs as c0 + Σ gᵢ·cᵢ over its
+    /// decomposition-tree ancestors with signs by subtree side.
+    #[test]
+    fn equation3_reconstruction(data in prop::collection::vec(-50.0f64..50.0, 2..33)) {
+        let t = HaarTransform::new(data.len());
+        let p = t.output_len();
+        let mut coef = vec![0.0; p];
+        t.forward(&data, &mut coef);
+        for (v_idx, &v) in data.iter().enumerate() {
+            let mut acc = coef[0];
+            // Walk from the leaf up: leaf v_idx sits under heap node
+            // (p + v_idx) / 2 at the bottom level, etc.
+            let mut node = p + v_idx;
+            while node > 1 {
+                let parent = node / 2;
+                let sign = if node.is_multiple_of(2) { 1.0 } else { -1.0 };
+                acc += sign * coef[parent];
+                node = parent;
+            }
+            prop_assert!((acc - v).abs() < 1e-9, "entry {v_idx}: {acc} vs {v}");
+        }
+    }
+
+    /// Equation 5: every entry reconstructs as the leaf-sum chain over its
+    /// hierarchy ancestors.
+    #[test]
+    fn equation5_reconstruction(
+        leaves in 1usize..=24,
+        hseed in any::<u64>(),
+    ) {
+        let h = Arc::new(random_hierarchy(leaves, 4, hseed).unwrap());
+        let data: Vec<f64> = (0..leaves).map(|i| ((i * 23) % 31) as f64).collect();
+        let t = NominalTransform::new(h.clone());
+        let mut coef = vec![0.0; t.output_len()];
+        t.forward(&data, &mut coef);
+        for (pos, &datum) in data.iter().enumerate() {
+            let path = h.path_to_leaf(pos);
+            // v = c_{last} + Σ_{i<last} c_i · ∏_{j=i..last-1} 1/f_j.
+            let mut acc = coef[h.level_order_pos(*path.last().unwrap())];
+            for (i, &anc) in path.iter().enumerate().take(path.len() - 1) {
+                let mut scale = 1.0;
+                for &mid in &path[i..path.len() - 1] {
+                    scale /= h.fanout(mid) as f64;
+                }
+                acc += coef[h.level_order_pos(anc)] * scale;
+            }
+            prop_assert!((acc - datum).abs() < 1e-9, "leaf {pos}: {acc} vs {datum}");
+        }
+    }
+}

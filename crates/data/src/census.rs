@@ -1,0 +1,347 @@
+//! Synthetic census-like datasets with the schemas of Table III.
+//!
+//! The paper evaluates on IPUMS-International extracts for Brazil (10M
+//! tuples) and the US (8M tuples) with four attributes:
+//!
+//! | Attribute  | Brazil | US   | Kind    | Hierarchy height |
+//! |------------|--------|------|---------|------------------|
+//! | Age        | 101    | 96   | ordinal | —                |
+//! | Gender     | 2      | 2    | nominal | 2                |
+//! | Occupation | 512    | 511  | nominal | 3                |
+//! | Income     | 1001   | 1020 | ordinal | —                |
+//!
+//! The raw extracts are not redistributable, so this module generates
+//! synthetic tables with identical schemas and realistic, *correlated*,
+//! heavy-tailed marginals (see DESIGN.md §2 for why this preserves the
+//! evaluation's behaviour): a population-pyramid age distribution, a
+//! two-level Zipf occupation distribution (heavy-tailed both across and
+//! within hierarchy groups), and a discretized log-normal income whose
+//! location rises with age band and occupation-group rank.
+
+use crate::distributions::{lognormal_weights, piecewise_weights, zipf_weights, Discrete};
+use crate::schema::{Attribute, Schema};
+use crate::table::Table;
+use crate::{DataError, Result};
+use privelet_hierarchy::builder::three_level;
+use privelet_hierarchy::builder::flat;
+use rand::Rng;
+
+/// Configuration of a census-like dataset.
+#[derive(Debug, Clone)]
+pub struct CensusConfig {
+    /// Dataset label ("brazil", "us", ...).
+    pub name: String,
+    /// Ordinal Age domain size.
+    pub age_size: usize,
+    /// Nominal Occupation domain size (hierarchy height 3).
+    pub occupation_size: usize,
+    /// Number of level-2 groups in the Occupation hierarchy.
+    pub occupation_groups: usize,
+    /// Ordinal Income domain size.
+    pub income_size: usize,
+    /// Number of tuples `n`.
+    pub n_tuples: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl CensusConfig {
+    /// The Brazil dataset of Table III: 10M tuples,
+    /// Age 101 × Gender 2 × Occupation 512 × Income 1001 (m ≈ 1.03×10⁸).
+    pub fn brazil() -> Self {
+        CensusConfig {
+            name: "brazil".into(),
+            age_size: 101,
+            occupation_size: 512,
+            occupation_groups: 22,
+            income_size: 1001,
+            n_tuples: 10_000_000,
+            seed: 0x00B7_A211,
+        }
+    }
+
+    /// The US dataset of Table III: 8M tuples,
+    /// Age 96 × Gender 2 × Occupation 511 × Income 1020 (m ≈ 1.00×10⁸).
+    pub fn us() -> Self {
+        CensusConfig {
+            name: "us".into(),
+            age_size: 96,
+            occupation_size: 511,
+            occupation_groups: 22,
+            income_size: 1020,
+            n_tuples: 8_000_000,
+            seed: 0x0000_5A17,
+        }
+    }
+
+    /// A scaled-down variant preserving the schema *shape* (ordinal/nominal
+    /// mix, hierarchy heights, large-vs-small domain contrast) while
+    /// shrinking `m` and `n` so the full figure sweeps run quickly. Used as
+    /// the default by the benches; `PRIVELET_SCALE=full` restores paper
+    /// scale (see EXPERIMENTS.md).
+    ///
+    /// The Occupation/Income domains stay large enough that the §VII-A
+    /// `SA` rule still selects exactly {Age, Gender} — i.e. Occupation and
+    /// Income remain wavelet-transformed as in the paper. (Income must
+    /// exceed `P²·H = 726` for its padded 1024-value domain to stay out of
+    /// `SA`, hence 751.)
+    pub fn scaled(mut self) -> Self {
+        self.name = format!("{}-scaled", self.name);
+        self.occupation_size = 256;
+        self.occupation_groups = 16;
+        self.income_size = 751;
+        self.n_tuples = (self.n_tuples / 10).max(1);
+        self
+    }
+
+    /// The schema: Age (ordinal), Gender (nominal, flat), Occupation
+    /// (nominal, 3 levels), Income (ordinal).
+    pub fn schema(&self) -> Result<Schema> {
+        let gender = flat(2).map_err(|e| DataError::BadConfig(e.to_string()))?;
+        let occupation = three_level(self.occupation_size, self.occupation_groups)
+            .map_err(|e| DataError::BadConfig(e.to_string()))?;
+        Schema::new(vec![
+            Attribute::ordinal("Age", self.age_size),
+            Attribute::nominal("Gender", gender),
+            Attribute::nominal("Occupation", occupation),
+            Attribute::ordinal("Income", self.income_size),
+        ])
+    }
+
+    /// Total cell count of the frequency matrix.
+    pub fn cell_count(&self) -> usize {
+        self.age_size * 2 * self.occupation_size * self.income_size
+    }
+}
+
+/// Index of the Age attribute in the census schema.
+pub const AGE: usize = 0;
+/// Index of the Gender attribute in the census schema.
+pub const GENDER: usize = 1;
+/// Index of the Occupation attribute in the census schema.
+pub const OCCUPATION: usize = 2;
+/// Index of the Income attribute in the census schema.
+pub const INCOME: usize = 3;
+
+/// Number of coarse age bands used to correlate income with age.
+const AGE_BANDS: usize = 5;
+
+/// Generates a census-like table for `cfg`.
+pub fn generate(cfg: &CensusConfig) -> Result<Table> {
+    let schema = cfg.schema()?;
+    let mut rng = privelet_noise::derive_rng(cfg.seed, 0);
+
+    // Age: population pyramid — per-year weight decreasing in coarse steps.
+    let seg = cfg.age_size / 6;
+    let age_dist = Discrete::new(&piecewise_weights(&[
+        (seg, 1.00),
+        (seg, 0.95),
+        (seg, 0.85),
+        (seg, 0.65),
+        (seg, 0.40),
+        (cfg.age_size - 5 * seg, 0.18),
+    ]))?;
+
+    // Occupation: two-level Zipf. Group popularity is Zipf(0.8) over the
+    // hierarchy's level-2 groups; within-group popularity is Zipf(1.2).
+    // This makes subtree (hierarchy-node) queries heavy-tailed at both
+    // granularities, mirroring real occupation tables.
+    let group_sizes = occupation_group_sizes(cfg.occupation_size, cfg.occupation_groups);
+    let group_w = zipf_weights(cfg.occupation_groups, 0.8);
+    let mut occ_weights = Vec::with_capacity(cfg.occupation_size);
+    for (g, &gs) in group_sizes.iter().enumerate() {
+        let inner = zipf_weights(gs, 1.2);
+        let inner_total: f64 = inner.iter().sum();
+        for wi in inner {
+            occ_weights.push(group_w[g] * wi / inner_total);
+        }
+    }
+    let occ_dist = Discrete::new(&occ_weights)?;
+    // Map each occupation value to its group rank for income correlation.
+    let mut occ_group = Vec::with_capacity(cfg.occupation_size);
+    for (g, &gs) in group_sizes.iter().enumerate() {
+        occ_group.extend(std::iter::repeat_n(g, gs));
+    }
+
+    // Income: per (age band, occupation-group tier) discretized log-normal.
+    // Location mu rises with age band (earnings peak mid-career) and falls
+    // with occupation-group rank (popular groups skew lower-paid).
+    let log_max = (cfg.income_size as f64).ln();
+    let tiers = 3usize;
+    let mut income_dists = Vec::with_capacity(AGE_BANDS * tiers);
+    for band in 0..AGE_BANDS {
+        for tier in 0..tiers {
+            let band_boost = match band {
+                0 => -0.8,
+                1 => 0.0,
+                2 => 0.3,
+                3 => 0.35,
+                _ => -0.1,
+            };
+            let mu = log_max * 0.55 + band_boost - 0.35 * tier as f64;
+            income_dists.push(Discrete::new(&lognormal_weights(cfg.income_size, mu, 0.8))?);
+        }
+    }
+    let tier_of_group = |g: usize| -> usize {
+        // First few (most popular) groups are tier 2 (lower pay), middle
+        // tier 1, rare groups tier 0.
+        if g < cfg.occupation_groups / 4 {
+            2
+        } else if g < cfg.occupation_groups / 2 {
+            1
+        } else {
+            0
+        }
+    };
+
+    let mut table = Table::with_capacity(schema, cfg.n_tuples);
+    let mut row = [0u32; 4];
+    for _ in 0..cfg.n_tuples {
+        let age = age_dist.sample(&mut rng);
+        let gender = u32::from(rng.random::<f64>() < 0.49);
+        let occ = occ_dist.sample(&mut rng);
+        let band = (age * AGE_BANDS / cfg.age_size).min(AGE_BANDS - 1);
+        let tier = tier_of_group(occ_group[occ]);
+        let income = income_dists[band * tiers + tier].sample(&mut rng);
+        row[AGE] = age as u32;
+        row[GENDER] = gender;
+        row[OCCUPATION] = occ as u32;
+        row[INCOME] = income as u32;
+        table.push_row_unchecked(&row);
+    }
+    Ok(table)
+}
+
+/// Sizes of the occupation hierarchy's level-2 groups, matching
+/// [`three_level`]'s even distribution (sizes differ by at most one).
+fn occupation_group_sizes(leaves: usize, groups: usize) -> Vec<usize> {
+    let base = leaves / groups;
+    let extra = leaves % groups;
+    (0..groups).map(|g| base + usize::from(g < extra)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::FrequencyMatrix;
+
+    fn tiny(cfg: CensusConfig) -> CensusConfig {
+        CensusConfig { n_tuples: 20_000, ..cfg }
+    }
+
+    #[test]
+    fn brazil_schema_matches_table_iii() {
+        let cfg = CensusConfig::brazil();
+        let schema = cfg.schema().unwrap();
+        assert_eq!(schema.dims(), vec![101, 2, 512, 1001]);
+        let occ = schema.attr(OCCUPATION).domain().hierarchy().unwrap();
+        assert_eq!(occ.height(), 3);
+        let gen = schema.attr(GENDER).domain().hierarchy().unwrap();
+        assert_eq!(gen.height(), 2);
+        assert_eq!(cfg.cell_count(), 101 * 2 * 512 * 1001);
+    }
+
+    #[test]
+    fn us_schema_matches_table_iii() {
+        let schema = CensusConfig::us().schema().unwrap();
+        assert_eq!(schema.dims(), vec![96, 2, 511, 1020]);
+        assert_eq!(
+            schema
+                .attr(OCCUPATION)
+                .domain()
+                .hierarchy()
+                .unwrap()
+                .height(),
+            3
+        );
+    }
+
+    #[test]
+    fn scaled_preserves_shape() {
+        let cfg = CensusConfig::brazil().scaled();
+        let schema = cfg.schema().unwrap();
+        assert_eq!(schema.arity(), 4);
+        assert_eq!(
+            schema
+                .attr(OCCUPATION)
+                .domain()
+                .hierarchy()
+                .unwrap()
+                .height(),
+            3
+        );
+        // m shrinks ~2.7x (memory) and n shrinks 10x (generation time).
+        assert!(cfg.cell_count() * 2 < CensusConfig::brazil().cell_count());
+        assert_eq!(cfg.n_tuples * 10, CensusConfig::brazil().n_tuples);
+    }
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = tiny(CensusConfig::brazil().scaled());
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        for attr in 0..4 {
+            assert_eq!(a.column(attr), b.column(attr));
+        }
+    }
+
+    #[test]
+    fn generate_covers_domains_without_escaping() {
+        let cfg = tiny(CensusConfig::us().scaled());
+        let t = generate(&cfg).unwrap();
+        assert_eq!(t.len(), cfg.n_tuples);
+        let schema = t.schema();
+        for attr in 0..4 {
+            let size = schema.attr(attr).size() as u32;
+            assert!(t.column(attr).iter().all(|&v| v < size));
+        }
+        // Both genders appear with sane frequency.
+        let females = t.column(GENDER).iter().filter(|&&v| v == 1).count();
+        let frac = females as f64 / t.len() as f64;
+        assert!((0.4..0.6).contains(&frac), "gender fraction {frac}");
+    }
+
+    #[test]
+    fn occupation_distribution_is_heavy_tailed() {
+        let cfg = tiny(CensusConfig::brazil().scaled());
+        let t = generate(&cfg).unwrap();
+        let fm = FrequencyMatrix::from_table(&t).unwrap();
+        // Marginal over occupation: popular occupations dominate.
+        let mut occ_counts = vec![0f64; cfg.occupation_size];
+        for &v in t.column(OCCUPATION) {
+            occ_counts[v as usize] += 1.0;
+        }
+        occ_counts.sort_by(|a, b| b.partial_cmp(a).unwrap());
+        let top10: f64 = occ_counts[..10].iter().sum();
+        assert!(
+            top10 > 0.3 * t.len() as f64,
+            "top-10 occupations carry {top10} of {}",
+            t.len()
+        );
+        assert_eq!(fm.total(), t.len() as f64);
+    }
+
+    #[test]
+    fn income_correlates_with_age_band() {
+        let mut cfg = tiny(CensusConfig::brazil().scaled());
+        cfg.n_tuples = 60_000;
+        let t = generate(&cfg).unwrap();
+        // Mean income of prime-age adults should exceed the youngest band.
+        let (mut young_sum, mut young_n, mut prime_sum, mut prime_n) = (0.0, 0u64, 0.0, 0u64);
+        for i in 0..t.len() {
+            let age = t.column(AGE)[i] as usize;
+            let income = t.column(INCOME)[i] as f64;
+            let band = age * AGE_BANDS / cfg.age_size;
+            if band == 0 {
+                young_sum += income;
+                young_n += 1;
+            } else if band == 2 {
+                prime_sum += income;
+                prime_n += 1;
+            }
+        }
+        let young = young_sum / young_n as f64;
+        let prime = prime_sum / prime_n as f64;
+        assert!(prime > 1.5 * young, "prime {prime} vs young {young}");
+    }
+}

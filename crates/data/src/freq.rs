@@ -1,0 +1,147 @@
+//! Frequency matrices: the lowest level of the data cube of `T` (§II-B).
+
+use crate::schema::Schema;
+use crate::table::Table;
+use crate::{DataError, Result};
+use privelet_matrix::NdMatrix;
+
+/// A d-dimensional matrix paired with the schema describing its dimensions.
+///
+/// Dimension `i` is indexed by the values of attribute `Aᵢ`; the cell at
+/// `⟨x₁,…,x_d⟩` holds the number of tuples equal to that value vector. The
+/// same type carries *noisy* matrices published by the mechanisms (cells
+/// are then real-valued).
+#[derive(Debug, Clone)]
+pub struct FrequencyMatrix {
+    schema: Schema,
+    matrix: NdMatrix,
+}
+
+impl FrequencyMatrix {
+    /// Builds the exact frequency matrix of a table in O(n + m).
+    pub fn from_table(table: &Table) -> Result<Self> {
+        let schema = table.schema().clone();
+        let mut matrix = NdMatrix::zeros(&schema.dims()).map_err(|_| DataError::TooManyCells)?;
+        let strides = matrix.shape().strides().to_vec();
+        let data = matrix.as_mut_slice();
+        let d = schema.arity();
+        // Column-wise accumulation of each tuple's linear index avoids
+        // materializing row buffers.
+        let mut linear = vec![0usize; table.len()];
+        for (attr, &stride) in strides.iter().enumerate().take(d) {
+            for (acc, &v) in linear.iter_mut().zip(table.column(attr)) {
+                *acc += v as usize * stride;
+            }
+        }
+        for idx in linear {
+            data[idx] += 1.0;
+        }
+        Ok(FrequencyMatrix { schema, matrix })
+    }
+
+    /// Wraps an existing matrix, validating that its dimensions match the
+    /// schema.
+    pub fn from_parts(schema: Schema, matrix: NdMatrix) -> Result<Self> {
+        if schema.dims() != matrix.dims() {
+            return Err(DataError::ShapeMismatch);
+        }
+        Ok(FrequencyMatrix { schema, matrix })
+    }
+
+    /// The schema describing the dimensions.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &NdMatrix {
+        &self.matrix
+    }
+
+    /// Mutable access to the underlying matrix (used by mechanisms and
+    /// post-processing; shape is preserved by construction).
+    pub fn matrix_mut(&mut self) -> &mut NdMatrix {
+        &mut self.matrix
+    }
+
+    /// Consumes self, returning schema and matrix.
+    pub fn into_parts(self) -> (Schema, NdMatrix) {
+        (self.schema, self.matrix)
+    }
+
+    /// Total count (equals `n` for an exact matrix).
+    pub fn total(&self) -> f64 {
+        self.matrix.total()
+    }
+
+    /// Number of cells `m`.
+    pub fn cell_count(&self) -> usize {
+        self.matrix.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::medical::medical_example;
+    use crate::schema::{Attribute, Schema};
+
+    #[test]
+    fn medical_example_matches_table_ii() {
+        let table = medical_example();
+        let fm = FrequencyMatrix::from_table(&table).unwrap();
+        // Table II: rows = age groups <30,30-39,40-49,50-59,>=60;
+        // columns = {Yes, No}.
+        let expect = [
+            [0.0, 2.0],
+            [0.0, 1.0],
+            [1.0, 2.0],
+            [0.0, 1.0],
+            [1.0, 0.0],
+        ];
+        for (age, row) in expect.iter().enumerate() {
+            for (dia, &count) in row.iter().enumerate() {
+                assert_eq!(
+                    fm.matrix().get(&[age, dia]).unwrap(),
+                    count,
+                    "cell ({age},{dia})"
+                );
+            }
+        }
+        assert_eq!(fm.total(), 8.0);
+        assert_eq!(fm.cell_count(), 10);
+    }
+
+    #[test]
+    fn empty_table_gives_zero_matrix() {
+        let schema =
+            Schema::new(vec![Attribute::ordinal("a", 4), Attribute::ordinal("b", 3)]).unwrap();
+        let fm = FrequencyMatrix::from_table(&Table::new(schema)).unwrap();
+        assert_eq!(fm.total(), 0.0);
+        assert_eq!(fm.cell_count(), 12);
+    }
+
+    #[test]
+    fn from_parts_validates_shape() {
+        let schema = Schema::new(vec![Attribute::ordinal("a", 4)]).unwrap();
+        let ok = NdMatrix::zeros(&[4]).unwrap();
+        assert!(FrequencyMatrix::from_parts(schema.clone(), ok).is_ok());
+        let bad = NdMatrix::zeros(&[5]).unwrap();
+        assert_eq!(
+            FrequencyMatrix::from_parts(schema, bad).unwrap_err(),
+            DataError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn counts_accumulate_duplicates() {
+        let schema = Schema::new(vec![Attribute::ordinal("a", 2)]).unwrap();
+        let mut t = Table::new(schema);
+        for _ in 0..5 {
+            t.push_row(&[1]).unwrap();
+        }
+        t.push_row(&[0]).unwrap();
+        let fm = FrequencyMatrix::from_table(&t).unwrap();
+        assert_eq!(fm.matrix().as_slice(), &[1.0, 5.0]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Columnar relational tables.
+
+use crate::schema::Schema;
+use crate::{DataError, Result};
+
+/// A relational table `T`: one `u32` value per attribute per tuple, stored
+/// column-wise.
+///
+/// Values are domain indices: for ordinal attributes the natural order, for
+/// nominal attributes the leaf position in the hierarchy's traversal order.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: Schema,
+    columns: Vec<Vec<u32>>,
+    len: usize,
+}
+
+impl Table {
+    /// An empty table over `schema`.
+    pub fn new(schema: Schema) -> Self {
+        let columns = vec![Vec::new(); schema.arity()];
+        Table { schema, columns, len: 0 }
+    }
+
+    /// An empty table with row capacity pre-reserved.
+    pub fn with_capacity(schema: Schema, rows: usize) -> Self {
+        let columns = (0..schema.arity()).map(|_| Vec::with_capacity(rows)).collect();
+        Table { schema, columns, len: 0 }
+    }
+
+    /// The table's schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of tuples `n`.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the table has no tuples.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends one tuple, validating arity and domain bounds.
+    pub fn push_row(&mut self, values: &[u32]) -> Result<()> {
+        if values.len() != self.schema.arity() {
+            return Err(DataError::WrongArity { expected: self.schema.arity(), got: values.len() });
+        }
+        for (i, &v) in values.iter().enumerate() {
+            let size = self.schema.attr(i).size();
+            if (v as usize) >= size {
+                return Err(DataError::ValueOutOfDomain {
+                    attr: self.schema.attr(i).name().to_string(),
+                    value: v,
+                    size,
+                });
+            }
+        }
+        for (col, &v) in self.columns.iter_mut().zip(values) {
+            col.push(v);
+        }
+        self.len += 1;
+        Ok(())
+    }
+
+    /// Appends one tuple without bounds checks (debug-asserted). Generators
+    /// that sample directly from the domain use this on their hot path.
+    pub fn push_row_unchecked(&mut self, values: &[u32]) {
+        debug_assert_eq!(values.len(), self.schema.arity());
+        for (i, (col, &v)) in self.columns.iter_mut().zip(values).enumerate() {
+            debug_assert!(
+                (v as usize) < self.schema.attr(i).size(),
+                "value {v} out of domain for attribute {i}"
+            );
+            col.push(v);
+        }
+        self.len += 1;
+    }
+
+    /// Builds a table from row iterator, validating each row.
+    pub fn from_rows<'a>(
+        schema: Schema,
+        rows: impl IntoIterator<Item = &'a [u32]>,
+    ) -> Result<Self> {
+        let mut t = Table::new(schema);
+        for row in rows {
+            t.push_row(row)?;
+        }
+        Ok(t)
+    }
+
+    /// A whole column.
+    pub fn column(&self, attr: usize) -> &[u32] {
+        &self.columns[attr]
+    }
+
+    /// Reads row `i` into `buf`.
+    pub fn row(&self, i: usize, buf: &mut Vec<u32>) {
+        buf.clear();
+        buf.extend(self.columns.iter().map(|c| c[i]));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::Attribute;
+
+    fn schema() -> Schema {
+        Schema::new(vec![Attribute::ordinal("a", 3), Attribute::ordinal("b", 2)]).unwrap()
+    }
+
+    #[test]
+    fn push_and_read_rows() {
+        let mut t = Table::new(schema());
+        t.push_row(&[0, 1]).unwrap();
+        t.push_row(&[2, 0]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        assert_eq!(t.column(0), &[0, 2]);
+        assert_eq!(t.column(1), &[1, 0]);
+        let mut buf = Vec::new();
+        t.row(1, &mut buf);
+        assert_eq!(buf, vec![2, 0]);
+    }
+
+    #[test]
+    fn rejects_bad_rows() {
+        let mut t = Table::new(schema());
+        assert_eq!(
+            t.push_row(&[0]).unwrap_err(),
+            DataError::WrongArity { expected: 2, got: 1 }
+        );
+        assert_eq!(
+            t.push_row(&[3, 0]).unwrap_err(),
+            DataError::ValueOutOfDomain { attr: "a".into(), value: 3, size: 3 }
+        );
+        assert_eq!(t.len(), 0, "failed pushes must not grow the table");
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows: Vec<[u32; 2]> = vec![[0, 0], [1, 1], [2, 1]];
+        let t = Table::from_rows(schema(), rows.iter().map(|r| r.as_slice())).unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.column(0), &[0, 1, 2]);
+    }
+
+    #[test]
+    fn with_capacity_behaves_like_new() {
+        let mut t = Table::with_capacity(schema(), 100);
+        assert!(t.is_empty());
+        t.push_row(&[1, 1]).unwrap();
+        assert_eq!(t.len(), 1);
+    }
+}

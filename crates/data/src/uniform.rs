@@ -1,0 +1,141 @@
+//! Uniform synthetic datasets for the computation-time experiments (§VII-B).
+//!
+//! The paper's timing datasets have two ordinal and two nominal attributes,
+//! each with domain size `m^(1/4)`; each nominal attribute has a
+//! three-level hierarchy with `√|A|` level-2 nodes; tuple values are
+//! uniformly distributed. Figures 10 and 11 sweep `n` and `m` over these
+//! datasets.
+
+use crate::schema::{Attribute, Schema};
+use crate::table::Table;
+use crate::{DataError, Result};
+use privelet_hierarchy::builder::{flat, three_level};
+use rand::Rng;
+
+/// Configuration of a timing dataset.
+#[derive(Debug, Clone)]
+pub struct TimingConfig {
+    /// Per-attribute domain size `|A|`; the matrix has `|A|⁴` cells.
+    pub attr_size: usize,
+    /// Number of tuples `n`.
+    pub n_tuples: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl TimingConfig {
+    /// Builds a config whose per-attribute size is `round(m_target^(1/4))`,
+    /// the paper's `|A| = m^(1/4)` rule.
+    pub fn with_total_cells(m_target: usize, n_tuples: usize, seed: u64) -> Self {
+        let attr_size = (m_target as f64).powf(0.25).round().max(2.0) as usize;
+        TimingConfig { attr_size, n_tuples, seed }
+    }
+
+    /// Actual total cell count `m = |A|⁴`.
+    pub fn cell_count(&self) -> usize {
+        self.attr_size.pow(4)
+    }
+
+    /// The schema: two ordinal attributes (`O1`, `O2`) and two nominal
+    /// attributes (`N1`, `N2`) with three-level hierarchies of `√|A|`
+    /// level-2 nodes (flat hierarchies for domains too small to split).
+    pub fn schema(&self) -> Result<Schema> {
+        let a = self.attr_size;
+        if a < 2 {
+            return Err(DataError::BadConfig(format!("attr_size {a} < 2")));
+        }
+        let nominal = || {
+            let groups = (a as f64).sqrt().round() as usize;
+            if groups >= 2 && a >= 2 * groups {
+                three_level(a, groups).map_err(|e| DataError::BadConfig(e.to_string()))
+            } else {
+                flat(a).map_err(|e| DataError::BadConfig(e.to_string()))
+            }
+        };
+        Schema::new(vec![
+            Attribute::ordinal("O1", a),
+            Attribute::ordinal("O2", a),
+            Attribute::nominal("N1", nominal()?),
+            Attribute::nominal("N2", nominal()?),
+        ])
+    }
+}
+
+/// Generates a uniform table for `cfg`.
+pub fn generate(cfg: &TimingConfig) -> Result<Table> {
+    let schema = cfg.schema()?;
+    let mut rng = privelet_noise::derive_rng(cfg.seed, 1);
+    let a = cfg.attr_size as u32;
+    let mut table = Table::with_capacity(schema, cfg.n_tuples);
+    let mut row = [0u32; 4];
+    for _ in 0..cfg.n_tuples {
+        for slot in &mut row {
+            *slot = rng.random_range(0..a);
+        }
+        table.push_row_unchecked(&row);
+    }
+    Ok(table)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_total_cells_rounds_fourth_root() {
+        let cfg = TimingConfig::with_total_cells(1 << 24, 1000, 1);
+        assert_eq!(cfg.attr_size, 64);
+        assert_eq!(cfg.cell_count(), 1 << 24);
+        let cfg22 = TimingConfig::with_total_cells(1 << 22, 1000, 1);
+        assert_eq!(cfg22.attr_size, 45); // 2^5.5 ≈ 45.25
+    }
+
+    #[test]
+    fn schema_matches_paper_spec() {
+        let cfg = TimingConfig { attr_size: 64, n_tuples: 10, seed: 1 };
+        let schema = cfg.schema().unwrap();
+        assert_eq!(schema.dims(), vec![64, 64, 64, 64]);
+        assert!(schema.attr(0).is_ordinal());
+        assert!(schema.attr(1).is_ordinal());
+        let h = schema.attr(2).domain().hierarchy().unwrap();
+        assert_eq!(h.height(), 3);
+        assert_eq!(h.nodes_at_level(2).len(), 8); // √64
+    }
+
+    #[test]
+    fn tiny_domains_fall_back_to_flat() {
+        let cfg = TimingConfig { attr_size: 3, n_tuples: 10, seed: 1 };
+        let schema = cfg.schema().unwrap();
+        let h = schema.attr(2).domain().hierarchy().unwrap();
+        assert_eq!(h.height(), 2);
+        assert!(TimingConfig { attr_size: 1, n_tuples: 1, seed: 1 }.schema().is_err());
+    }
+
+    #[test]
+    fn values_are_roughly_uniform() {
+        let cfg = TimingConfig { attr_size: 8, n_tuples: 80_000, seed: 7 };
+        let t = generate(&cfg).unwrap();
+        assert_eq!(t.len(), cfg.n_tuples);
+        for attr in 0..4 {
+            let mut counts = [0usize; 8];
+            for &v in t.column(attr) {
+                counts[v as usize] += 1;
+            }
+            let expected = cfg.n_tuples as f64 / 8.0;
+            for (v, &c) in counts.iter().enumerate() {
+                let rel = (c as f64 - expected).abs() / expected;
+                assert!(rel < 0.1, "attr {attr} value {v}: count {c} vs {expected}");
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let cfg = TimingConfig { attr_size: 5, n_tuples: 500, seed: 42 };
+        let a = generate(&cfg).unwrap();
+        let b = generate(&cfg).unwrap();
+        assert_eq!(a.column(3), b.column(3));
+        let other = generate(&TimingConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a.column(3), other.column(3));
+    }
+}

@@ -1,0 +1,91 @@
+//! Property tests for the data layer.
+
+use privelet_data::census::{self, CensusConfig};
+use privelet_data::schema::{Attribute, Schema};
+use privelet_data::uniform::{self, TimingConfig};
+use privelet_data::{FrequencyMatrix, Table};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The frequency matrix of any table counts every tuple exactly once,
+    /// cell-by-cell.
+    #[test]
+    fn frequency_matrix_counts_everything(
+        dims in prop::collection::vec(1usize..=6, 1..=3),
+        rows in prop::collection::vec(any::<u32>(), 0..200),
+    ) {
+        let attrs: Vec<Attribute> = dims
+            .iter()
+            .enumerate()
+            .map(|(i, &n)| Attribute::ordinal(format!("a{i}"), n))
+            .collect();
+        let schema = Schema::new(attrs).unwrap();
+        let mut table = Table::new(schema.clone());
+        let mut expected =
+            std::collections::HashMap::<Vec<u32>, f64>::new();
+        for r in &rows {
+            let tuple: Vec<u32> =
+                dims.iter().enumerate().map(|(j, &n)| (r >> (j * 8)) % n as u32).collect();
+            table.push_row(&tuple).unwrap();
+            *expected.entry(tuple).or_insert(0.0) += 1.0;
+        }
+        let fm = FrequencyMatrix::from_table(&table).unwrap();
+        prop_assert_eq!(fm.total(), rows.len() as f64);
+        for (tuple, count) in expected {
+            let coords: Vec<usize> = tuple.iter().map(|&v| v as usize).collect();
+            prop_assert_eq!(fm.matrix().get(&coords).unwrap(), count);
+        }
+    }
+
+    /// Census generation respects domains and tuple counts for random
+    /// (feasible) configurations, deterministically per seed.
+    #[test]
+    fn census_generator_is_sound(
+        age in 12usize..=40,
+        occ_groups in 2usize..=5,
+        occ_per_group in 2usize..=6,
+        income in 10usize..=60,
+        n in 100usize..=2000,
+        seed in any::<u64>(),
+    ) {
+        let cfg = CensusConfig {
+            name: "prop".into(),
+            age_size: age,
+            occupation_size: occ_groups * occ_per_group,
+            occupation_groups: occ_groups,
+            income_size: income,
+            n_tuples: n,
+            seed,
+        };
+        let t1 = census::generate(&cfg).unwrap();
+        let t2 = census::generate(&cfg).unwrap();
+        prop_assert_eq!(t1.len(), n);
+        let schema = t1.schema();
+        for attr in 0..schema.arity() {
+            let size = schema.attr(attr).size() as u32;
+            prop_assert!(t1.column(attr).iter().all(|&v| v < size));
+            prop_assert_eq!(t1.column(attr), t2.column(attr));
+        }
+    }
+
+    /// The timing dataset generator matches its own schema for any target.
+    #[test]
+    fn uniform_generator_is_sound(
+        m_exp in 8u32..=16,
+        n in 10usize..=500,
+        seed in any::<u64>(),
+    ) {
+        let cfg = TimingConfig::with_total_cells(1usize << m_exp, n, seed);
+        let table = uniform::generate(&cfg).unwrap();
+        prop_assert_eq!(table.len(), n);
+        let schema = table.schema();
+        prop_assert_eq!(schema.arity(), 4);
+        prop_assert_eq!(schema.cell_count(), cfg.cell_count());
+        for attr in 0..4 {
+            let size = schema.attr(attr).size() as u32;
+            prop_assert!(table.column(attr).iter().all(|&v| v < size));
+        }
+    }
+}

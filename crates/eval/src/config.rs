@@ -1,0 +1,176 @@
+//! Experiment configurations.
+
+use privelet_data::census::CensusConfig;
+use privelet_query::WorkloadConfig;
+
+/// The ε sweep of Figures 6–9.
+pub const PAPER_EPSILONS: [f64; 4] = [0.5, 0.75, 1.0, 1.25];
+
+/// Experiment scale.
+///
+/// `Scaled` keeps the schema *shape* of Table III while shrinking the
+/// Occupation/Income domains and the tuple count so a full figure sweep
+/// runs in minutes on a laptop; `Full` is the paper's scale
+/// (m ≈ 10⁸ cells, n = 8–10M tuples). Both run the identical code path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced domains (default for `cargo bench`).
+    Scaled,
+    /// The paper's Table III domains.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the `PRIVELET_SCALE` environment variable
+    /// (`full` → [`Scale::Full`]; anything else → [`Scale::Scaled`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("PRIVELET_SCALE") {
+            Ok(v) if v.eq_ignore_ascii_case("full") => Scale::Full,
+            _ => Scale::Scaled,
+        }
+    }
+
+    /// Applies the scale to a census config.
+    pub fn apply(self, cfg: CensusConfig) -> CensusConfig {
+        match self {
+            Scale::Full => cfg,
+            Scale::Scaled => cfg.scaled(),
+        }
+    }
+}
+
+/// Configuration of one accuracy experiment (one dataset, all ε values).
+#[derive(Debug, Clone)]
+pub struct AccuracyConfig {
+    /// Dataset generator config.
+    pub census: CensusConfig,
+    /// Privacy budgets to sweep (one figure panel each).
+    pub epsilons: Vec<f64>,
+    /// Workload generator config.
+    pub workload: WorkloadConfig,
+    /// Number of quantile buckets (the paper uses quintiles).
+    pub n_buckets: usize,
+    /// Noisy publishes averaged per (mechanism, ε). The paper plots a
+    /// single publish; >1 reduces run-to-run wobble of the series.
+    pub trials: usize,
+    /// Master seed for noise (dataset/workload seeds live in their
+    /// sub-configs).
+    pub seed: u64,
+}
+
+impl AccuracyConfig {
+    /// The Brazil experiment of Figures 6 and 8.
+    pub fn brazil(scale: Scale) -> Self {
+        AccuracyConfig {
+            census: scale.apply(CensusConfig::brazil()),
+            epsilons: PAPER_EPSILONS.to_vec(),
+            workload: WorkloadConfig::paper(0xB12A),
+            n_buckets: 5,
+            trials: 1,
+            seed: 0x000F_1606,
+        }
+    }
+
+    /// The US experiment of Figures 7 and 9.
+    pub fn us(scale: Scale) -> Self {
+        AccuracyConfig {
+            census: scale.apply(CensusConfig::us()),
+            epsilons: PAPER_EPSILONS.to_vec(),
+            workload: WorkloadConfig::paper(0x05A2),
+            n_buckets: 5,
+            trials: 1,
+            seed: 0x000F_1607,
+        }
+    }
+
+    /// Shrinks the experiment for fast tests: fewer queries, fewer tuples.
+    pub fn tiny(mut self) -> Self {
+        self.census.n_tuples = self.census.n_tuples.min(50_000);
+        self.workload.n_queries = 2_000;
+        self
+    }
+}
+
+/// Configuration of the timing sweeps (§VII-B).
+#[derive(Debug, Clone)]
+pub struct TimingSweepConfig {
+    /// Tuple counts for the n-sweep (Figure 10).
+    pub n_values: Vec<usize>,
+    /// Fixed cell-count target for the n-sweep.
+    pub m_for_n_sweep: usize,
+    /// Cell-count targets for the m-sweep (Figure 11).
+    pub m_values: Vec<usize>,
+    /// Fixed tuple count for the m-sweep.
+    pub n_for_m_sweep: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl TimingSweepConfig {
+    /// The paper's sweeps: Fig 10 fixes m = 2²⁴ and sweeps n = 1M..5M;
+    /// Fig 11 fixes n = 5M and sweeps m = 2²²..2²⁶. `Scaled` divides the
+    /// tuple counts by 10 and caps m at 2²⁴ so the sweep finishes quickly.
+    pub fn paper(scale: Scale) -> Self {
+        match scale {
+            Scale::Full => TimingSweepConfig {
+                n_values: (1..=5).map(|k| k * 1_000_000).collect(),
+                m_for_n_sweep: 1 << 24,
+                m_values: (22..=26).map(|e| 1usize << e).collect(),
+                n_for_m_sweep: 5_000_000,
+                seed: 0x71A1,
+            },
+            Scale::Scaled => TimingSweepConfig {
+                // Keep the paper's n range but shrink m so the O(n) term
+                // stays visible in the n-sweep (at the paper's m = 2^24 the
+                // per-cell work would dominate these n values on this
+                // machine, flattening the line).
+                n_values: (1..=5).map(|k| k * 1_000_000).collect(),
+                m_for_n_sweep: 1 << 18,
+                m_values: (18..=24).step_by(2).map(|e| 1usize << e).collect(),
+                n_for_m_sweep: 500_000,
+                seed: 0x71A1,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_scaled() {
+        // The test environment does not set PRIVELET_SCALE=full.
+        if std::env::var("PRIVELET_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Scaled);
+        }
+    }
+
+    #[test]
+    fn brazil_config_matches_paper_shape() {
+        let cfg = AccuracyConfig::brazil(Scale::Full);
+        assert_eq!(cfg.epsilons, vec![0.5, 0.75, 1.0, 1.25]);
+        assert_eq!(cfg.workload.n_queries, 40_000);
+        assert_eq!(cfg.n_buckets, 5);
+        assert_eq!(cfg.census.n_tuples, 10_000_000);
+        let scaled = AccuracyConfig::brazil(Scale::Scaled);
+        assert!(scaled.census.n_tuples < cfg.census.n_tuples);
+    }
+
+    #[test]
+    fn tiny_shrinks_workload() {
+        let cfg = AccuracyConfig::us(Scale::Scaled).tiny();
+        assert!(cfg.census.n_tuples <= 50_000);
+        assert_eq!(cfg.workload.n_queries, 2_000);
+    }
+
+    #[test]
+    fn timing_sweeps_match_paper() {
+        let full = TimingSweepConfig::paper(Scale::Full);
+        assert_eq!(full.n_values.len(), 5);
+        assert_eq!(full.m_values, vec![1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26]);
+        assert_eq!(full.n_for_m_sweep, 5_000_000);
+        let scaled = TimingSweepConfig::paper(Scale::Scaled);
+        assert!(scaled.m_values.iter().max() < full.m_values.iter().max());
+    }
+}

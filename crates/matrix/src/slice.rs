@@ -1,0 +1,219 @@
+//! Sub-matrix extraction and marginalization.
+//!
+//! Privelet⁺'s Figure-5 formulation splits the frequency matrix into
+//! sub-matrices along the `SA` dimensions; OLAP roll-ups are marginals
+//! (sums over dimensions). Both are generic dense-array operations, so they
+//! live here in the storage substrate.
+
+use crate::ndmatrix::NdMatrix;
+use crate::{MatrixError, Result};
+
+/// Extracts the sub-matrix obtained by *fixing* the given axes at the given
+/// coordinates; the remaining (free) axes keep their order and sizes.
+///
+/// `fixed_axes` must be strictly increasing and each coordinate in bounds.
+/// Fixing every axis yields a 1-cell matrix.
+pub fn fix_axes(m: &NdMatrix, fixed_axes: &[usize], fixed_coords: &[usize]) -> Result<NdMatrix> {
+    let d = m.ndim();
+    if fixed_axes.len() != fixed_coords.len() {
+        return Err(MatrixError::WrongArity {
+            expected: fixed_axes.len(),
+            got: fixed_coords.len(),
+        });
+    }
+    for (i, &axis) in fixed_axes.iter().enumerate() {
+        if axis >= d {
+            return Err(MatrixError::BadAxis { axis, ndim: d });
+        }
+        if i > 0 && fixed_axes[i - 1] >= axis {
+            return Err(MatrixError::BadAxis { axis, ndim: d });
+        }
+        if fixed_coords[i] >= m.dims()[axis] {
+            return Err(MatrixError::OutOfBounds {
+                axis,
+                coord: fixed_coords[i],
+                dim: m.dims()[axis],
+            });
+        }
+    }
+    if fixed_axes.len() == d {
+        let v = m.get(fixed_coords)?;
+        return NdMatrix::from_vec(&[1], vec![v]);
+    }
+
+    let free_axes: Vec<usize> = (0..d).filter(|a| !fixed_axes.contains(a)).collect();
+    let sub_dims: Vec<usize> = free_axes.iter().map(|&a| m.dims()[a]).collect();
+    let total: usize = sub_dims.iter().product();
+    let strides = m.shape().strides();
+
+    // Base offset from the fixed coordinates.
+    let base: usize = fixed_axes
+        .iter()
+        .zip(fixed_coords)
+        .map(|(&a, &c)| c * strides[a])
+        .sum();
+
+    let mut out = Vec::with_capacity(total);
+    let mut free_coords = vec![0usize; free_axes.len()];
+    let data = m.as_slice();
+    for _ in 0..total {
+        let off: usize = free_axes
+            .iter()
+            .zip(&free_coords)
+            .map(|(&a, &c)| c * strides[a])
+            .sum();
+        out.push(data[base + off]);
+        // Row-major odometer over the free axes.
+        for k in (0..free_coords.len()).rev() {
+            free_coords[k] += 1;
+            if free_coords[k] < sub_dims[k] {
+                break;
+            }
+            free_coords[k] = 0;
+        }
+    }
+    NdMatrix::from_vec(&sub_dims, out)
+}
+
+/// Sums `m` over the given axes, producing the marginal on the remaining
+/// axes (an OLAP roll-up). Summing over every axis is rejected — use
+/// [`NdMatrix::total`] for the grand total.
+pub fn marginalize(m: &NdMatrix, summed_axes: &[usize]) -> Result<NdMatrix> {
+    let d = m.ndim();
+    for &axis in summed_axes {
+        if axis >= d {
+            return Err(MatrixError::BadAxis { axis, ndim: d });
+        }
+    }
+    let keep: Vec<usize> = (0..d).filter(|a| !summed_axes.contains(a)).collect();
+    if keep.is_empty() {
+        return Err(MatrixError::EmptyShape);
+    }
+    if keep.len() == d {
+        return Ok(m.clone());
+    }
+    let out_dims: Vec<usize> = keep.iter().map(|&a| m.dims()[a]).collect();
+    let mut out = NdMatrix::zeros(&out_dims)?;
+    let out_strides = out.shape().strides().to_vec();
+    let in_strides = m.shape().strides();
+    let in_dims = m.dims().to_vec();
+
+    // Walk every input cell once, accumulating into its projected slot.
+    let mut coords = vec![0usize; d];
+    let data = m.as_slice();
+    let out_data = out.as_mut_slice();
+    for &v in data.iter() {
+        let slot: usize = keep
+            .iter()
+            .zip(&out_strides)
+            .map(|(&a, &s)| coords[a] * s)
+            .sum();
+        out_data[slot] += v;
+        // Odometer.
+        for k in (0..d).rev() {
+            coords[k] += 1;
+            if coords[k] < in_dims[k] {
+                break;
+            }
+            coords[k] = 0;
+        }
+    }
+    let _ = in_strides;
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iota(dims: &[usize]) -> NdMatrix {
+        let n: usize = dims.iter().product();
+        NdMatrix::from_vec(dims, (0..n).map(|v| v as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn fix_single_axis_extracts_slice() {
+        let m = iota(&[2, 3]); // rows [0,1,2], [3,4,5]
+        let row1 = fix_axes(&m, &[0], &[1]).unwrap();
+        assert_eq!(row1.dims(), &[3]);
+        assert_eq!(row1.as_slice(), &[3.0, 4.0, 5.0]);
+        let col2 = fix_axes(&m, &[1], &[2]).unwrap();
+        assert_eq!(col2.dims(), &[2]);
+        assert_eq!(col2.as_slice(), &[2.0, 5.0]);
+    }
+
+    #[test]
+    fn fix_multiple_axes() {
+        let m = iota(&[2, 3, 4]);
+        let sub = fix_axes(&m, &[0, 2], &[1, 3]).unwrap();
+        assert_eq!(sub.dims(), &[3]);
+        // Cells (1, j, 3) = 12 + 4j + 3.
+        assert_eq!(sub.as_slice(), &[15.0, 19.0, 23.0]);
+    }
+
+    #[test]
+    fn fix_all_axes_yields_single_cell() {
+        let m = iota(&[2, 2]);
+        let cell = fix_axes(&m, &[0, 1], &[1, 0]).unwrap();
+        assert_eq!(cell.as_slice(), &[2.0]);
+    }
+
+    #[test]
+    fn fix_rejects_bad_input() {
+        let m = iota(&[2, 3]);
+        assert!(fix_axes(&m, &[2], &[0]).is_err()); // bad axis
+        assert!(fix_axes(&m, &[0], &[2]).is_err()); // out of bounds
+        assert!(fix_axes(&m, &[1, 0], &[0, 0]).is_err()); // not increasing
+        assert!(fix_axes(&m, &[0], &[0, 1]).is_err()); // arity
+    }
+
+    #[test]
+    fn marginalize_matches_manual_sums() {
+        let m = iota(&[2, 3]);
+        let over_rows = marginalize(&m, &[0]).unwrap();
+        assert_eq!(over_rows.dims(), &[3]);
+        assert_eq!(over_rows.as_slice(), &[3.0, 5.0, 7.0]);
+        let over_cols = marginalize(&m, &[1]).unwrap();
+        assert_eq!(over_cols.as_slice(), &[3.0, 12.0]);
+    }
+
+    #[test]
+    fn marginalize_multiple_axes() {
+        let m = iota(&[2, 3, 4]);
+        let keep_mid = marginalize(&m, &[0, 2]).unwrap();
+        assert_eq!(keep_mid.dims(), &[3]);
+        // Sum over i, k of (12i + 4j + k): for each j, 2*4*(4j) + 12*4 + (0+1+2+3)*2
+        // = 32j + 48 + 12 = 32j + 60.
+        assert_eq!(keep_mid.as_slice(), &[60.0, 92.0, 124.0]);
+        let total: f64 = m.total();
+        assert_eq!(keep_mid.as_slice().iter().sum::<f64>(), total);
+    }
+
+    #[test]
+    fn marginalize_rejects_summing_everything() {
+        let m = iota(&[2, 2]);
+        assert!(marginalize(&m, &[0, 1]).is_err());
+        assert!(marginalize(&m, &[5]).is_err());
+    }
+
+    #[test]
+    fn marginalize_no_axes_is_identity() {
+        let m = iota(&[2, 2]);
+        assert_eq!(marginalize(&m, &[]).unwrap(), m);
+    }
+
+    #[test]
+    fn slices_of_marginal_consistency() {
+        // Marginalizing axis 0 equals summing the fixed-axis slices.
+        let m = iota(&[3, 4]);
+        let marg = marginalize(&m, &[0]).unwrap();
+        let mut acc = vec![0.0; 4];
+        for i in 0..3 {
+            let slice = fix_axes(&m, &[0], &[i]).unwrap();
+            for (a, &v) in acc.iter_mut().zip(slice.as_slice()) {
+                *a += v;
+            }
+        }
+        assert_eq!(marg.as_slice(), acc.as_slice());
+    }
+}

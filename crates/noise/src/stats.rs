@@ -1,0 +1,195 @@
+//! Streaming statistics (Welford's algorithm) and small helpers.
+//!
+//! Used by the statistical tests (sampler moments, empirical noise
+//! variance vs the paper's analytic bounds) and by the experiment harness
+//! when aggregating per-bucket errors.
+
+/// Streaming mean / variance / extrema accumulator.
+///
+/// Numerically stable one-pass variance via Welford's update.
+#[derive(Debug, Clone, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// An empty accumulator.
+    pub fn new() -> Self {
+        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merges another accumulator (parallel Welford).
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divides by n; 0 if fewer than 2 observations).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Unbiased sample variance (divides by n−1).
+    pub fn sample_variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Minimum observation.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+}
+
+/// Mean of a slice (0 for empty input).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Population variance of a slice.
+pub fn variance(xs: &[f64]) -> f64 {
+    let mut s = RunningStats::new();
+    for &x in xs {
+        s.push(x);
+    }
+    s.variance()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_two_pass_computation() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 10.0, -5.0];
+        let mut s = RunningStats::new();
+        for &x in &xs {
+            s.push(x);
+        }
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        let v = xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64;
+        assert!((s.mean() - m).abs() < 1e-12);
+        assert!((s.variance() - v).abs() < 1e-12);
+        assert_eq!(s.min(), -5.0);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.count(), 6);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_one() {
+        let mut s = RunningStats::new();
+        for &x in &[1.0, 3.0] {
+            s.push(x);
+        }
+        assert!((s.variance() - 1.0).abs() < 1e-12);
+        assert!((s.sample_variance() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let mut left = RunningStats::new();
+        let mut right = RunningStats::new();
+        for &x in &xs[..37] {
+            left.push(x);
+        }
+        for &x in &xs[37..] {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-10);
+        assert_eq!(left.min(), whole.min());
+        assert_eq!(left.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_handles_empty_sides() {
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        b.push(2.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 1);
+        assert_eq!(a.mean(), 2.0);
+        let empty = RunningStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn degenerate_stats() {
+        let s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.variance(), 0.0);
+        let mut one = RunningStats::new();
+        one.push(5.0);
+        assert_eq!(one.variance(), 0.0);
+        assert_eq!(one.mean(), 5.0);
+    }
+
+    #[test]
+    fn slice_helpers() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert!((variance(&[1.0, 1.0, 1.0])).abs() < 1e-12);
+    }
+}

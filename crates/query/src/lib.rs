@@ -1,0 +1,85 @@
+//! Range-count queries over frequency matrices.
+//!
+//! The paper optimizes published data for OLAP-style range-count queries
+//! (§II-A):
+//!
+//! ```sql
+//! SELECT COUNT(*) FROM T
+//! WHERE A1 IN S1 AND A2 IN S2 AND ... AND Ad IN Sd
+//! ```
+//!
+//! where each ordinal `Sᵢ` is an interval and each nominal `Sᵢ` is a leaf or
+//! the set of leaves under a hierarchy node. Because nominal domains are
+//! ordered by hierarchy traversal (see `privelet-hierarchy`), *every*
+//! predicate resolves to a contiguous index interval, and a query is a
+//! hyper-rectangle sum over the (noisy) frequency matrix.
+//!
+//! Modules:
+//! - [`predicate`] — per-attribute predicates and their interval resolution.
+//! - [`range_query`] — the query type, naive and prefix-sum evaluation,
+//!   coverage and selectivity.
+//! - [`workload`] — the random workload generator of §VII-A (40 000 queries,
+//!   1–4 predicates each).
+//! - [`metrics`] — square error and relative error with the sanity bound
+//!   `s = 0.1% · n`.
+//! - [`buckets`] — quintile bucketing of queries by coverage / selectivity
+//!   used to produce the series in Figures 6–9.
+
+pub mod answerer;
+pub mod buckets;
+pub mod metrics;
+pub mod predicate;
+pub mod range_query;
+pub mod workload;
+
+pub use answerer::Answerer;
+pub use buckets::{quantile_rows, BucketRow};
+pub use metrics::{relative_error, sanity_bound, square_error};
+pub use predicate::Predicate;
+pub use range_query::RangeQuery;
+pub use workload::{generate_workload, WorkloadConfig};
+
+/// Errors produced by query construction and evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryError {
+    /// The query has a different number of predicates than the schema has
+    /// attributes.
+    WrongArity { expected: usize, got: usize },
+    /// An ordinal interval is invalid (`lo > hi` or `hi` out of domain).
+    BadInterval { attr: usize, lo: usize, hi: usize, size: usize },
+    /// An interval predicate was applied to a nominal attribute or a node
+    /// predicate to an ordinal attribute.
+    KindMismatch { attr: usize },
+    /// A node id is out of range for the attribute's hierarchy.
+    BadNode { attr: usize, node: usize, nodes: usize },
+    /// The matrix/prefix structure does not match the schema.
+    ShapeMismatch,
+    /// The workload generator was misconfigured.
+    BadConfig(String),
+}
+
+impl std::fmt::Display for QueryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QueryError::WrongArity { expected, got } => {
+                write!(f, "query has {got} predicates, schema has {expected} attributes")
+            }
+            QueryError::BadInterval { attr, lo, hi, size } => {
+                write!(f, "bad interval [{lo},{hi}] for attribute {attr} of size {size}")
+            }
+            QueryError::KindMismatch { attr } => {
+                write!(f, "predicate kind does not match attribute {attr}'s domain kind")
+            }
+            QueryError::BadNode { attr, node, nodes } => {
+                write!(f, "node {node} out of range for attribute {attr} ({nodes} nodes)")
+            }
+            QueryError::ShapeMismatch => write!(f, "matrix shape does not match schema"),
+            QueryError::BadConfig(msg) => write!(f, "bad workload config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, QueryError>;

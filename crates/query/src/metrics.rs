@@ -1,0 +1,63 @@
+//! Error metrics of §VII-A.
+//!
+//! "The quality of each approximate answer x is gauged by its square error
+//! and relative error with respect to the actual query result act.
+//! Specifically, the square error of x is defined as (x − act)², and the
+//! relative error of x is computed as |x − act| / max{act, s}, where s is a
+//! sanity bound that mitigates the effects of the queries with excessively
+//! small selectivities ... We set s to 0.1% of the number of tuples in the
+//! dataset."
+
+/// Square error `(x − act)²`.
+#[inline]
+pub fn square_error(x: f64, act: f64) -> f64 {
+    let d = x - act;
+    d * d
+}
+
+/// Relative error `|x − act| / max(act, sanity)`.
+#[inline]
+pub fn relative_error(x: f64, act: f64, sanity: f64) -> f64 {
+    (x - act).abs() / act.max(sanity)
+}
+
+/// The sanity bound `s = fraction · n`; the paper uses `fraction = 0.001`.
+#[inline]
+pub fn sanity_bound(n_tuples: usize, fraction: f64) -> f64 {
+    n_tuples as f64 * fraction
+}
+
+/// The paper's sanity-bound fraction (0.1%).
+pub const PAPER_SANITY_FRACTION: f64 = 0.001;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_error_is_symmetric_quadratic() {
+        assert_eq!(square_error(10.0, 7.0), 9.0);
+        assert_eq!(square_error(7.0, 10.0), 9.0);
+        assert_eq!(square_error(5.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn relative_error_uses_actual_when_large() {
+        // act = 200 > s = 100: denominator is act.
+        assert!((relative_error(150.0, 200.0, 100.0) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_uses_sanity_when_actual_small() {
+        // act = 10 < s = 100: denominator is the sanity bound.
+        assert!((relative_error(60.0, 10.0, 100.0) - 0.5).abs() < 1e-12);
+        // Zero actual does not blow up.
+        assert!((relative_error(50.0, 0.0, 100.0) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_sanity_bound() {
+        // 0.1% of 10M tuples = 10 000.
+        assert_eq!(sanity_bound(10_000_000, PAPER_SANITY_FRACTION), 10_000.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-attribute predicates and their resolution to index intervals.
+
+use crate::{QueryError, Result};
+use privelet_data::schema::{Attribute, Domain};
+
+/// A predicate on one attribute of a range-count query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Predicate {
+    /// No constraint on this attribute (the attribute does not appear in
+    /// the query's WHERE clause).
+    All,
+    /// Ordinal interval `lo ..= hi` over domain values.
+    Range {
+        /// Inclusive lower bound.
+        lo: usize,
+        /// Inclusive upper bound.
+        hi: usize,
+    },
+    /// Nominal predicate: a node of the attribute's hierarchy. A leaf node
+    /// selects a single value; an internal node selects all leaves in its
+    /// subtree (§II-A). The root selects the whole domain.
+    Node {
+        /// Node id within the attribute's hierarchy.
+        node: usize,
+    },
+}
+
+impl Predicate {
+    /// Resolves the predicate to an inclusive index interval over the
+    /// attribute's domain, validating it against the attribute.
+    pub fn resolve(&self, attr_idx: usize, attr: &Attribute) -> Result<(usize, usize)> {
+        match (self, attr.domain()) {
+            (Predicate::All, _) => Ok((0, attr.size() - 1)),
+            (Predicate::Range { lo, hi }, Domain::Ordinal { size }) => {
+                if lo > hi || *hi >= *size {
+                    Err(QueryError::BadInterval { attr: attr_idx, lo: *lo, hi: *hi, size: *size })
+                } else {
+                    Ok((*lo, *hi))
+                }
+            }
+            (Predicate::Node { node }, Domain::Nominal { hierarchy }) => {
+                if *node >= hierarchy.node_count() {
+                    Err(QueryError::BadNode {
+                        attr: attr_idx,
+                        node: *node,
+                        nodes: hierarchy.node_count(),
+                    })
+                } else {
+                    Ok(hierarchy.leaf_range(*node))
+                }
+            }
+            _ => Err(QueryError::KindMismatch { attr: attr_idx }),
+        }
+    }
+
+    /// Whether this predicate constrains the attribute.
+    pub fn is_constraining(&self) -> bool {
+        !matches!(self, Predicate::All)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::schema::Attribute;
+    use privelet_hierarchy::builder::three_level;
+
+    #[test]
+    fn ordinal_resolution() {
+        let a = Attribute::ordinal("x", 10);
+        assert_eq!(Predicate::Range { lo: 2, hi: 5 }.resolve(0, &a).unwrap(), (2, 5));
+        assert_eq!(Predicate::All.resolve(0, &a).unwrap(), (0, 9));
+        assert!(matches!(
+            Predicate::Range { lo: 5, hi: 2 }.resolve(0, &a).unwrap_err(),
+            QueryError::BadInterval { .. }
+        ));
+        assert!(Predicate::Range { lo: 0, hi: 10 }.resolve(0, &a).is_err());
+        assert!(matches!(
+            Predicate::Node { node: 1 }.resolve(0, &a).unwrap_err(),
+            QueryError::KindMismatch { attr: 0 }
+        ));
+    }
+
+    #[test]
+    fn nominal_resolution() {
+        let h = three_level(9, 3).unwrap();
+        let a = Attribute::nominal("occ", h.clone());
+        // Root covers everything.
+        assert_eq!(Predicate::Node { node: h.root() }.resolve(1, &a).unwrap(), (0, 8));
+        // A level-2 group covers its contiguous leaves.
+        let mids = h.nodes_at_level(2);
+        assert_eq!(
+            Predicate::Node { node: mids[1] }.resolve(1, &a).unwrap(),
+            (3, 5)
+        );
+        // A leaf covers a single value.
+        let leaf = h.leaf_node(7);
+        assert_eq!(Predicate::Node { node: leaf }.resolve(1, &a).unwrap(), (7, 7));
+        // Bad node id.
+        assert!(matches!(
+            Predicate::Node { node: 99 }.resolve(1, &a).unwrap_err(),
+            QueryError::BadNode { .. }
+        ));
+        // Interval on nominal is a kind mismatch.
+        assert!(Predicate::Range { lo: 0, hi: 1 }.resolve(1, &a).is_err());
+    }
+
+    #[test]
+    fn constraining_flag() {
+        assert!(!Predicate::All.is_constraining());
+        assert!(Predicate::Range { lo: 0, hi: 0 }.is_constraining());
+        assert!(Predicate::Node { node: 0 }.is_constraining());
+    }
+}

@@ -1,0 +1,190 @@
+//! The range-count query type and its evaluation paths.
+
+use crate::predicate::Predicate;
+use crate::{QueryError, Result};
+use privelet_data::freq::FrequencyMatrix;
+use privelet_data::schema::Schema;
+use privelet_matrix::{rect_sum_naive, PrefixSums};
+
+/// A range-count query: one [`Predicate`] per attribute, in schema order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RangeQuery {
+    preds: Vec<Predicate>,
+}
+
+impl RangeQuery {
+    /// Builds a query from per-attribute predicates.
+    pub fn new(preds: Vec<Predicate>) -> Self {
+        RangeQuery { preds }
+    }
+
+    /// A query with no constraints over a `d`-attribute schema.
+    pub fn all(d: usize) -> Self {
+        RangeQuery { preds: vec![Predicate::All; d] }
+    }
+
+    /// The predicates, in schema order.
+    pub fn predicates(&self) -> &[Predicate] {
+        &self.preds
+    }
+
+    /// Number of constraining predicates (the paper's "number of
+    /// predicates", uniform in \[1,4\] in the workload).
+    pub fn predicate_count(&self) -> usize {
+        self.preds.iter().filter(|p| p.is_constraining()).count()
+    }
+
+    /// Resolves all predicates to inclusive per-dimension index bounds.
+    pub fn bounds(&self, schema: &Schema) -> Result<(Vec<usize>, Vec<usize>)> {
+        if self.preds.len() != schema.arity() {
+            return Err(QueryError::WrongArity {
+                expected: schema.arity(),
+                got: self.preds.len(),
+            });
+        }
+        let mut lo = Vec::with_capacity(schema.arity());
+        let mut hi = Vec::with_capacity(schema.arity());
+        for (i, p) in self.preds.iter().enumerate() {
+            let (l, h) = p.resolve(i, schema.attr(i))?;
+            lo.push(l);
+            hi.push(h);
+        }
+        Ok((lo, hi))
+    }
+
+    /// Evaluates the query against a (possibly noisy) frequency matrix by
+    /// direct summation — O(covered cells).
+    pub fn evaluate(&self, fm: &FrequencyMatrix) -> Result<f64> {
+        let (lo, hi) = self.bounds(fm.schema())?;
+        rect_sum_naive(fm.matrix(), &lo, &hi).map_err(|_| QueryError::ShapeMismatch)
+    }
+
+    /// Evaluates the query against precomputed prefix sums — O(2^d).
+    ///
+    /// `prefix` must have been built from a matrix over `schema`.
+    pub fn evaluate_prefix(&self, schema: &Schema, prefix: &PrefixSums) -> Result<f64> {
+        if prefix.shape().dims() != schema.dims() {
+            return Err(QueryError::ShapeMismatch);
+        }
+        let (lo, hi) = self.bounds(schema)?;
+        prefix.rect_sum(&lo, &hi).map_err(|_| QueryError::ShapeMismatch)
+    }
+
+    /// The query's *coverage*: the fraction of frequency-matrix cells the
+    /// query covers (§VII-A).
+    pub fn coverage(&self, schema: &Schema) -> Result<f64> {
+        let (lo, hi) = self.bounds(schema)?;
+        let covered: f64 = lo
+            .iter()
+            .zip(hi.iter())
+            .map(|(&l, &h)| (h - l + 1) as f64)
+            .product();
+        Ok(covered / schema.cell_count() as f64)
+    }
+
+    /// Number of cells covered by the query.
+    pub fn covered_cells(&self, schema: &Schema) -> Result<usize> {
+        let (lo, hi) = self.bounds(schema)?;
+        Ok(lo.iter().zip(hi.iter()).map(|(&l, &h)| h - l + 1).product())
+    }
+
+    /// The query's *selectivity*: the fraction of tuples satisfying all
+    /// predicates (§VII-A), computed from the exact frequency matrix.
+    pub fn selectivity(&self, exact: &FrequencyMatrix, n_tuples: usize) -> Result<f64> {
+        if n_tuples == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.evaluate(exact)? / n_tuples as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+    use privelet_matrix::PrefixSums;
+
+    fn medical_fm() -> FrequencyMatrix {
+        FrequencyMatrix::from_table(&medical_example()).unwrap()
+    }
+
+    #[test]
+    fn intro_example_diabetes_under_50() {
+        // "the number of diabetes patients with age under 50": age groups
+        // 0..=2 (<30, 30-39, 40-49), diabetes = Yes (leaf position 0).
+        let fm = medical_fm();
+        let h = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
+        let yes_leaf = h.leaf_node(0);
+        let q = RangeQuery::new(vec![
+            Predicate::Range { lo: 0, hi: 2 },
+            Predicate::Node { node: yes_leaf },
+        ]);
+        assert_eq!(q.evaluate(&fm).unwrap(), 1.0);
+        assert_eq!(q.predicate_count(), 2);
+    }
+
+    #[test]
+    fn unconstrained_query_counts_everything() {
+        let fm = medical_fm();
+        let q = RangeQuery::all(2);
+        assert_eq!(q.evaluate(&fm).unwrap(), 8.0);
+        assert_eq!(q.coverage(fm.schema()).unwrap(), 1.0);
+        assert_eq!(q.predicate_count(), 0);
+    }
+
+    #[test]
+    fn prefix_evaluation_matches_naive() {
+        let fm = medical_fm();
+        let prefix = PrefixSums::build(fm.matrix());
+        let h = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
+        let queries = vec![
+            RangeQuery::all(2),
+            RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 3 }, Predicate::All]),
+            RangeQuery::new(vec![
+                Predicate::Range { lo: 0, hi: 4 },
+                Predicate::Node { node: h.leaf_node(1) },
+            ]),
+            RangeQuery::new(vec![Predicate::All, Predicate::Node { node: h.root() }]),
+        ];
+        for q in queries {
+            assert_eq!(
+                q.evaluate(&fm).unwrap(),
+                q.evaluate_prefix(fm.schema(), &prefix).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn coverage_and_selectivity() {
+        let fm = medical_fm();
+        let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 1 }, Predicate::All]);
+        // 2 of 5 age groups × both diabetes values = 4/10 cells.
+        assert!((q.coverage(fm.schema()).unwrap() - 0.4).abs() < 1e-12);
+        assert_eq!(q.covered_cells(fm.schema()).unwrap(), 4);
+        // 3 of 8 tuples are < 40.
+        assert!((q.selectivity(&fm, 8).unwrap() - 3.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let fm = medical_fm();
+        let q = RangeQuery::new(vec![Predicate::All]);
+        assert_eq!(
+            q.evaluate(&fm).unwrap_err(),
+            QueryError::WrongArity { expected: 2, got: 1 }
+        );
+    }
+
+    #[test]
+    fn prefix_shape_mismatch_is_rejected() {
+        let fm = medical_fm();
+        let other = privelet_matrix::NdMatrix::zeros(&[3, 3]).unwrap();
+        let prefix = PrefixSums::build(&other);
+        let q = RangeQuery::all(2);
+        assert_eq!(
+            q.evaluate_prefix(fm.schema(), &prefix).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+    }
+}

@@ -1,0 +1,181 @@
+//! The random range-count workload of §VII-A.
+//!
+//! "For each dataset, we create a set of 40000 random range-count queries,
+//! such that the number of predicates in each query is uniformly
+//! distributed in [1, 4]. Each query predicate Aᵢ ∈ Sᵢ is generated as
+//! follows. First, we choose Aᵢ randomly from the attributes in the
+//! dataset. After that, if Aᵢ is ordinal, then Sᵢ is set to a random
+//! interval defined on Aᵢ; otherwise, we randomly select a non-root node
+//! from the hierarchy of Aᵢ, and let Sᵢ contain all leaves in the subtree
+//! of the node."
+
+use crate::predicate::Predicate;
+use crate::range_query::RangeQuery;
+use crate::{QueryError, Result};
+use privelet_data::schema::{Domain, Schema};
+use privelet_noise::derive_rng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Workload generator configuration.
+#[derive(Debug, Clone)]
+pub struct WorkloadConfig {
+    /// Number of queries (the paper uses 40 000).
+    pub n_queries: usize,
+    /// Minimum number of predicates per query (paper: 1).
+    pub min_predicates: usize,
+    /// Maximum number of predicates per query (paper: 4); capped at the
+    /// schema arity.
+    pub max_predicates: usize,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl WorkloadConfig {
+    /// The paper's workload: 40 000 queries with 1–4 predicates.
+    pub fn paper(seed: u64) -> Self {
+        WorkloadConfig { n_queries: 40_000, min_predicates: 1, max_predicates: 4, seed }
+    }
+}
+
+/// Generates a random workload over `schema`.
+pub fn generate_workload(schema: &Schema, cfg: &WorkloadConfig) -> Result<Vec<RangeQuery>> {
+    let d = schema.arity();
+    if cfg.min_predicates == 0 || cfg.min_predicates > cfg.max_predicates {
+        return Err(QueryError::BadConfig(format!(
+            "predicate count range [{}, {}] is invalid",
+            cfg.min_predicates, cfg.max_predicates
+        )));
+    }
+    let max_preds = cfg.max_predicates.min(d);
+    let min_preds = cfg.min_predicates.min(max_preds);
+
+    let mut rng = derive_rng(cfg.seed, 0xC0DE);
+    let mut attrs: Vec<usize> = (0..d).collect();
+    let mut queries = Vec::with_capacity(cfg.n_queries);
+    for _ in 0..cfg.n_queries {
+        let k = rng.random_range(min_preds..=max_preds);
+        attrs.shuffle(&mut rng);
+        let mut preds = vec![Predicate::All; d];
+        for &attr in attrs.iter().take(k) {
+            preds[attr] = random_predicate(schema, attr, &mut rng);
+        }
+        queries.push(RangeQuery::new(preds));
+    }
+    Ok(queries)
+}
+
+/// Draws one random predicate for attribute `attr` per the §VII-A rules.
+fn random_predicate(schema: &Schema, attr: usize, rng: &mut impl Rng) -> Predicate {
+    match schema.attr(attr).domain() {
+        Domain::Ordinal { size } => {
+            let a = rng.random_range(0..*size);
+            let b = rng.random_range(0..*size);
+            Predicate::Range { lo: a.min(b), hi: a.max(b) }
+        }
+        Domain::Nominal { hierarchy } => {
+            let nodes = hierarchy.node_count();
+            if nodes <= 1 {
+                // Degenerate single-node hierarchy: only the root exists.
+                Predicate::Node { node: 0 }
+            } else {
+                Predicate::Node { node: rng.random_range(1..nodes) }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::schema::Attribute;
+    use privelet_hierarchy::builder::three_level;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Attribute::ordinal("age", 20),
+            Attribute::nominal("occ", three_level(12, 3).unwrap()),
+            Attribute::ordinal("income", 30),
+            Attribute::nominal("occ2", three_level(8, 2).unwrap()),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn generates_requested_count_deterministically() {
+        let s = schema();
+        let cfg = WorkloadConfig { n_queries: 500, min_predicates: 1, max_predicates: 4, seed: 9 };
+        let a = generate_workload(&s, &cfg).unwrap();
+        let b = generate_workload(&s, &cfg).unwrap();
+        assert_eq!(a.len(), 500);
+        assert_eq!(a, b);
+        let c = generate_workload(&s, &WorkloadConfig { seed: 10, ..cfg }).unwrap();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn predicate_counts_are_in_range_and_varied() {
+        let s = schema();
+        let cfg =
+            WorkloadConfig { n_queries: 2000, min_predicates: 1, max_predicates: 4, seed: 3 };
+        let qs = generate_workload(&s, &cfg).unwrap();
+        let mut histogram = [0usize; 5];
+        for q in &qs {
+            let k = q.predicate_count();
+            assert!((1..=4).contains(&k));
+            histogram[k] += 1;
+        }
+        // Uniform over [1,4]: each bucket ≈ 500 of 2000.
+        for (k, &count) in histogram.iter().enumerate().skip(1) {
+            assert!(
+                count > 350 && count < 650,
+                "predicate count {k} appeared {count} times"
+            );
+        }
+    }
+
+    #[test]
+    fn every_query_is_valid_for_the_schema() {
+        let s = schema();
+        let cfg = WorkloadConfig::paper(1);
+        let cfg = WorkloadConfig { n_queries: 1000, ..cfg };
+        for q in generate_workload(&s, &cfg).unwrap() {
+            q.bounds(&s).expect("workload queries must validate");
+        }
+    }
+
+    #[test]
+    fn nominal_predicates_never_use_the_root() {
+        let s = schema();
+        let cfg =
+            WorkloadConfig { n_queries: 1000, min_predicates: 4, max_predicates: 4, seed: 5 };
+        for q in generate_workload(&s, &cfg).unwrap() {
+            for (i, p) in q.predicates().iter().enumerate() {
+                if let Predicate::Node { node } = p {
+                    assert_ne!(*node, 0, "attr {i} used the root");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_predicates_is_capped_at_arity() {
+        let s = Schema::new(vec![Attribute::ordinal("only", 10)]).unwrap();
+        let cfg =
+            WorkloadConfig { n_queries: 100, min_predicates: 1, max_predicates: 4, seed: 2 };
+        for q in generate_workload(&s, &cfg).unwrap() {
+            assert_eq!(q.predicate_count(), 1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_predicate_ranges() {
+        let s = schema();
+        let bad =
+            WorkloadConfig { n_queries: 10, min_predicates: 0, max_predicates: 4, seed: 1 };
+        assert!(generate_workload(&s, &bad).is_err());
+        let inverted =
+            WorkloadConfig { n_queries: 10, min_predicates: 3, max_predicates: 2, seed: 1 };
+        assert!(generate_workload(&s, &inverted).is_err());
+    }
+}

@@ -1,0 +1,44 @@
+//! A small-scale preview of the §VII-B timing experiments: both mechanisms
+//! scale linearly in the number of tuples n and the number of cells m.
+//!
+//! Run with: `cargo run --release --example scalability`
+//! (The full Figures 10/11 sweeps live in the bench targets.)
+
+use privelet_repro::eval::timing::{linear_fit, r_squared, time_once};
+
+fn main() {
+    // Keep m small so the O(n) term dominates the n-sweep (the bench-scale
+    // Figure 10 uses the paper's n : m ratio instead).
+    println!("time vs n (m ≈ 2^16 fixed):");
+    println!("{:>10} {:>12} {:>14}", "n", "Basic (s)", "Privelet+ (s)");
+    let mut ns = Vec::new();
+    let mut privelet_times = Vec::new();
+    for k in 1..=4 {
+        let n = k * 500_000;
+        let p = time_once(n, 1 << 16, 3).expect("timing run");
+        println!("{:>10} {:>12.3} {:>14.3}", p.n, p.basic_secs, p.privelet_secs);
+        ns.push(n as f64);
+        privelet_times.push(p.privelet_secs);
+    }
+    let (slope, _) = linear_fit(&ns, &privelet_times);
+    println!(
+        "Privelet+ slope {slope:.3e} s/tuple, R² = {:.4} (paper: linear in n)",
+        r_squared(&ns, &privelet_times)
+    );
+
+    println!("\ntime vs m (n = 100k fixed):");
+    println!("{:>12} {:>12} {:>14}", "m", "Basic (s)", "Privelet+ (s)");
+    let mut ms = Vec::new();
+    let mut privelet_times = Vec::new();
+    for e in [14u32, 16, 18, 20] {
+        let p = time_once(100_000, 1 << e, 3).expect("timing run");
+        println!("{:>12} {:>12.3} {:>14.3}", p.m, p.basic_secs, p.privelet_secs);
+        ms.push(p.m as f64);
+        privelet_times.push(p.privelet_secs);
+    }
+    let (slope, _) = linear_fit(&ms, &privelet_times);
+    println!(
+        "Privelet+ slope {slope:.3e} s/cell, R² = {:.4} (paper: linear in m)",
+        r_squared(&ms, &privelet_times)
+    );
+}

@@ -1,0 +1,96 @@
+//! Private time-series range counts with the 1-D Haar instantiation (§IV).
+//!
+//! A hospital publishes hourly admission counts for a year (8 760 ordinal
+//! buckets). Analysts ask window queries — "admissions in week 12", "during
+//! March", "around the outbreak" — i.e. exactly the range-count workload
+//! Privelet optimizes. This example publishes once under ε-DP with the
+//! three 1-D mechanisms and compares window-query accuracy across window
+//! lengths.
+//!
+//! Run with: `cargo run --release --example time_series`
+
+use privelet_repro::core::bounds::eq4_ordinal_bound;
+use privelet_repro::core::mechanism::{
+    publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig,
+};
+use privelet_repro::data::schema::{Attribute, Schema};
+use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::matrix::NdMatrix;
+use privelet_repro::noise::derive_rng;
+use privelet_repro::query::{Predicate, RangeQuery};
+use rand::Rng;
+
+const HOURS: usize = 24 * 365;
+
+fn main() {
+    // Synthetic admissions: a daily cycle, a weekly cycle, a winter bump,
+    // and an "outbreak" spike in autumn.
+    let counts: Vec<f64> = (0..HOURS)
+        .map(|h| {
+            let hour_of_day = (h % 24) as f64;
+            let day = h / 24;
+            let daily = 6.0 + 4.0 * ((hour_of_day - 14.0) / 24.0 * std::f64::consts::TAU).cos();
+            let weekly = if day % 7 >= 5 { 1.3 } else { 1.0 };
+            let seasonal = 1.0 + 0.3 * ((day as f64) / 365.0 * std::f64::consts::TAU).cos();
+            let outbreak = if (260..275).contains(&day) { 2.2 } else { 1.0 };
+            (daily * weekly * seasonal * outbreak).round().max(0.0)
+        })
+        .collect();
+    let n: f64 = counts.iter().sum();
+
+    let schema = Schema::new(vec![Attribute::ordinal("hour", HOURS)]).unwrap();
+    let fm = FrequencyMatrix::from_parts(
+        schema,
+        NdMatrix::from_vec(&[HOURS], counts).unwrap(),
+    )
+    .unwrap();
+
+    let epsilon = 0.5;
+    let basic = publish_basic(&fm, epsilon, 77).unwrap();
+    let privelet = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 77)).unwrap();
+    let hier = publish_hierarchical_1d(&fm, epsilon, 77).unwrap();
+
+    println!(
+        "published {n:.0} admissions over {HOURS} hourly buckets at ε = {epsilon}"
+    );
+    println!(
+        "Privelet variance bound (Eq. 4): {:.0}  [m pads to {}]",
+        eq4_ordinal_bound(HOURS, epsilon),
+        HOURS.next_power_of_two()
+    );
+
+    // Window queries of increasing length, 200 random placements each.
+    println!(
+        "\nmean |error| by window length (hours), 200 random windows each:"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>12}",
+        "window", "exact mean", "Basic", "Privelet", "Hierarchical"
+    );
+    let mut rng = derive_rng(9, 9);
+    for window in [6usize, 24, 7 * 24, 30 * 24, 90 * 24] {
+        let (mut eb, mut ep, mut eh, mut mean_exact) = (0.0, 0.0, 0.0, 0.0);
+        let trials = 200;
+        for _ in 0..trials {
+            let lo = rng.random_range(0..HOURS - window);
+            let q = RangeQuery::new(vec![Predicate::Range { lo, hi: lo + window - 1 }]);
+            let act = q.evaluate(&fm).unwrap();
+            mean_exact += act;
+            eb += (q.evaluate(&basic).unwrap() - act).abs();
+            ep += (q.evaluate(&privelet.matrix).unwrap() - act).abs();
+            eh += (q.evaluate(&hier).unwrap() - act).abs();
+        }
+        let t = trials as f64;
+        println!(
+            "{window:>8} {:>12.0} {:>12.1} {:>14.1} {:>12.1}",
+            mean_exact / t,
+            eb / t,
+            ep / t,
+            eh / t
+        );
+    }
+    println!(
+        "\nBasic's window error grows like sqrt(window); the two polylog\n\
+         mechanisms stay nearly flat — the paper's headline, on time series."
+    );
+}
