@@ -8,7 +8,7 @@
 //! beat Basic by a wide margin on large ranges.
 
 use privelet::mechanism::{
-    publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig,
+    publish_basic, publish_hierarchical_1d, publish_privelet_with, PriveletConfig,
 };
 use privelet_data::distributions::zipf_weights;
 use privelet_data::schema::{Attribute, Schema};
@@ -24,20 +24,22 @@ fn main() {
     let schema = Schema::new(vec![Attribute::ordinal("X", DOMAIN)]).unwrap();
     let weights = zipf_weights(DOMAIN, 0.9);
     let total: f64 = weights.iter().sum();
-    let counts: Vec<f64> =
-        weights.iter().map(|w| (w / total * 500_000.0).round()).collect();
-    let fm = FrequencyMatrix::from_parts(
-        schema,
-        NdMatrix::from_vec(&[DOMAIN], counts).unwrap(),
-    )
-    .unwrap();
+    let counts: Vec<f64> = weights
+        .iter()
+        .map(|w| (w / total * 500_000.0).round())
+        .collect();
+    let fm = FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[DOMAIN], counts).unwrap())
+        .unwrap();
 
     let mut rng = derive_rng(0x8A7, 1);
     let workload: Vec<(RangeQuery, f64)> = (0..400)
         .map(|_| {
             let a = rng.random_range(0..DOMAIN);
             let b = rng.random_range(0..DOMAIN);
-            let q = RangeQuery::new(vec![Predicate::Range { lo: a.min(b), hi: a.max(b) }]);
+            let q = RangeQuery::new(vec![Predicate::Range {
+                lo: a.min(b),
+                hi: a.max(b),
+            }]);
             let act = q.evaluate(&fm).unwrap();
             (q, act)
         })
@@ -48,12 +50,14 @@ fn main() {
         "{:>8} {:>16} {:>18} {:>20}",
         "epsilon", "Basic MSE", "Privelet MSE", "Hierarchical MSE"
     );
+    let mut exec = privelet_matrix::LaneExecutor::new();
     for epsilon in [0.5f64, 1.0] {
         let trials = 30u64;
         let (mut basic, mut privelet, mut hier) = (0.0f64, 0.0f64, 0.0f64);
         for trial in 0..trials {
             let b = publish_basic(&fm, epsilon, trial).unwrap();
-            let p = publish_privelet(&fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
+            let p = publish_privelet_with(&mut exec, &fm, &PriveletConfig::pure(epsilon, trial))
+                .unwrap();
             let h = publish_hierarchical_1d(&fm, epsilon, trial).unwrap();
             for (q, act) in &workload {
                 let xb = q.evaluate(&b).unwrap();

@@ -8,7 +8,7 @@
 //! of every hierarchy-node query under both transforms at the same ε.
 
 use privelet::bounds::{eq4_ordinal_bound, eq6_nominal_bound};
-use privelet::mechanism::{publish_privelet, PriveletConfig};
+use privelet::mechanism::{publish_privelet_with, PriveletConfig};
 use privelet_data::distributions::zipf_weights;
 use privelet_data::schema::{Attribute, Schema};
 use privelet_data::FrequencyMatrix;
@@ -27,8 +27,10 @@ fn main() {
     // scaled to ~1M tuples.
     let weights = zipf_weights(LEAVES, 1.1);
     let total: f64 = weights.iter().sum();
-    let counts: Vec<f64> =
-        weights.iter().map(|w| (w / total * 1_000_000.0).round()).collect();
+    let counts: Vec<f64> = weights
+        .iter()
+        .map(|w| (w / total * 1_000_000.0).round())
+        .collect();
 
     let nominal_schema =
         Schema::new(vec![Attribute::nominal("Occupation", hierarchy.clone())]).unwrap();
@@ -63,15 +65,15 @@ fn main() {
     // is designed for), level 3 = the 512 leaves. A flat average would be
     // dominated by the cheap leaf queries and hide the gap.
     let trials = 40u64;
+    let mut exec = privelet_matrix::LaneExecutor::new();
     let height = hierarchy.height();
     let mut nominal_mse = vec![0.0f64; height + 1];
     let mut haar_mse = vec![0.0f64; height + 1];
     let mut counts = vec![0usize; height + 1];
     for trial in 0..trials {
-        let nom_out =
-            publish_privelet(&nominal_fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
-        let ord_out =
-            publish_privelet(&ordinal_fm, &PriveletConfig::pure(epsilon, trial)).unwrap();
+        let cfg = PriveletConfig::pure(epsilon, trial);
+        let nom_out = publish_privelet_with(&mut exec, &nominal_fm, &cfg).unwrap();
+        let ord_out = publish_privelet_with(&mut exec, &ordinal_fm, &cfg).unwrap();
         for (node, (nq, oq, act)) in hierarchy.non_root_nodes().zip(&node_queries) {
             let level = hierarchy.level(node);
             let xn = nq.evaluate(&nom_out.matrix).unwrap();
@@ -101,7 +103,11 @@ fn main() {
         let n = (counts[level] * trials as usize) as f64;
         let hw = haar_mse[level] / n;
         let nm = nominal_mse[level] / n;
-        let label = if level == 2 { "groups (roll-ups)" } else { "leaves (points)" };
+        let label = if level == 2 {
+            "groups (roll-ups)"
+        } else {
+            "leaves (points)"
+        };
         println!(
             "{label:<24} {:>8} {hw:>14.1} {nm:>16.1} {:>7.1}x",
             counts[level],

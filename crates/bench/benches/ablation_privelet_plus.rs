@@ -9,10 +9,8 @@
 //! rule's verdict; it then prints the rule's choices on the census schemas
 //! (expected: SA = {Age, Gender}).
 
-use privelet::bounds::{
-    basic_query_variance, hn_variance_bound, recommend_sa, should_exclude,
-};
-use privelet::mechanism::{publish_basic, publish_privelet, PriveletConfig};
+use privelet::bounds::{basic_query_variance, hn_variance_bound, recommend_sa, should_exclude};
+use privelet::mechanism::{publish_basic, publish_privelet_with, PriveletConfig};
 use privelet::transform::HnTransform;
 use privelet_data::census::CensusConfig;
 use privelet_data::schema::{Attribute, Schema};
@@ -30,25 +28,28 @@ const EPSILON: f64 = 1.0;
 fn measure(size: usize, trials: u64, queries: usize) -> (f64, f64) {
     let schema = Schema::new(vec![Attribute::ordinal("A", size)]).unwrap();
     let counts: Vec<f64> = (0..size).map(|i| ((i * 13) % 97) as f64).collect();
-    let fm = FrequencyMatrix::from_parts(
-        schema.clone(),
-        NdMatrix::from_vec(&[size], counts).unwrap(),
-    )
-    .unwrap();
+    let fm =
+        FrequencyMatrix::from_parts(schema.clone(), NdMatrix::from_vec(&[size], counts).unwrap())
+            .unwrap();
     let mut rng = derive_rng(0xAB1A, size as u64);
     let workload: Vec<(RangeQuery, f64)> = (0..queries)
         .map(|_| {
             let a = rng.random_range(0..size);
             let b = rng.random_range(0..size);
-            let q = RangeQuery::new(vec![Predicate::Range { lo: a.min(b), hi: a.max(b) }]);
+            let q = RangeQuery::new(vec![Predicate::Range {
+                lo: a.min(b),
+                hi: a.max(b),
+            }]);
             let act = q.evaluate(&fm).unwrap();
             (q, act)
         })
         .collect();
     let (mut basic_mse, mut privelet_mse) = (0.0f64, 0.0f64);
+    let mut exec = privelet_matrix::LaneExecutor::new();
     for trial in 0..trials {
         let b = publish_basic(&fm, EPSILON, trial).unwrap();
-        let p = publish_privelet(&fm, &PriveletConfig::pure(EPSILON, trial)).unwrap();
+        let p =
+            publish_privelet_with(&mut exec, &fm, &PriveletConfig::pure(EPSILON, trial)).unwrap();
         for (q, act) in &workload {
             let xb = q.evaluate(&b).unwrap();
             let xp = q.evaluate(&p.matrix).unwrap();
@@ -77,7 +78,11 @@ fn main() {
             hn_variance_bound(&hn, EPSILON),
             basic_mse,
             privelet_mse,
-            if should_exclude(schema.attr(0)) { "yes" } else { "no" }
+            if should_exclude(schema.attr(0)) {
+                "yes"
+            } else {
+                "no"
+            }
         );
     }
     println!("\n(|A| = 16 row reproduces the paper's 128/ε² vs 600/ε² example.");
@@ -88,8 +93,7 @@ fn main() {
     for cfg in [CensusConfig::brazil(), CensusConfig::us()] {
         let schema = cfg.schema().unwrap();
         let sa = recommend_sa(&schema);
-        let names: Vec<&str> =
-            sa.iter().map(|&i| schema.attr(i).name()).collect();
+        let names: Vec<&str> = sa.iter().map(|&i| schema.attr(i).name()).collect();
         println!(
             "census {}: recommended SA = {names:?} (paper: [\"Age\", \"Gender\"])",
             cfg.name

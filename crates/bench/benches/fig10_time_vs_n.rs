@@ -18,8 +18,14 @@ fn main() {
 
     let xs: Vec<f64> = points.iter().map(|p| p.n as f64).collect();
     for (name, ys) in [
-        ("Basic", points.iter().map(|p| p.basic_secs).collect::<Vec<_>>()),
-        ("Privelet+", points.iter().map(|p| p.privelet_secs).collect::<Vec<_>>()),
+        (
+            "Basic",
+            points.iter().map(|p| p.basic_secs).collect::<Vec<_>>(),
+        ),
+        (
+            "Privelet+",
+            points.iter().map(|p| p.privelet_secs).collect::<Vec<_>>(),
+        ),
     ] {
         let (slope, icept) = linear_fit(&xs, &ys);
         println!(

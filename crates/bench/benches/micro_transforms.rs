@@ -1,15 +1,22 @@
 //! Criterion micro-benchmarks of the building blocks: 1-D transforms, the
-//! multi-dimensional HN transform, the two publishers, and the prefix-sum
-//! query engine. These back the O(n + m) complexity claims of §IV–§VI with
-//! per-component numbers.
+//! multi-dimensional HN transform on the lane-execution engine, the two
+//! publishers, and the prefix-sum query engine. These back the O(n + m)
+//! complexity claims of §IV–§VI with per-component numbers.
+//!
+//! The `hn_scaling` group measures the full HN forward+inverse pipeline at
+//! n = 2^16 … 2^20 cells on a serial executor and — when built with
+//! `--features parallel` — on an all-cores executor, so the engine speedup
+//! is directly visible in BENCH_*.json snapshots. The parallel path's
+//! output is bit-identical to the serial path's (asserted here, not only
+//! in the test suite).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use privelet::mechanism::{publish_basic, publish_privelet, PriveletConfig};
-use privelet::transform::{HaarTransform, HnTransform, NominalTransform};
+use privelet::transform::{HaarTransform, HnTransform, NominalTransform, Transform1d};
 use privelet_data::schema::{Attribute, Schema};
 use privelet_data::{uniform, FrequencyMatrix};
 use privelet_hierarchy::builder::three_level;
-use privelet_matrix::{NdMatrix, PrefixSums};
+use privelet_matrix::{LaneExecutor, NdMatrix, PrefixSums};
 use std::collections::BTreeSet;
 use std::hint::black_box;
 use std::sync::Arc;
@@ -18,13 +25,13 @@ fn bench_haar(c: &mut Criterion) {
     let t = HaarTransform::new(1 << 16);
     let src: Vec<f64> = (0..1 << 16).map(|i| (i % 251) as f64).collect();
     let mut dst = vec![0.0f64; t.output_len()];
-    let mut scratch = vec![0.0f64; t.output_len()];
+    let mut scratch = vec![0.0f64; t.scratch_len()];
     c.bench_function("haar_forward_64k", |b| {
-        b.iter(|| t.forward_scratch(black_box(&src), &mut dst, &mut scratch))
+        b.iter(|| t.forward(black_box(&src), &mut dst, &mut scratch))
     });
     let mut back = vec![0.0f64; 1 << 16];
     c.bench_function("haar_inverse_64k", |b| {
-        b.iter(|| t.inverse_scratch(black_box(&dst), &mut back, &mut scratch))
+        b.iter(|| t.inverse(black_box(&dst), &mut back, &mut scratch))
     });
 }
 
@@ -33,13 +40,13 @@ fn bench_nominal(c: &mut Criterion) {
     let t = NominalTransform::new(h);
     let src: Vec<f64> = (0..512).map(|i| (i % 97) as f64).collect();
     let mut dst = vec![0.0f64; t.output_len()];
-    let mut scratch = vec![0.0f64; t.output_len()];
+    let mut scratch = vec![0.0f64; t.scratch_len()];
     c.bench_function("nominal_forward_512", |b| {
-        b.iter(|| t.forward_scratch(black_box(&src), &mut dst, &mut scratch))
+        b.iter(|| t.forward(black_box(&src), &mut dst, &mut scratch))
     });
     let mut back = vec![0.0f64; 512];
     c.bench_function("nominal_inverse_512", |b| {
-        b.iter(|| t.inverse_scratch(black_box(&dst), &mut back, &mut scratch))
+        b.iter(|| t.inverse(black_box(&dst), &mut back, &mut scratch))
     });
 }
 
@@ -57,11 +64,70 @@ fn bench_hn(c: &mut Criterion) {
         (0..64 * 64 * 64).map(|i| (i % 17) as f64).collect(),
     )
     .unwrap();
-    c.bench_function("hn_forward_262k", |b| b.iter(|| hn.forward(black_box(&m)).unwrap()));
+    let mut exec = LaneExecutor::serial();
+    c.bench_function("hn_forward_262k", |b| {
+        b.iter(|| hn.forward_with(&mut exec, black_box(&m)).unwrap())
+    });
     let coeffs = hn.forward(&m).unwrap();
     c.bench_function("hn_inverse_refined_262k", |b| {
-        b.iter(|| hn.inverse_refined(black_box(&coeffs)).unwrap())
+        b.iter(|| {
+            hn.inverse_refined_with(&mut exec, black_box(&coeffs))
+                .unwrap()
+        })
     });
+}
+
+/// The engine scaling sweep: serial vs parallel full pipelines at
+/// n = 2^16 … 2^20 cells over a 4-d mixed schema.
+fn bench_hn_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hn_scaling");
+    group.sample_size(10);
+    for exp in [16u32, 18, 20] {
+        // Fourth root per dimension: a^4 = 2^exp.
+        let a = ((1usize << exp) as f64).powf(0.25).round() as usize;
+        let schema = Schema::new(vec![
+            Attribute::ordinal("o1", a),
+            Attribute::ordinal("o2", a),
+            Attribute::nominal("n1", three_level(a, (a / 4).max(2)).unwrap()),
+            Attribute::ordinal("o3", a),
+        ])
+        .unwrap();
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let cells: usize = schema.dims().iter().product();
+        let m = NdMatrix::from_vec(
+            &schema.dims(),
+            (0..cells).map(|i| ((i * 31) % 101) as f64).collect(),
+        )
+        .unwrap();
+
+        let mut serial = LaneExecutor::serial();
+        group.bench_function(&format!("serial_2^{exp}"), |b| {
+            b.iter(|| {
+                let coeffs = hn.forward_with(&mut serial, black_box(&m)).unwrap();
+                hn.inverse_refined_with(&mut serial, &coeffs).unwrap()
+            })
+        });
+
+        let threads = privelet_matrix::executor::default_threads();
+        if threads > 1 {
+            let mut wide = LaneExecutor::with_threads(threads);
+            // The engine contract: parallel output is bit-identical.
+            let a1 = hn.forward_with(&mut serial, &m).unwrap();
+            let a2 = hn.forward_with(&mut wide, &m).unwrap();
+            assert_eq!(
+                a1.as_slice(),
+                a2.as_slice(),
+                "parallel must be bit-identical"
+            );
+            group.bench_function(&format!("parallel{threads}_2^{exp}"), |b| {
+                b.iter(|| {
+                    let coeffs = hn.forward_with(&mut wide, black_box(&m)).unwrap();
+                    hn.inverse_refined_with(&mut wide, &coeffs).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
 }
 
 fn bench_publishers(c: &mut Criterion) {
@@ -88,11 +154,19 @@ fn bench_query_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_engine_1m_cells");
     group.sample_size(20);
     group.bench_function("prefix_build", |b| {
-        b.iter_batched(|| m.clone(), |mm| PrefixSums::build(&mm), BatchSize::LargeInput)
+        b.iter_batched(
+            || m.clone(),
+            |mm| PrefixSums::build(&mm),
+            BatchSize::LargeInput,
+        )
     });
     let prefix = PrefixSums::build(&m);
     group.bench_function("prefix_rect_sum", |b| {
-        b.iter(|| prefix.rect_sum(black_box(&[5, 10, 3]), black_box(&[100, 90, 60])).unwrap())
+        b.iter(|| {
+            prefix
+                .rect_sum(black_box(&[5, 10, 3]), black_box(&[100, 90, 60]))
+                .unwrap()
+        })
     });
     group.bench_function("naive_rect_sum", |b| {
         b.iter(|| {
@@ -112,6 +186,7 @@ criterion_group!(
     bench_haar,
     bench_nominal,
     bench_hn,
+    bench_hn_scaling,
     bench_publishers,
     bench_query_engine
 );

@@ -3,11 +3,16 @@
 //! Figures 6 and 8 (and 7 and 9) plot two metrics of the *same* experiment
 //! runs, so the accuracy panels are computed once per dataset and cached as
 //! JSON under the cargo target directory; the second figure's bench target
-//! loads the cache instead of re-publishing.
+//! loads the cache instead of re-publishing. Serialization is hand-rolled
+//! over [`json::Json`] because the build environment has no crates.io
+//! access for serde.
 
+pub mod json;
+
+use json::Json;
 use privelet_eval::accuracy::run_accuracy;
 use privelet_eval::config::{AccuracyConfig, Scale};
-use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 use std::path::PathBuf;
 
 /// Which census dataset a figure uses.
@@ -34,7 +39,7 @@ impl Dataset {
 pub type Row = (f64, f64, f64, usize);
 
 /// The cached outcome of one (dataset, ε) run: both figures' bucketed rows.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Panel {
     /// Dataset label (includes "-scaled" when reduced).
     pub dataset: String,
@@ -46,6 +51,91 @@ pub struct Panel {
     pub coverage_rows: Vec<Row>,
     /// Relative error bucketed by selectivity (Figures 8/9).
     pub selectivity_rows: Vec<Row>,
+}
+
+fn rows_to_json(rows: &[Row]) -> Json {
+    Json::Arr(
+        rows.iter()
+            .map(|&(key, basic, privelet, count)| {
+                Json::Arr(vec![
+                    Json::Num(key),
+                    Json::Num(basic),
+                    Json::Num(privelet),
+                    Json::Num(count as f64),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn rows_from_json(value: &Json) -> Option<Vec<Row>> {
+    value
+        .as_arr()?
+        .iter()
+        .map(|row| {
+            let cells = row.as_arr()?;
+            if cells.len() != 4 {
+                return None;
+            }
+            Some((
+                cells[0].as_f64()?,
+                cells[1].as_f64()?,
+                cells[2].as_f64()?,
+                cells[3].as_usize()?,
+            ))
+        })
+        .collect()
+}
+
+impl Panel {
+    /// The panel as a JSON value.
+    pub fn to_json(&self) -> Json {
+        let mut map = BTreeMap::new();
+        map.insert("dataset".into(), Json::Str(self.dataset.clone()));
+        map.insert("epsilon".into(), Json::Num(self.epsilon));
+        map.insert(
+            "sa".into(),
+            Json::Arr(self.sa.iter().map(|&i| Json::Num(i as f64)).collect()),
+        );
+        map.insert("coverage_rows".into(), rows_to_json(&self.coverage_rows));
+        map.insert(
+            "selectivity_rows".into(),
+            rows_to_json(&self.selectivity_rows),
+        );
+        Json::Obj(map)
+    }
+
+    /// Reads a panel back from its JSON value.
+    pub fn from_json(value: &Json) -> Option<Panel> {
+        Some(Panel {
+            dataset: value.get("dataset")?.as_str()?.to_string(),
+            epsilon: value.get("epsilon")?.as_f64()?,
+            sa: value
+                .get("sa")?
+                .as_arr()?
+                .iter()
+                .map(Json::as_usize)
+                .collect::<Option<Vec<usize>>>()?,
+            coverage_rows: rows_from_json(value.get("coverage_rows")?)?,
+            selectivity_rows: rows_from_json(value.get("selectivity_rows")?)?,
+        })
+    }
+}
+
+/// Serializes a panel list for the cache file.
+pub fn panels_to_json(panels: &[Panel]) -> String {
+    Json::Arr(panels.iter().map(Panel::to_json).collect()).to_string()
+}
+
+/// Parses a cached panel list; `None` on any structural mismatch (the
+/// cache is then regenerated).
+pub fn panels_from_json(text: &str) -> Option<Vec<Panel>> {
+    Json::parse(text)
+        .ok()?
+        .as_arr()?
+        .iter()
+        .map(Panel::from_json)
+        .collect()
 }
 
 fn cache_path(cfg: &AccuracyConfig) -> PathBuf {
@@ -63,8 +153,8 @@ fn cache_path(cfg: &AccuracyConfig) -> PathBuf {
 pub fn accuracy_panels(dataset: Dataset) -> Vec<Panel> {
     let cfg = dataset.config(Scale::from_env());
     let path = cache_path(&cfg);
-    if let Ok(bytes) = std::fs::read(&path) {
-        if let Ok(panels) = serde_json::from_slice::<Vec<Panel>>(&bytes) {
+    if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Some(panels) = panels_from_json(&text) {
             eprintln!("[bench] loaded cached panels from {}", path.display());
             return panels;
         }
@@ -96,9 +186,7 @@ pub fn accuracy_panels(dataset: Dataset) -> Vec<Panel> {
             }
         })
         .collect();
-    if let Ok(json) = serde_json::to_vec_pretty(&panels) {
-        let _ = std::fs::write(&path, json);
-    }
+    let _ = std::fs::write(&path, panels_to_json(&panels));
     panels
 }
 
@@ -116,7 +204,11 @@ pub fn print_panels(figure: &str, x_label: &str, metric: &str, panels: &[Panel],
             "{:>14} {:>14} {:>14} {:>8}",
             x_label, "Basic", "Privelet+", "queries"
         );
-        let rows = if coverage { &p.coverage_rows } else { &p.selectivity_rows };
+        let rows = if coverage {
+            &p.coverage_rows
+        } else {
+            &p.selectivity_rows
+        };
         for (key, basic, privelet, count) in rows {
             println!("{key:>14.6e} {basic:>14.6e} {privelet:>14.6e} {count:>8}");
         }
@@ -146,9 +238,17 @@ mod tests {
             coverage_rows: vec![(0.1, 100.0, 1.0, 10)],
             selectivity_rows: vec![(0.01, 0.5, 0.05, 10)],
         };
-        let json = serde_json::to_string(&p).unwrap();
-        let back: Panel = serde_json::from_str(&json).unwrap();
-        assert_eq!(back.epsilon, 0.5);
-        assert_eq!(back.coverage_rows, p.coverage_rows);
+        let text = panels_to_json(std::slice::from_ref(&p));
+        let back = panels_from_json(&text).unwrap();
+        assert_eq!(back, vec![p]);
+    }
+
+    #[test]
+    fn corrupt_cache_is_rejected_not_propagated() {
+        assert!(panels_from_json("not json").is_none());
+        assert!(panels_from_json("[{\"dataset\":3}]").is_none());
+        assert!(panels_from_json("[]")
+            .map(|v| v.is_empty())
+            .unwrap_or(false));
     }
 }

@@ -23,7 +23,7 @@
 //! `2(2|A|/ε)²` is a typo — its printed value `128/ε²` for `|A| = 16`
 //! equals `8|A|/ε²`, consistent with §II-B.)
 
-use crate::transform::{DimTransform, HnTransform};
+use crate::transform::{DimTransform, HnTransform, Transform1d};
 use crate::{CoreError, Result};
 use privelet_data::schema::{Attribute, Domain, Schema};
 use std::collections::BTreeSet;
@@ -85,7 +85,10 @@ pub fn hn_variance_bound(hn: &HnTransform, epsilon: f64) -> f64 {
 /// Equation 7 evaluated directly from a schema and an `SA` set.
 pub fn privelet_plus_bound(schema: &Schema, sa: &BTreeSet<usize>, epsilon: f64) -> Result<f64> {
     if let Some(&bad) = sa.iter().find(|&&i| i >= schema.arity()) {
-        return Err(CoreError::BadSaIndex { index: bad, arity: schema.arity() });
+        return Err(CoreError::BadSaIndex {
+            index: bad,
+            arity: schema.arity(),
+        });
     }
     let mut rho = 1.0f64;
     let mut hfac = 1.0f64;
@@ -128,9 +131,9 @@ pub fn bound_for_schema(schema: &Schema, sa: &BTreeSet<usize>, epsilon: f64) -> 
 }
 
 /// `P` factor of a whole transform (= ρ of Theorem 2); exposed for
-/// diagnostics next to [`DimTransform::p_value`].
+/// diagnostics next to [`Transform1d::p_value`].
 pub fn rho_of(transforms: &[DimTransform]) -> f64 {
-    transforms.iter().map(DimTransform::p_value).product()
+    transforms.iter().map(Transform1d::p_value).product()
 }
 
 #[cfg(test)]
@@ -167,7 +170,10 @@ mod tests {
             let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
             let eq4 = eq4_ordinal_bound(m, 0.8);
             let general = hn_variance_bound(&hn, 0.8);
-            assert!((eq4 - general).abs() < 1e-9 * eq4, "m={m}: {eq4} vs {general}");
+            assert!(
+                (eq4 - general).abs() < 1e-9 * eq4,
+                "m={m}: {eq4} vs {general}"
+            );
         }
     }
 
@@ -191,7 +197,11 @@ mod tests {
             Attribute::ordinal("income", 1001),
         ])
         .unwrap();
-        for sa in [BTreeSet::new(), BTreeSet::from([0, 1]), BTreeSet::from([0, 1, 2, 3])] {
+        for sa in [
+            BTreeSet::new(),
+            BTreeSet::from([0, 1]),
+            BTreeSet::from([0, 1, 2, 3]),
+        ] {
             let direct = privelet_plus_bound(&schema, &sa, 1.25).unwrap();
             let via_hn = bound_for_schema(&schema, &sa, 1.25).unwrap();
             assert!(

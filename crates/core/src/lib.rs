@@ -60,7 +60,7 @@ pub mod variance;
 pub use mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig, PriveletOutput,
 };
-pub use transform::{DimTransform, HnTransform};
+pub use transform::{DimTransform, HnTransform, Transform1d};
 
 /// Errors produced by the Privelet core.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,7 +70,10 @@ pub enum CoreError {
     /// An `SA` index is out of range for the schema.
     BadSaIndex { index: usize, arity: usize },
     /// A matrix does not have the dimensions the transform expects.
-    ShapeMismatch { expected: Vec<usize>, got: Vec<usize> },
+    ShapeMismatch {
+        expected: Vec<usize>,
+        got: Vec<usize>,
+    },
     /// ε must be finite and strictly positive.
     BadEpsilon(f64),
     /// A mechanism was applied to an unsupported schema (e.g. the 1-D

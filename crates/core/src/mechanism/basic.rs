@@ -125,7 +125,11 @@ mod tests {
             .unwrap()
             .variance();
         let rel = (stats.variance() - expected).abs() / expected;
-        assert!(rel < 0.15, "empirical {} vs expected {expected}", stats.variance());
+        assert!(
+            rel < 0.15,
+            "empirical {} vs expected {expected}",
+            stats.variance()
+        );
     }
 
     #[test]
@@ -140,7 +144,11 @@ mod tests {
         }
         let expected = 8.0 / (eps * eps);
         let rel = (stats.variance() - expected).abs() / expected;
-        assert!(rel < 0.15, "empirical {} vs expected {expected}", stats.variance());
+        assert!(
+            rel < 0.15,
+            "empirical {} vs expected {expected}",
+            stats.variance()
+        );
         assert!(stats.mean().abs() < 0.25, "noise mean {}", stats.mean());
     }
 }

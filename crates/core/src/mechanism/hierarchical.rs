@@ -79,13 +79,13 @@ pub fn publish_hierarchical_1d_kary(
     let level_size = |lvl: usize| branching.pow(lvl as u32);
 
     // Exact counts bottom-up.
-    let mut exact: Vec<Vec<f64>> =
-        (0..=levels).map(|lvl| vec![0.0; level_size(lvl)]).collect();
+    let mut exact: Vec<Vec<f64>> = (0..=levels).map(|lvl| vec![0.0; level_size(lvl)]).collect();
     exact[levels][..size].copy_from_slice(fm.matrix().as_slice());
     for lvl in (0..levels).rev() {
         for i in 0..level_size(lvl) {
-            exact[lvl][i] =
-                (0..branching).map(|c| exact[lvl + 1][branching * i + c]).sum();
+            exact[lvl][i] = (0..branching)
+                .map(|c| exact[lvl + 1][branching * i + c])
+                .sum();
         }
     }
 
@@ -106,8 +106,7 @@ pub fn publish_hierarchical_1d_kary(
         let own = (pow_i - pow_im1) / (pow_i - 1.0);
         let kids_w = (pow_im1 - 1.0) / (pow_i - 1.0);
         for i in 0..level_size(lvl) {
-            let child_sum: f64 =
-                (0..branching).map(|c| z[lvl + 1][branching * i + c]).sum();
+            let child_sum: f64 = (0..branching).map(|c| z[lvl + 1][branching * i + c]).sum();
             z[lvl][i] = own * y[lvl][i] + kids_w * child_sum;
         }
     }
@@ -117,8 +116,7 @@ pub fn publish_hierarchical_1d_kary(
     for lvl in 1..=levels {
         for i in 0..level_size(lvl) {
             let parent = i / branching;
-            let sibling_sum: f64 =
-                (0..branching).map(|c| z[lvl][branching * parent + c]).sum();
+            let sibling_sum: f64 = (0..branching).map(|c| z[lvl][branching * parent + c]).sum();
             u[lvl][i] = z[lvl][i] + (u[lvl - 1][parent] - sibling_sum) / k;
         }
     }
@@ -137,18 +135,14 @@ mod tests {
 
     fn fm_1d(counts: &[f64]) -> FrequencyMatrix {
         let schema = Schema::new(vec![Attribute::ordinal("x", counts.len())]).unwrap();
-        let matrix =
-            privelet_matrix::NdMatrix::from_vec(&[counts.len()], counts.to_vec()).unwrap();
+        let matrix = privelet_matrix::NdMatrix::from_vec(&[counts.len()], counts.to_vec()).unwrap();
         FrequencyMatrix::from_parts(schema, matrix).unwrap()
     }
 
     #[test]
     fn rejects_multidimensional_input_and_bad_branching() {
-        let schema = Schema::new(vec![
-            Attribute::ordinal("a", 2),
-            Attribute::ordinal("b", 2),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::ordinal("a", 2), Attribute::ordinal("b", 2)]).unwrap();
         let fm = FrequencyMatrix::from_table(&Table::new(schema)).unwrap();
         assert!(matches!(
             publish_hierarchical_1d(&fm, 1.0, 1).unwrap_err(),

@@ -29,7 +29,10 @@ use std::collections::BTreeSet;
 pub fn marginal_of(published: &FrequencyMatrix, keep: &BTreeSet<usize>) -> Result<FrequencyMatrix> {
     let schema = published.schema();
     if let Some(&bad) = keep.iter().find(|&&i| i >= schema.arity()) {
-        return Err(CoreError::BadSaIndex { index: bad, arity: schema.arity() });
+        return Err(CoreError::BadSaIndex {
+            index: bad,
+            arity: schema.arity(),
+        });
     }
     if keep.is_empty() {
         return Err(CoreError::Unsupported(
@@ -107,8 +110,7 @@ mod tests {
     fn marginal_cells_respect_the_variance_bound() {
         let fm = medical_fm();
         let eps = 1.0;
-        let bound =
-            marginal_cell_variance_bound(fm.schema(), &BTreeSet::new(), eps).unwrap();
+        let bound = marginal_cell_variance_bound(fm.schema(), &BTreeSet::new(), eps).unwrap();
         // Empirical variance of one marginal cell across publishes.
         let mut stats = RunningStats::new();
         for t in 0..400u64 {
@@ -127,8 +129,6 @@ mod tests {
     fn bound_validates_inputs() {
         let fm = medical_fm();
         assert!(marginal_cell_variance_bound(fm.schema(), &BTreeSet::new(), 0.0).is_err());
-        assert!(
-            marginal_cell_variance_bound(fm.schema(), &BTreeSet::from([9]), 1.0).is_err()
-        );
+        assert!(marginal_cell_variance_bound(fm.schema(), &BTreeSet::from([9]), 1.0).is_err());
     }
 }

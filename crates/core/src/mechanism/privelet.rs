@@ -6,6 +6,7 @@ use crate::transform::HnTransform;
 use crate::Result;
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
+use privelet_matrix::LaneExecutor;
 use privelet_noise::{derive_rng, Laplace};
 use std::collections::BTreeSet;
 
@@ -24,7 +25,11 @@ pub struct PriveletConfig {
 impl PriveletConfig {
     /// Pure Privelet: every dimension is wavelet-transformed (`SA = ∅`).
     pub fn pure(epsilon: f64, seed: u64) -> Self {
-        PriveletConfig { epsilon, sa: BTreeSet::new(), seed }
+        PriveletConfig {
+            epsilon,
+            sa: BTreeSet::new(),
+            seed,
+        }
     }
 
     /// Privelet⁺ with an explicit `SA` set.
@@ -35,7 +40,11 @@ impl PriveletConfig {
     /// Privelet⁺ with `SA` chosen by the §VII-A rule
     /// (`|A| ≤ P(A)²·H(A)` ⇒ exclude from the transform).
     pub fn auto(schema: &Schema, epsilon: f64, seed: u64) -> Self {
-        PriveletConfig { epsilon, sa: recommend_sa(schema), seed }
+        PriveletConfig {
+            epsilon,
+            sa: recommend_sa(schema),
+            seed,
+        }
     }
 }
 
@@ -65,8 +74,22 @@ pub struct PriveletOutput {
 /// with `λ = 2ρ/ε` → mean-subtraction refinement on nominal dimensions →
 /// inverse transform.
 pub fn publish_privelet(fm: &FrequencyMatrix, cfg: &PriveletConfig) -> Result<PriveletOutput> {
+    publish_privelet_with(&mut LaneExecutor::new(), fm, cfg)
+}
+
+/// [`publish_privelet`] on a caller-provided [`LaneExecutor`].
+///
+/// Repeated publishes (epsilon sweeps, trial loops, serving) should hold
+/// one executor so the transform engine's ping-pong buffers are reused;
+/// each publish then performs only the two unavoidable matrix-sized
+/// allocations (the coefficient matrix and the published matrix).
+pub fn publish_privelet_with(
+    exec: &mut LaneExecutor,
+    fm: &FrequencyMatrix,
+    cfg: &PriveletConfig,
+) -> Result<PriveletOutput> {
     let hn = HnTransform::for_schema(fm.schema(), &cfg.sa)?;
-    publish_with_transform(fm, &hn, cfg.epsilon, cfg.seed)
+    publish_with_transform_on(exec, fm, &hn, cfg.epsilon, cfg.seed)
 }
 
 /// Publishes with an explicitly constructed transform (used by ablations
@@ -78,13 +101,25 @@ pub fn publish_with_transform(
     epsilon: f64,
     seed: u64,
 ) -> Result<PriveletOutput> {
+    publish_with_transform_on(&mut LaneExecutor::new(), fm, hn, epsilon, seed)
+}
+
+/// [`publish_with_transform`] on a caller-provided executor: both the
+/// forward and the refine+inverse pipeline run on its buffers.
+pub fn publish_with_transform_on(
+    exec: &mut LaneExecutor,
+    fm: &FrequencyMatrix,
+    hn: &HnTransform,
+    epsilon: f64,
+    seed: u64,
+) -> Result<PriveletOutput> {
     let rho = hn.rho();
     let lambda = lambda_for_epsilon(epsilon, rho)?;
     let std_lap = Laplace::new(1.0)?;
     let mut rng = derive_rng(seed, super::NOISE_STREAM);
 
     // Step 1: wavelet transform.
-    let mut coeffs = hn.forward(fm.matrix())?;
+    let mut coeffs = hn.forward_with(exec, fm.matrix())?;
 
     // Step 2: weighted Laplace noise. Lap(λ/W) == (λ/W) · Lap(1), so one
     // standard sampler serves every coefficient.
@@ -94,7 +129,7 @@ pub fn publish_with_transform(
     });
 
     // Step 3: refinement + inverse transform.
-    let noisy = hn.inverse_refined(&coeffs)?;
+    let noisy = hn.inverse_refined_with(exec, &coeffs)?;
 
     Ok(PriveletOutput {
         matrix: FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?,
@@ -128,6 +163,24 @@ mod tests {
         // Coefficients: padded 8 (Haar) x 3 nodes (flat-2 hierarchy).
         assert_eq!(out.coefficient_count, 24);
         assert!(out.variance_bound > 0.0);
+    }
+
+    #[test]
+    fn reused_executor_is_bit_identical_to_throwaway() {
+        // The engine's buffers carry garbage from earlier publishes; reuse
+        // must never leak it into results.
+        let fm = medical_fm();
+        let mut exec = LaneExecutor::new();
+        for seed in 0..8u64 {
+            let cfg = PriveletConfig::pure(1.0, seed);
+            let warm = publish_privelet_with(&mut exec, &fm, &cfg).unwrap();
+            let cold = publish_privelet(&fm, &cfg).unwrap();
+            assert_eq!(
+                warm.matrix.matrix().as_slice(),
+                cold.matrix.matrix().as_slice(),
+                "seed {seed}"
+            );
+        }
     }
 
     #[test]
@@ -186,11 +239,7 @@ mod tests {
             let trials = 200;
             for t in 0..trials {
                 let out = publish_privelet(&fm, &PriveletConfig::pure(eps, t)).unwrap();
-                total += out
-                    .matrix
-                    .matrix()
-                    .l1_distance(fm.matrix())
-                    .unwrap();
+                total += out.matrix.matrix().l1_distance(fm.matrix()).unwrap();
             }
             total / trials as f64
         };

@@ -25,7 +25,11 @@ pub fn unit_bump_weighted_l1(hn: &HnTransform, coords: &[usize]) -> Result<f64> 
     for (lin, &v) in c.as_slice().iter().enumerate() {
         if v != 0.0 {
             out_shape.coords(lin, &mut out_coords)?;
-            let w: f64 = out_coords.iter().zip(weights).map(|(&x, wv)| wv[x]).product();
+            let w: f64 = out_coords
+                .iter()
+                .zip(weights)
+                .map(|(&x, wv)| wv[x])
+                .product();
             total += w * v.abs();
         }
     }
@@ -77,7 +81,10 @@ mod tests {
         // an upper bound, achieved only by the deepest leaves.
         let h = Spec::internal(
             "root",
-            vec![Spec::leaf("a"), Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")])],
+            vec![
+                Spec::leaf("a"),
+                Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")]),
+            ],
         )
         .build()
         .unwrap();

@@ -15,6 +15,8 @@
 //! sensitivity `1 + log₂ m` (Lemma 2) and per-query noise variance at most
 //! `(2 + log₂ m)/2 · σ²` (Lemma 3).
 
+use super::transform1d::Transform1d;
+
 /// The 1-D Haar transform for an ordinal dimension of `input_len` values,
 /// zero-padded to `padded_len = 2^l`.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,19 +32,11 @@ impl HaarTransform {
         assert!(input_len >= 1, "Haar transform needs a non-empty domain");
         let padded_len = input_len.next_power_of_two();
         let levels = padded_len.trailing_zeros();
-        HaarTransform { input_len, padded_len, levels }
-    }
-
-    /// Domain size |A| before padding.
-    #[inline]
-    pub fn input_len(&self) -> usize {
-        self.input_len
-    }
-
-    /// Padded length `2^l` (= number of coefficients).
-    #[inline]
-    pub fn output_len(&self) -> usize {
-        self.padded_len
+        HaarTransform {
+            input_len,
+            padded_len,
+            levels,
+        }
     }
 
     /// Number of decomposition-tree levels `l = log₂(padded_len)`.
@@ -50,12 +44,26 @@ impl HaarTransform {
     pub fn levels(&self) -> u32 {
         self.levels
     }
+}
+
+impl Transform1d for HaarTransform {
+    /// Domain size |A| before padding.
+    #[inline]
+    fn input_len(&self) -> usize {
+        self.input_len
+    }
+
+    /// Padded length `2^l` (= number of coefficients).
+    #[inline]
+    fn output_len(&self) -> usize {
+        self.padded_len
+    }
 
     /// Forward transform with caller-provided scratch (hot path for the
     /// multi-dimensional transform, which reuses one buffer across lanes):
     /// `src.len() == input_len`, `dst.len() == padded_len`,
     /// `scratch.len() >= padded_len`.
-    pub fn forward_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+    fn forward(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
         debug_assert_eq!(src.len(), self.input_len);
         debug_assert_eq!(dst.len(), self.padded_len);
         debug_assert!(scratch.len() >= self.padded_len);
@@ -78,17 +86,11 @@ impl HaarTransform {
         }
     }
 
-    /// Forward transform (allocating convenience wrapper).
-    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
-        let mut scratch = vec![0.0f64; self.padded_len];
-        self.forward_scratch(src, dst, &mut scratch);
-    }
-
     /// Inverse transform (Equation 3 applied level by level) with
     /// caller-provided scratch: `src.len() == padded_len`,
     /// `dst.len() == input_len`, `scratch.len() >= padded_len`. Entries
     /// beyond the original domain (padding) are discarded.
-    pub fn inverse_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+    fn inverse(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
         debug_assert_eq!(src.len(), self.padded_len);
         debug_assert_eq!(dst.len(), self.input_len);
         debug_assert!(scratch.len() >= self.padded_len);
@@ -108,15 +110,9 @@ impl HaarTransform {
         dst.copy_from_slice(&scratch[..self.input_len]);
     }
 
-    /// Inverse transform (allocating convenience wrapper).
-    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
-        let mut scratch = vec![0.0f64; self.padded_len];
-        self.inverse_scratch(src, dst, &mut scratch);
-    }
-
     /// The weight vector `W_Haar` over the coefficient layout: index 0 → `m`
     /// (padded), index `j` at level `i = ⌊log₂ j⌋+1` → `2^(l−i+1)`.
-    pub fn weights(&self) -> Vec<f64> {
+    fn weights(&self) -> Vec<f64> {
         let l = self.levels;
         let mut w = Vec::with_capacity(self.padded_len);
         w.push(self.padded_len as f64);
@@ -129,13 +125,22 @@ impl HaarTransform {
 
     /// Generalized sensitivity `P(A) = 1 + log₂ m` of the transform w.r.t.
     /// its weights (Lemma 2, exact — property-tested below).
-    pub fn p_value(&self) -> f64 {
+    fn p_value(&self) -> f64 {
         1.0 + f64::from(self.levels)
     }
 
     /// Per-query variance factor `H(A) = (2 + log₂ m)/2` (Lemma 3).
-    pub fn h_value(&self) -> f64 {
+    fn h_value(&self) -> f64 {
         (2.0 + f64::from(self.levels)) / 2.0
+    }
+
+    /// No refinement step for Haar coefficients.
+    fn has_refinement(&self) -> bool {
+        false
+    }
+
+    fn kind(&self) -> &'static str {
+        "haar"
     }
 }
 
@@ -150,7 +155,7 @@ mod tests {
     fn figure2_coefficients() {
         let t = HaarTransform::new(8);
         let mut c = vec![0.0; 8];
-        t.forward(&FIG2, &mut c);
+        t.forward_alloc(&FIG2, &mut c);
         // c0..c7 per Figure 2: 5.5, -0.5, 1, 0, 3, 2, 2, -1.
         assert_eq!(c, vec![5.5, -0.5, 1.0, 0.0, 3.0, 2.0, 2.0, -1.0]);
     }
@@ -168,10 +173,10 @@ mod tests {
         // v2 = c0 + c1 + c2 - c4 (Example 2).
         let t = HaarTransform::new(8);
         let mut c = vec![0.0; 8];
-        t.forward(&FIG2, &mut c);
+        t.forward_alloc(&FIG2, &mut c);
         assert_eq!(c[0] + c[1] + c[2] - c[4], 3.0);
         let mut back = vec![0.0; 8];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         assert_eq!(back, FIG2.to_vec());
     }
 
@@ -182,9 +187,9 @@ mod tests {
         assert_eq!(t.output_len(), 8);
         let src = [1.0, -2.0, 3.5, 0.0, 7.0];
         let mut c = vec![0.0; 8];
-        t.forward(&src, &mut c);
+        t.forward_alloc(&src, &mut c);
         let mut back = vec![0.0; 5];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         for (a, b) in src.iter().zip(&back) {
             assert!((a - b).abs() < 1e-12);
         }
@@ -197,18 +202,18 @@ mod tests {
         assert_eq!(t.output_len(), 1);
         assert_eq!(t.levels(), 0);
         let mut c = vec![0.0];
-        t.forward(&[42.0], &mut c);
+        t.forward_alloc(&[42.0], &mut c);
         assert_eq!(c, vec![42.0]);
         assert_eq!(t.weights(), vec![1.0]);
         assert_eq!(t.p_value(), 1.0);
         let mut back = vec![0.0];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         assert_eq!(back, vec![42.0]);
 
         // |A| = 2: base + one detail.
         let t2 = HaarTransform::new(2);
         let mut c2 = vec![0.0; 2];
-        t2.forward(&[10.0, 4.0], &mut c2);
+        t2.forward_alloc(&[10.0, 4.0], &mut c2);
         assert_eq!(c2, vec![7.0, 3.0]);
         assert_eq!(t2.weights(), vec![2.0, 2.0]);
     }
@@ -217,7 +222,7 @@ mod tests {
     fn base_coefficient_is_mean() {
         let t = HaarTransform::new(8);
         let mut c = vec![0.0; 8];
-        t.forward(&FIG2, &mut c);
+        t.forward_alloc(&FIG2, &mut c);
         let mean: f64 = FIG2.iter().sum::<f64>() / 8.0;
         assert!((c[0] - mean).abs() < 1e-12);
     }
@@ -231,9 +236,9 @@ mod tests {
         let mut ca = vec![0.0; 8];
         let mut cb = vec![0.0; 8];
         let mut cs = vec![0.0; 8];
-        t.forward(&a, &mut ca);
-        t.forward(&b, &mut cb);
-        t.forward(&sum, &mut cs);
+        t.forward_alloc(&a, &mut ca);
+        t.forward_alloc(&b, &mut cb);
+        t.forward_alloc(&sum, &mut cs);
         for i in 0..8 {
             assert!((cs[i] - (ca[i] + cb[i])).abs() < 1e-12);
         }
@@ -251,7 +256,7 @@ mod tests {
                 let mut unit = vec![0.0; len];
                 unit[cell] = delta;
                 let mut c = vec![0.0; t.output_len()];
-                t.forward(&unit, &mut c);
+                t.forward_alloc(&unit, &mut c);
                 let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
                 let expected = t.p_value() * delta;
                 assert!(
@@ -271,7 +276,7 @@ mod tests {
             let mut unit = vec![0.0; 5];
             unit[cell] = 1.0;
             let mut c = vec![0.0; 8];
-            t.forward(&unit, &mut c);
+            t.forward_alloc(&unit, &mut c);
             let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
             assert!((weighted - 4.0).abs() < 1e-9, "cell {cell}: {weighted}");
         }
@@ -284,13 +289,13 @@ mod tests {
         let mut c1 = vec![0.0; 8];
         let mut c2 = vec![0.0; 8];
         let mut scratch = vec![0.0; 8];
-        t.forward(&src, &mut c1);
-        t.forward_scratch(&src, &mut c2, &mut scratch);
+        t.forward_alloc(&src, &mut c1);
+        t.forward(&src, &mut c2, &mut scratch);
         assert_eq!(c1, c2);
         let mut b1 = vec![0.0; 6];
         let mut b2 = vec![0.0; 6];
-        t.inverse(&c1, &mut b1);
-        t.inverse_scratch(&c1, &mut b2, &mut scratch);
+        t.inverse_alloc(&c1, &mut b1);
+        t.inverse(&c1, &mut b2, &mut scratch);
         assert_eq!(b1, b2);
     }
 }

@@ -20,11 +20,65 @@
 //! refinement applied to each lane right before that axis is inverted —
 //! footnote 2 of §VI-B).
 
-use super::DimTransform;
+use super::{DimTransform, Transform1d};
 use crate::{CoreError, Result};
 use privelet_data::schema::Schema;
-use privelet_matrix::{map_lanes, NdMatrix};
+use privelet_matrix::{AxisStage, LaneExecutor, LaneKernel, NdMatrix};
 use std::collections::BTreeSet;
+
+/// Lane kernel running one dimension's forward transform.
+struct ForwardKernel<'a>(&'a DimTransform);
+
+impl LaneKernel for ForwardKernel<'_> {
+    fn input_len(&self) -> usize {
+        self.0.input_len()
+    }
+    fn output_len(&self) -> usize {
+        self.0.output_len()
+    }
+    fn scratch_len(&self) -> usize {
+        self.0.scratch_len()
+    }
+    fn apply(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        self.0.forward(src, dst, scratch);
+    }
+}
+
+/// Lane kernel running one dimension's inverse transform, optionally with
+/// the mean-subtraction refinement applied to the coefficient lane first
+/// (footnote 2 of §VI-B).
+struct InverseKernel<'a> {
+    transform: &'a DimTransform,
+    refined: bool,
+}
+
+impl LaneKernel for InverseKernel<'_> {
+    fn input_len(&self) -> usize {
+        self.transform.output_len()
+    }
+    fn output_len(&self) -> usize {
+        self.transform.input_len()
+    }
+    fn scratch_len(&self) -> usize {
+        if self.refined {
+            // Front half: the refined coefficient lane; back half: the
+            // transform's own scratch.
+            self.transform.output_len() + self.transform.scratch_len()
+        } else {
+            self.transform.scratch_len()
+        }
+    }
+    fn apply(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        if self.refined {
+            let (lane, rest) = scratch.split_at_mut(self.transform.output_len());
+            lane.copy_from_slice(src);
+            self.transform.refine(lane);
+            self.transform.inverse(lane, dst, rest);
+        } else {
+            self.transform.inverse(src, dst, scratch);
+        }
+    }
+}
 
 /// The multi-dimensional HN wavelet transform: one [`DimTransform`] per
 /// dimension, with cached per-dimension weight vectors.
@@ -41,7 +95,10 @@ impl HnTransform {
             return Err(CoreError::EmptyTransform);
         }
         let weights = transforms.iter().map(DimTransform::weights).collect();
-        Ok(HnTransform { transforms, weights })
+        Ok(HnTransform {
+            transforms,
+            weights,
+        })
     }
 
     /// Builds the transform for a schema: Haar for ordinal dimensions,
@@ -49,7 +106,10 @@ impl HnTransform {
     /// (Privelet⁺). `sa` indices must be valid attribute indices.
     pub fn for_schema(schema: &Schema, sa: &BTreeSet<usize>) -> Result<Self> {
         if let Some(&bad) = sa.iter().find(|&&i| i >= schema.arity()) {
-            return Err(CoreError::BadSaIndex { index: bad, arity: schema.arity() });
+            return Err(CoreError::BadSaIndex {
+                index: bad,
+                arity: schema.arity(),
+            });
         }
         let transforms = schema
             .attrs()
@@ -72,17 +132,26 @@ impl HnTransform {
 
     /// Expected input dimension sizes (= the frequency matrix dims).
     pub fn input_dims(&self) -> Vec<usize> {
-        self.transforms.iter().map(DimTransform::input_len).collect()
+        self.transforms
+            .iter()
+            .map(DimTransform::input_len)
+            .collect()
     }
 
     /// Output dimension sizes (= the coefficient matrix dims).
     pub fn output_dims(&self) -> Vec<usize> {
-        self.transforms.iter().map(DimTransform::output_len).collect()
+        self.transforms
+            .iter()
+            .map(DimTransform::output_len)
+            .collect()
     }
 
     /// Number of coefficients `m' = ∏ output_len(i)`.
     pub fn output_cells(&self) -> usize {
-        self.transforms.iter().map(DimTransform::output_len).product()
+        self.transforms
+            .iter()
+            .map(DimTransform::output_len)
+            .product()
     }
 
     /// Per-dimension 1-D weight vectors.
@@ -100,29 +169,40 @@ impl HnTransform {
         self.transforms.iter().map(DimTransform::h_value).product()
     }
 
-    /// Forward transform `M → C_d`.
+    /// Forward transform `M → C_d` on a throwaway executor.
+    ///
+    /// For repeated transforms (a publish, a sweep, a server loop) prefer
+    /// [`forward_with`](Self::forward_with) with a long-lived
+    /// [`LaneExecutor`] so the engine's ping-pong buffers amortize to zero
+    /// allocations.
     pub fn forward(&self, m: &NdMatrix) -> Result<NdMatrix> {
+        self.forward_with(&mut LaneExecutor::new(), m)
+    }
+
+    /// Forward transform `M → C_d` on a caller-provided executor: the d
+    /// per-axis 1-D transforms run as one engine pipeline, allocating
+    /// nothing but the returned matrix once the executor is warm.
+    pub fn forward_with(&self, exec: &mut LaneExecutor, m: &NdMatrix) -> Result<NdMatrix> {
         if m.dims() != self.input_dims() {
             return Err(CoreError::ShapeMismatch {
                 expected: self.input_dims(),
                 got: m.dims().to_vec(),
             });
         }
-        let mut cur = m.clone();
-        for (axis, t) in self.transforms.iter().enumerate() {
-            let mut scratch = vec![0.0f64; t.output_len()];
-            cur = map_lanes(&cur, axis, t.output_len(), |src, dst| {
-                t.forward_lane(src, dst, &mut scratch);
-            })
-            .map_err(CoreError::Matrix)?;
-        }
-        Ok(cur)
+        let kernels: Vec<ForwardKernel<'_>> = self.transforms.iter().map(ForwardKernel).collect();
+        let stages: Vec<AxisStage<'_>> = kernels
+            .iter()
+            .enumerate()
+            .map(|(axis, kernel)| AxisStage { axis, kernel })
+            .collect();
+        exec.run(m, &stages).map_err(CoreError::Matrix)
     }
 
     /// Inverse transform `C_d → M` without refinement (exact algebraic
-    /// inverse; used by round-trip tests).
+    /// inverse; used by round-trip tests). Throwaway executor; see
+    /// [`inverse_with`](Self::inverse_with).
     pub fn inverse(&self, c: &NdMatrix) -> Result<NdMatrix> {
-        self.inverse_impl(c, false)
+        self.inverse_with(&mut LaneExecutor::new(), c)
     }
 
     /// Inverse transform with the mean-subtraction refinement applied to
@@ -130,32 +210,52 @@ impl HnTransform {
     /// (footnote 2 of §VI-B). This is the path the Privelet mechanism uses
     /// on noisy coefficients; it is a no-op on exact coefficients.
     pub fn inverse_refined(&self, c: &NdMatrix) -> Result<NdMatrix> {
-        self.inverse_impl(c, true)
+        self.inverse_refined_with(&mut LaneExecutor::new(), c)
     }
 
-    fn inverse_impl(&self, c: &NdMatrix, refined: bool) -> Result<NdMatrix> {
+    /// [`inverse`](Self::inverse) on a caller-provided executor.
+    pub fn inverse_with(&self, exec: &mut LaneExecutor, c: &NdMatrix) -> Result<NdMatrix> {
+        self.inverse_impl(exec, c, false)
+    }
+
+    /// [`inverse_refined`](Self::inverse_refined) on a caller-provided
+    /// executor.
+    pub fn inverse_refined_with(&self, exec: &mut LaneExecutor, c: &NdMatrix) -> Result<NdMatrix> {
+        self.inverse_impl(exec, c, true)
+    }
+
+    fn inverse_impl(
+        &self,
+        exec: &mut LaneExecutor,
+        c: &NdMatrix,
+        refined: bool,
+    ) -> Result<NdMatrix> {
         if c.dims() != self.output_dims() {
             return Err(CoreError::ShapeMismatch {
                 expected: self.output_dims(),
                 got: c.dims().to_vec(),
             });
         }
-        let mut cur = c.clone();
-        for (axis, t) in self.transforms.iter().enumerate().rev() {
-            let mut scratch = vec![0.0f64; t.output_len()];
-            let mut lane = vec![0.0f64; t.output_len()];
-            cur = map_lanes(&cur, axis, t.input_len(), |src, dst| {
-                if refined {
-                    lane.copy_from_slice(src);
-                    t.refine_lane(&mut lane);
-                    t.inverse_lane(&lane, dst, &mut scratch);
-                } else {
-                    t.inverse_lane(src, dst, &mut scratch);
-                }
+        // Axes are inverted in reverse order; because the 1-D transforms
+        // act on disjoint axes the composition commutes, but keeping the
+        // reverse order preserves the refine-before-invert pairing.
+        let kernels: Vec<InverseKernel<'_>> = self
+            .transforms
+            .iter()
+            .map(|transform| InverseKernel {
+                transform,
+                // Only axes whose refine() does anything pay the
+                // copy-refine step; for the rest it would be a no-op copy.
+                refined: refined && transform.has_refinement(),
             })
-            .map_err(CoreError::Matrix)?;
-        }
-        Ok(cur)
+            .collect();
+        let stages: Vec<AxisStage<'_>> = kernels
+            .iter()
+            .enumerate()
+            .rev()
+            .map(|(axis, kernel)| AxisStage { axis, kernel })
+            .collect();
+        exec.run(c, &stages).map_err(CoreError::Matrix)
     }
 
     /// Visits every coefficient cell of the output matrix in row-major
@@ -207,11 +307,8 @@ mod tests {
     use privelet_hierarchy::builder::{flat, three_level};
 
     fn ordinal_2x2() -> HnTransform {
-        let schema = Schema::new(vec![
-            Attribute::ordinal("r", 2),
-            Attribute::ordinal("c", 2),
-        ])
-        .unwrap();
+        let schema =
+            Schema::new(vec![Attribute::ordinal("r", 2), Attribute::ordinal("c", 2)]).unwrap();
         HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap()
     }
 
@@ -241,10 +338,10 @@ mod tests {
 
     fn mixed_transform() -> (Schema, HnTransform) {
         let schema = Schema::new(vec![
-            Attribute::ordinal("age", 5),                               // pads to 8
-            Attribute::nominal("gender", flat(2).unwrap()),             // 3 nodes
-            Attribute::nominal("occ", three_level(6, 2).unwrap()),      // 9 nodes
-            Attribute::ordinal("income", 4),                            // exact 4
+            Attribute::ordinal("age", 5),                          // pads to 8
+            Attribute::nominal("gender", flat(2).unwrap()),        // 3 nodes
+            Attribute::nominal("occ", three_level(6, 2).unwrap()), // 9 nodes
+            Attribute::ordinal("income", 4),                       // exact 4
         ])
         .unwrap();
         let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
@@ -364,8 +461,7 @@ mod tests {
             for (lin, &v) in c.as_slice().iter().enumerate() {
                 if v != 0.0 {
                     shape.coords(lin, &mut coords).unwrap();
-                    let w: f64 =
-                        coords.iter().zip(&weights).map(|(&x, wv)| wv[x]).product();
+                    let w: f64 = coords.iter().zip(&weights).map(|(&x, wv)| wv[x]).product();
                     weighted += w * v.abs();
                 }
             }

@@ -9,6 +9,8 @@
 //! the workspace root). The identity transform has generalized sensitivity
 //! `P(A) = 1` and per-query variance factor `H(A) = |A|` (Corollary 1).
 
+use super::transform1d::Transform1d;
+
 /// Identity transform over a domain of `len` values.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IdentityTransform {
@@ -21,46 +23,63 @@ impl IdentityTransform {
         assert!(len >= 1, "identity transform needs a non-empty domain");
         IdentityTransform { len }
     }
+}
 
+impl Transform1d for IdentityTransform {
     /// Domain size |A|.
     #[inline]
-    pub fn input_len(&self) -> usize {
+    fn input_len(&self) -> usize {
         self.len
     }
 
     /// Output length (= input length).
     #[inline]
-    pub fn output_len(&self) -> usize {
+    fn output_len(&self) -> usize {
         self.len
     }
 
+    /// No scratch needed: both directions are a copy.
+    #[inline]
+    fn scratch_len(&self) -> usize {
+        0
+    }
+
     /// Forward: copy.
-    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
+    fn forward(&self, src: &[f64], dst: &mut [f64], _scratch: &mut [f64]) {
         debug_assert_eq!(src.len(), self.len);
         debug_assert_eq!(dst.len(), self.len);
         dst.copy_from_slice(src);
     }
 
     /// Inverse: copy.
-    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
+    fn inverse(&self, src: &[f64], dst: &mut [f64], _scratch: &mut [f64]) {
         debug_assert_eq!(src.len(), self.len);
         debug_assert_eq!(dst.len(), self.len);
         dst.copy_from_slice(src);
     }
 
     /// Unit weights.
-    pub fn weights(&self) -> Vec<f64> {
+    fn weights(&self) -> Vec<f64> {
         vec![1.0; self.len]
     }
 
     /// Generalized sensitivity factor `P(A) = 1`.
-    pub fn p_value(&self) -> f64 {
+    fn p_value(&self) -> f64 {
         1.0
     }
 
     /// Variance factor `H(A) = |A|`.
-    pub fn h_value(&self) -> f64 {
+    fn h_value(&self) -> f64 {
         self.len as f64
+    }
+
+    /// No refinement step for pass-through dimensions.
+    fn has_refinement(&self) -> bool {
+        false
+    }
+
+    fn kind(&self) -> &'static str {
+        "identity"
     }
 }
 
@@ -73,11 +92,12 @@ mod tests {
         let t = IdentityTransform::new(4);
         let src = [1.0, -2.0, 3.0, 4.5];
         let mut c = [0.0; 4];
-        t.forward(&src, &mut c);
+        t.forward_alloc(&src, &mut c);
         assert_eq!(c, src);
         let mut back = [0.0; 4];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         assert_eq!(back, src);
+        assert_eq!(t.scratch_len(), 0);
     }
 
     #[test]

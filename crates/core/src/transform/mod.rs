@@ -1,27 +1,41 @@
 //! Wavelet transforms: 1-D building blocks and the multi-dimensional
 //! Haar–nominal composition.
 //!
+//! - [`transform1d`] — the [`Transform1d`] trait every 1-D transform
+//!   implements; the HN transform and the lane-execution engine dispatch
+//!   through it.
 //! - [`haar`] — the Haar wavelet transform for ordinal dimensions (§IV).
 //! - [`nominal`] — the novel nominal wavelet transform for hierarchy-equipped
 //!   dimensions (§V), including the mean-subtraction refinement.
 //! - [`identity`] — the pass-through used by Privelet⁺ for `SA` dimensions
 //!   (§VI-D).
 //! - [`hn`] — the multi-dimensional HN transform via standard decomposition
-//!   (§VI-A) with factorized weights (§VI-B).
+//!   (§VI-A) with factorized weights (§VI-B), executed on the
+//!   [`LaneExecutor`](privelet_matrix::LaneExecutor) engine.
 
 pub mod haar;
 pub mod hn;
 pub mod identity;
 pub mod nominal;
+pub mod transform1d;
 
 pub use haar::HaarTransform;
 pub use hn::HnTransform;
 pub use identity::IdentityTransform;
 pub use nominal::NominalTransform;
+pub use transform1d::Transform1d;
 
 use privelet_data::schema::{Attribute, Domain};
 
 /// The 1-D transform applied along one dimension of the HN transform.
+///
+/// This enum exists purely as object-safe *storage*: a schema mixes Haar,
+/// nominal and identity dimensions, so `HnTransform` needs one sized slot
+/// per dimension. All behavior lives in the [`Transform1d`] trait; the
+/// enum's own impl is a single match ([`as_transform`]) and every trait
+/// method delegates through it.
+///
+/// [`as_transform`]: DimTransform::as_transform
 #[derive(Debug, Clone)]
 pub enum DimTransform {
     /// Haar wavelet transform (ordinal dimension).
@@ -48,87 +62,67 @@ impl DimTransform {
         }
     }
 
-    /// Input (domain) length.
-    pub fn input_len(&self) -> usize {
+    /// The variant as a trait object — the one place the enum is matched.
+    #[inline]
+    pub fn as_transform(&self) -> &dyn Transform1d {
         match self {
-            DimTransform::Haar(t) => t.input_len(),
-            DimTransform::Nominal(t) => t.input_len(),
-            DimTransform::Identity(t) => t.input_len(),
+            DimTransform::Haar(t) => t,
+            DimTransform::Nominal(t) => t,
+            DimTransform::Identity(t) => t,
         }
     }
+}
 
-    /// Output (coefficient) length.
-    pub fn output_len(&self) -> usize {
-        match self {
-            DimTransform::Haar(t) => t.output_len(),
-            DimTransform::Nominal(t) => t.output_len(),
-            DimTransform::Identity(t) => t.output_len(),
-        }
+impl Transform1d for DimTransform {
+    #[inline]
+    fn input_len(&self) -> usize {
+        self.as_transform().input_len()
     }
 
-    /// Applies the forward 1-D transform to one lane. `scratch` must have
-    /// at least `output_len()` elements.
-    pub fn forward_lane(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
-        match self {
-            DimTransform::Haar(t) => t.forward_scratch(src, dst, scratch),
-            DimTransform::Nominal(t) => t.forward_scratch(src, dst, scratch),
-            DimTransform::Identity(t) => t.forward(src, dst),
-        }
+    #[inline]
+    fn output_len(&self) -> usize {
+        self.as_transform().output_len()
     }
 
-    /// Applies the inverse 1-D transform to one lane. `scratch` must have
-    /// at least `output_len()` elements.
-    pub fn inverse_lane(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
-        match self {
-            DimTransform::Haar(t) => t.inverse_scratch(src, dst, scratch),
-            DimTransform::Nominal(t) => t.inverse_scratch(src, dst, scratch),
-            DimTransform::Identity(t) => t.inverse(src, dst),
-        }
+    #[inline]
+    fn scratch_len(&self) -> usize {
+        self.as_transform().scratch_len()
     }
 
-    /// Applies the refinement step to one noisy coefficient lane: mean
-    /// subtraction for nominal dimensions (§V-B and footnote 2 of §VI-B),
-    /// a no-op otherwise.
-    pub fn refine_lane(&self, coeffs: &mut [f64]) {
-        if let DimTransform::Nominal(t) = self {
-            t.mean_subtract(coeffs);
-        }
+    #[inline]
+    fn forward(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        self.as_transform().forward(src, dst, scratch)
     }
 
-    /// The 1-D weight vector over the coefficient layout.
-    pub fn weights(&self) -> Vec<f64> {
-        match self {
-            DimTransform::Haar(t) => t.weights(),
-            DimTransform::Nominal(t) => t.weights(),
-            DimTransform::Identity(t) => t.weights(),
-        }
+    #[inline]
+    fn inverse(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        self.as_transform().inverse(src, dst, scratch)
     }
 
-    /// Generalized-sensitivity factor `P(A)` (§VI-C).
-    pub fn p_value(&self) -> f64 {
-        match self {
-            DimTransform::Haar(t) => t.p_value(),
-            DimTransform::Nominal(t) => t.p_value(),
-            DimTransform::Identity(t) => t.p_value(),
-        }
+    #[inline]
+    fn refine(&self, coeffs: &mut [f64]) {
+        self.as_transform().refine(coeffs)
     }
 
-    /// Variance factor `H(A)` (§VI-C; `|A|` for identity per Corollary 1).
-    pub fn h_value(&self) -> f64 {
-        match self {
-            DimTransform::Haar(t) => t.h_value(),
-            DimTransform::Nominal(t) => t.h_value(),
-            DimTransform::Identity(t) => t.h_value(),
-        }
+    #[inline]
+    fn has_refinement(&self) -> bool {
+        self.as_transform().has_refinement()
     }
 
-    /// Short kind label for diagnostics.
-    pub fn kind(&self) -> &'static str {
-        match self {
-            DimTransform::Haar(_) => "haar",
-            DimTransform::Nominal(_) => "nominal",
-            DimTransform::Identity(_) => "identity",
-        }
+    fn weights(&self) -> Vec<f64> {
+        self.as_transform().weights()
+    }
+
+    fn p_value(&self) -> f64 {
+        self.as_transform().p_value()
+    }
+
+    fn h_value(&self) -> f64 {
+        self.as_transform().h_value()
+    }
+
+    fn kind(&self) -> &'static str {
+        self.as_transform().kind()
     }
 }
 
@@ -159,10 +153,10 @@ mod tests {
             let src: Vec<f64> = (0..n).map(|i| (i as f64) * 1.5 - 3.0).collect();
             let mut c = vec![0.0; t.output_len()];
             let mut scratch = vec![0.0; t.output_len()];
-            t.forward_lane(&src, &mut c, &mut scratch);
-            t.refine_lane(&mut c); // no-op on exact coefficients
+            t.forward(&src, &mut c, &mut scratch);
+            t.refine(&mut c); // no-op on exact coefficients
             let mut back = vec![0.0; n];
-            t.inverse_lane(&c, &mut back, &mut scratch);
+            t.inverse(&c, &mut back, &mut scratch);
             for (a, b) in src.iter().zip(&back) {
                 assert!((a - b).abs() < 1e-10, "{} roundtrip", t.kind());
             }
@@ -195,5 +189,15 @@ mod tests {
         );
         assert_eq!(t.weights().len(), t.output_len());
         assert_eq!(t.output_len(), 14); // 10 leaves + 3 groups + root
+    }
+
+    #[test]
+    fn trait_and_enum_dispatch_agree() {
+        let t = DimTransform::for_attribute(&Attribute::ordinal("a", 6), false);
+        let dynt: &dyn Transform1d = t.as_transform();
+        assert_eq!(dynt.input_len(), t.input_len());
+        assert_eq!(dynt.output_len(), t.output_len());
+        assert_eq!(dynt.weights(), t.weights());
+        assert_eq!(dynt.kind(), t.kind());
     }
 }

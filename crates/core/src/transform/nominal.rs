@@ -26,6 +26,7 @@
 //! and after it every range-count query carries noise variance `< 4σ²`
 //! (Lemma 5).
 
+use super::transform1d::Transform1d;
 use privelet_hierarchy::Hierarchy;
 use std::sync::Arc;
 
@@ -46,22 +47,43 @@ impl NominalTransform {
         &self.hierarchy
     }
 
+    /// The mean-subtraction refinement (§V-B): within every sibling group
+    /// (children of one internal node), subtract the group mean so the
+    /// group sums to zero. Operates on a coefficient lane in level-order
+    /// layout. A no-op on exact coefficients.
+    pub fn mean_subtract(&self, coeffs: &mut [f64]) {
+        let h = &self.hierarchy;
+        debug_assert_eq!(coeffs.len(), h.node_count());
+        for group in h.sibling_groups() {
+            let mean: f64 = group
+                .iter()
+                .map(|&id| coeffs[h.level_order_pos(id)])
+                .sum::<f64>()
+                / group.len() as f64;
+            for &id in group {
+                coeffs[h.level_order_pos(id)] -= mean;
+            }
+        }
+    }
+}
+
+impl Transform1d for NominalTransform {
     /// Domain size |A| (= leaf count).
     #[inline]
-    pub fn input_len(&self) -> usize {
+    fn input_len(&self) -> usize {
         self.hierarchy.leaf_count()
     }
 
     /// Number of coefficients `m'` (= node count; over-complete).
     #[inline]
-    pub fn output_len(&self) -> usize {
+    fn output_len(&self) -> usize {
         self.hierarchy.node_count()
     }
 
     /// Forward transform: `src.len() == leaf_count`,
     /// `dst.len() == node_count`; `scratch.len() >= node_count` holds
     /// leaf-sums.
-    pub fn forward_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+    fn forward(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
         let h = &self.hierarchy;
         debug_assert_eq!(src.len(), h.leaf_count());
         debug_assert_eq!(dst.len(), h.node_count());
@@ -85,16 +107,10 @@ impl NominalTransform {
         }
     }
 
-    /// Forward transform (allocating convenience wrapper).
-    pub fn forward(&self, src: &[f64], dst: &mut [f64]) {
-        let mut scratch = vec![0.0f64; self.output_len()];
-        self.forward_scratch(src, dst, &mut scratch);
-    }
-
     /// Inverse transform (Equation 5): `src.len() == node_count`,
     /// `dst.len() == leaf_count`; `scratch.len() >= node_count` holds the
     /// reconstructed leaf-sums.
-    pub fn inverse_scratch(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+    fn inverse(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
         let h = &self.hierarchy;
         debug_assert_eq!(src.len(), h.node_count());
         debug_assert_eq!(dst.len(), h.leaf_count());
@@ -112,34 +128,18 @@ impl NominalTransform {
         }
     }
 
-    /// Inverse transform (allocating convenience wrapper).
-    pub fn inverse(&self, src: &[f64], dst: &mut [f64]) {
-        let mut scratch = vec![0.0f64; self.output_len()];
-        self.inverse_scratch(src, dst, &mut scratch);
+    /// The refinement is the mean subtraction (§V-B).
+    fn refine(&self, coeffs: &mut [f64]) {
+        self.mean_subtract(coeffs);
     }
 
-    /// The mean-subtraction refinement (§V-B): within every sibling group
-    /// (children of one internal node), subtract the group mean so the
-    /// group sums to zero. Operates on a coefficient lane in level-order
-    /// layout. A no-op on exact coefficients.
-    pub fn mean_subtract(&self, coeffs: &mut [f64]) {
-        let h = &self.hierarchy;
-        debug_assert_eq!(coeffs.len(), h.node_count());
-        for group in h.sibling_groups() {
-            let mean: f64 = group
-                .iter()
-                .map(|&id| coeffs[h.level_order_pos(id)])
-                .sum::<f64>()
-                / group.len() as f64;
-            for &id in group {
-                coeffs[h.level_order_pos(id)] -= mean;
-            }
-        }
+    fn has_refinement(&self) -> bool {
+        true
     }
 
     /// The weight vector `W_Nom` over the level-order coefficient layout:
     /// base → 1; otherwise `f/(2f−2)` where `f` is the parent's fanout.
-    pub fn weights(&self) -> Vec<f64> {
+    fn weights(&self) -> Vec<f64> {
         let h = &self.hierarchy;
         let mut w = vec![0.0f64; h.node_count()];
         for &id in h.level_order() {
@@ -158,14 +158,18 @@ impl NominalTransform {
     /// Generalized sensitivity `P(A) = h` (Lemma 4; for non-uniform-depth
     /// hierarchies this is the maximum leaf depth, which the sensitivity
     /// achieves at the deepest leaves).
-    pub fn p_value(&self) -> f64 {
+    fn p_value(&self) -> f64 {
         self.hierarchy.height() as f64
     }
 
     /// Per-query variance factor `H(A) = 4` (Lemma 5; requires the
     /// mean-subtraction refinement).
-    pub fn h_value(&self) -> f64 {
+    fn h_value(&self) -> f64 {
         4.0
+    }
+
+    fn kind(&self) -> &'static str {
+        "nominal"
     }
 }
 
@@ -179,8 +183,14 @@ mod tests {
         let h = Spec::internal(
             "any",
             vec![
-                Spec::internal("c1", vec![Spec::leaf("v1"), Spec::leaf("v2"), Spec::leaf("v3")]),
-                Spec::internal("c2", vec![Spec::leaf("v4"), Spec::leaf("v5"), Spec::leaf("v6")]),
+                Spec::internal(
+                    "c1",
+                    vec![Spec::leaf("v1"), Spec::leaf("v2"), Spec::leaf("v3")],
+                ),
+                Spec::internal(
+                    "c2",
+                    vec![Spec::leaf("v4"), Spec::leaf("v5"), Spec::leaf("v6")],
+                ),
             ],
         )
         .build()
@@ -195,7 +205,7 @@ mod tests {
         assert_eq!(t.input_len(), 6);
         assert_eq!(t.output_len(), 9);
         let mut c = vec![0.0; 9];
-        t.forward(&m, &mut c);
+        t.forward_alloc(&m, &mut c);
         // Level order: c0 (base), c1, c2, then the six leaves c3..c8.
         // Figure 3: c0=30, c1=3, c2=-3, c3..c8 = 3, -3, 0, -2, 4, -2.
         assert_eq!(c, vec![30.0, 3.0, -3.0, 3.0, -3.0, 0.0, -2.0, 4.0, -2.0]);
@@ -207,10 +217,10 @@ mod tests {
         let (h, m) = figure3();
         let t = NominalTransform::new(h);
         let mut c = vec![0.0; 9];
-        t.forward(&m, &mut c);
+        t.forward_alloc(&m, &mut c);
         assert_eq!(c[3] + c[0] / 6.0 + c[1] / 3.0, 9.0);
         let mut back = vec![0.0; 6];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         for (a, b) in m.iter().zip(&back) {
             assert!((a - b).abs() < 1e-12, "{a} vs {b}");
         }
@@ -236,7 +246,7 @@ mod tests {
         let (h, m) = figure3();
         let t = NominalTransform::new(h.clone());
         let mut c = vec![0.0; 9];
-        t.forward(&m, &mut c);
+        t.forward_alloc(&m, &mut c);
         for group in h.sibling_groups() {
             let s: f64 = group.iter().map(|&id| c[h.level_order_pos(id)]).sum();
             assert!(s.abs() < 1e-12, "group sums to {s}");
@@ -248,7 +258,7 @@ mod tests {
         let (h, m) = figure3();
         let t = NominalTransform::new(h);
         let mut c = vec![0.0; 9];
-        t.forward(&m, &mut c);
+        t.forward_alloc(&m, &mut c);
         let before = c.clone();
         t.mean_subtract(&mut c);
         for (a, b) in before.iter().zip(&c) {
@@ -261,7 +271,7 @@ mod tests {
         let (h, m) = figure3();
         let t = NominalTransform::new(h.clone());
         let mut c = vec![0.0; 9];
-        t.forward(&m, &mut c);
+        t.forward_alloc(&m, &mut c);
         // Perturb one leaf coefficient; its group no longer sums to 0.
         c[3] += 6.0;
         t.mean_subtract(&mut c);
@@ -283,7 +293,7 @@ mod tests {
             let mut unit = vec![0.0; 6];
             unit[cell] = 1.0;
             let mut c = vec![0.0; 9];
-            t.forward(&unit, &mut c);
+            t.forward_alloc(&unit, &mut c);
             let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
             assert!(
                 (weighted - 3.0).abs() < 1e-9,
@@ -298,7 +308,10 @@ mod tests {
         let h = Arc::new(
             Spec::internal(
                 "root",
-                vec![Spec::leaf("a"), Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")])],
+                vec![
+                    Spec::leaf("a"),
+                    Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")]),
+                ],
             )
             .build()
             .unwrap(),
@@ -310,7 +323,7 @@ mod tests {
             let mut unit = vec![0.0; 3];
             unit[cell] = 1.0;
             let mut c = vec![0.0; t.output_len()];
-            t.forward(&unit, &mut c);
+            t.forward_alloc(&unit, &mut c);
             let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
             assert!(weighted <= 3.0 + 1e-9, "cell {cell}: {weighted}");
             worst = worst.max(weighted);
@@ -327,10 +340,10 @@ mod tests {
         assert_eq!(t.input_len(), 1);
         assert_eq!(t.output_len(), 1);
         let mut c = vec![0.0];
-        t.forward(&[5.0], &mut c);
+        t.forward_alloc(&[5.0], &mut c);
         assert_eq!(c, vec![5.0]);
         let mut back = vec![0.0];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         assert_eq!(back, vec![5.0]);
         assert_eq!(t.p_value(), 1.0);
         assert_eq!(t.weights(), vec![1.0]);
@@ -342,10 +355,10 @@ mod tests {
         let t = NominalTransform::new(h);
         let src = [1.0, 2.0, 3.0, 4.0, 10.0];
         let mut c = vec![0.0; t.output_len()];
-        t.forward(&src, &mut c);
+        t.forward_alloc(&src, &mut c);
         assert_eq!(c[0], 20.0); // base = total
         let mut back = vec![0.0; 5];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         for (a, b) in src.iter().zip(&back) {
             assert!((a - b).abs() < 1e-12);
         }

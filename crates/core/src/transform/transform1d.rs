@@ -1,0 +1,93 @@
+//! The [`Transform1d`] trait: the common interface of the paper's three
+//! 1-D building blocks (Haar §IV, nominal §V, identity §VI-D).
+//!
+//! Every 1-D transform here is an invertible linear map from a frequency
+//! vector of [`input_len`] entries to a coefficient vector of
+//! [`output_len`] entries, equipped with a weight function and the two
+//! §VI-C accounting factors. The multi-dimensional HN transform and the
+//! [`LaneExecutor`](privelet_matrix::LaneExecutor) engine dispatch through
+//! this trait, so the enum wrapper [`DimTransform`](super::DimTransform)
+//! is only needed where object-safe *storage* is (one heterogeneous
+//! transform per dimension), not for behavior.
+//!
+//! The hot-path entry points take caller-provided scratch so the engine
+//! can reuse one buffer set across millions of lanes; the `*_alloc`
+//! convenience wrappers allocate scratch per call and exist for tests and
+//! one-shot use.
+//!
+//! [`input_len`]: Transform1d::input_len
+//! [`output_len`]: Transform1d::output_len
+
+/// A 1-D wavelet (or pass-through) transform along one dimension.
+///
+/// Implementations must be pure: two calls with the same inputs write the
+/// same outputs, bit for bit. The engine relies on this for the
+/// serial/parallel equivalence guarantee.
+pub trait Transform1d: Sync {
+    /// Domain size |A| (the frequency-vector length).
+    fn input_len(&self) -> usize;
+
+    /// Number of coefficients produced (≥ `input_len` for over-complete
+    /// transforms, the padded power of two for Haar).
+    fn output_len(&self) -> usize;
+
+    /// Scratch slots `forward` / `inverse` need. Defaults to
+    /// `output_len()`; the identity transform needs none.
+    fn scratch_len(&self) -> usize {
+        self.output_len()
+    }
+
+    /// Forward transform of one lane: `src.len() == input_len()`,
+    /// `dst.len() == output_len()`, `scratch.len() >= scratch_len()`.
+    /// Every element of `dst` is written.
+    fn forward(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]);
+
+    /// Inverse transform of one lane: `src.len() == output_len()`,
+    /// `dst.len() == input_len()`, `scratch.len() >= scratch_len()`.
+    /// Every element of `dst` is written.
+    fn inverse(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]);
+
+    /// Refinement of one noisy coefficient lane before inversion: the
+    /// mean-subtraction step for nominal dimensions (§V-B), a no-op
+    /// otherwise. Must be a no-op on exact coefficients.
+    fn refine(&self, _coeffs: &mut [f64]) {}
+
+    /// Whether [`refine`](Self::refine) does anything; lets callers skip
+    /// the copy-refine step on axes where it is a no-op.
+    ///
+    /// Deliberately **not** defaulted: an implementation overriding
+    /// `refine` but inheriting a `false` here would have its refinement
+    /// silently skipped by the engine, so every transform must state it.
+    fn has_refinement(&self) -> bool;
+
+    /// The weight vector over the coefficient layout (`output_len()`
+    /// entries, all strictly positive).
+    fn weights(&self) -> Vec<f64>;
+
+    /// Generalized-sensitivity factor `P(A)` (§VI-C).
+    fn p_value(&self) -> f64;
+
+    /// Variance factor `H(A)` (§VI-C; `|A|` for identity per Corollary 1).
+    fn h_value(&self) -> f64;
+
+    /// Short kind label for diagnostics ("haar", "nominal", "identity").
+    fn kind(&self) -> &'static str;
+
+    /// Forward transform allocating its own scratch (tests / one-shot).
+    fn forward_alloc(&self, src: &[f64], dst: &mut [f64])
+    where
+        Self: Sized,
+    {
+        let mut scratch = vec![0.0f64; self.scratch_len()];
+        self.forward(src, dst, &mut scratch);
+    }
+
+    /// Inverse transform allocating its own scratch (tests / one-shot).
+    fn inverse_alloc(&self, src: &[f64], dst: &mut [f64])
+    where
+        Self: Sized,
+    {
+        let mut scratch = vec![0.0f64; self.scratch_len()];
+        self.inverse(src, dst, &mut scratch);
+    }
+}

@@ -28,7 +28,7 @@
 //! bars for any given query, at no privacy cost (it uses only public
 //! transform parameters).
 
-use crate::transform::{DimTransform, HnTransform};
+use crate::transform::{DimTransform, HnTransform, Transform1d};
 use crate::{CoreError, Result};
 
 /// The per-dimension factor `Σ_j uᵢ(j)²/wᵢ(j)²` for an inclusive interval
@@ -50,8 +50,8 @@ pub fn dim_variance_factor(t: &DimTransform, lo: usize, hi: usize) -> Result<f64
         basis.fill(0.0);
         basis[j] = 1.0;
         // Refine-then-invert the j-th coefficient basis vector.
-        t.refine_lane(&mut basis);
-        t.inverse_lane(&basis, &mut image, &mut scratch);
+        t.refine(&mut basis);
+        t.inverse(&basis, &mut image, &mut scratch);
         let u: f64 = image[lo..=hi].iter().sum();
         if u != 0.0 {
             let scaled = u / weights[j];

@@ -1,7 +1,7 @@
 //! Property tests for the transforms and mechanisms.
 
 use privelet::sensitivity::{measured_sensitivity, unit_bump_weighted_l1};
-use privelet::transform::{HaarTransform, HnTransform, NominalTransform};
+use privelet::transform::{HaarTransform, HnTransform, NominalTransform, Transform1d};
 use privelet_data::schema::{Attribute, Schema};
 use privelet_hierarchy::builder::random as random_hierarchy;
 use privelet_matrix::{NdMatrix, Shape};
@@ -58,9 +58,9 @@ proptest! {
     fn haar_roundtrip(data in prop::collection::vec(-100.0f64..100.0, 1..40)) {
         let t = HaarTransform::new(data.len());
         let mut c = vec![0.0; t.output_len()];
-        t.forward(&data, &mut c);
+        t.forward_alloc(&data, &mut c);
         let mut back = vec![0.0; data.len()];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         for (a, b) in data.iter().zip(&back) {
             prop_assert!((a - b).abs() < 1e-9, "{a} vs {b}");
         }
@@ -78,13 +78,13 @@ proptest! {
         let t = NominalTransform::new(h.clone());
         let data: Vec<f64> = (0..leaves).map(|i| ((i * 31 % 17) as f64 - 8.0) * scale).collect();
         let mut c = vec![0.0; t.output_len()];
-        t.forward(&data, &mut c);
+        t.forward_alloc(&data, &mut c);
         for group in h.sibling_groups() {
             let s: f64 = group.iter().map(|&id| c[h.level_order_pos(id)]).sum();
             prop_assert!(s.abs() < 1e-8 * (1.0 + scale * leaves as f64));
         }
         let mut back = vec![0.0; leaves];
-        t.inverse(&c, &mut back);
+        t.inverse_alloc(&c, &mut back);
         for (a, b) in data.iter().zip(&back) {
             prop_assert!((a - b).abs() < 1e-8, "{a} vs {b}");
         }

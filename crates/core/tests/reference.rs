@@ -10,7 +10,7 @@
 //!   coefficient equals its leaf-sum minus the average leaf-sum of its
 //!   parent's children."
 
-use privelet::transform::{HaarTransform, NominalTransform};
+use privelet::transform::{HaarTransform, NominalTransform, Transform1d};
 use privelet_hierarchy::builder::random as random_hierarchy;
 use privelet_hierarchy::Hierarchy;
 use proptest::prelude::*;
@@ -32,8 +32,7 @@ fn haar_reference(data: &[f64]) -> Vec<f64> {
         let start = (j - nodes_at_level) * seg_len;
         let half = seg_len / 2;
         let left: f64 = padded[start..start + half].iter().sum::<f64>() / half as f64;
-        let right: f64 =
-            padded[start + half..start + seg_len].iter().sum::<f64>() / half as f64;
+        let right: f64 = padded[start + half..start + seg_len].iter().sum::<f64>() / half as f64;
         *c = 0.5 * (left - right);
     }
     coef
@@ -74,7 +73,7 @@ proptest! {
     fn haar_matches_reference(data in prop::collection::vec(-50.0f64..50.0, 1..48)) {
         let t = HaarTransform::new(data.len());
         let mut fast = vec![0.0; t.output_len()];
-        t.forward(&data, &mut fast);
+        t.forward_alloc(&data, &mut fast);
         let reference = haar_reference(&data);
         prop_assert_eq!(fast.len(), reference.len());
         for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
@@ -92,7 +91,7 @@ proptest! {
         let data: Vec<f64> = (0..leaves).map(|i| ((i * 17) % 29) as f64 - 14.0).collect();
         let t = NominalTransform::new(h.clone());
         let mut fast = vec![0.0; t.output_len()];
-        t.forward(&data, &mut fast);
+        t.forward_alloc(&data, &mut fast);
         let reference = nominal_reference(&h, &data);
         for (i, (a, b)) in fast.iter().zip(&reference).enumerate() {
             prop_assert!((a - b).abs() < 1e-9, "coef {i}: {a} vs {b}");
@@ -106,7 +105,7 @@ proptest! {
         let t = HaarTransform::new(data.len());
         let p = t.output_len();
         let mut coef = vec![0.0; p];
-        t.forward(&data, &mut coef);
+        t.forward_alloc(&data, &mut coef);
         for (v_idx, &v) in data.iter().enumerate() {
             let mut acc = coef[0];
             // Walk from the leaf up: leaf v_idx sits under heap node
@@ -133,7 +132,7 @@ proptest! {
         let data: Vec<f64> = (0..leaves).map(|i| ((i * 23) % 31) as f64).collect();
         let t = NominalTransform::new(h.clone());
         let mut coef = vec![0.0; t.output_len()];
-        t.forward(&data, &mut coef);
+        t.forward_alloc(&data, &mut coef);
         for (pos, &datum) in data.iter().enumerate() {
             let path = h.path_to_leaf(pos);
             // v = c_{last} + Σ_{i<last} c_i · ∏_{j=i..last-1} 1/f_j.

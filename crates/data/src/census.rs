@@ -22,8 +22,8 @@ use crate::distributions::{lognormal_weights, piecewise_weights, zipf_weights, D
 use crate::schema::{Attribute, Schema};
 use crate::table::Table;
 use crate::{DataError, Result};
-use privelet_hierarchy::builder::three_level;
 use privelet_hierarchy::builder::flat;
+use privelet_hierarchy::builder::three_level;
 use rand::Rng;
 
 /// Configuration of a census-like dataset.
@@ -226,7 +226,10 @@ mod tests {
     use crate::freq::FrequencyMatrix;
 
     fn tiny(cfg: CensusConfig) -> CensusConfig {
-        CensusConfig { n_tuples: 20_000, ..cfg }
+        CensusConfig {
+            n_tuples: 20_000,
+            ..cfg
+        }
     }
 
     #[test]

@@ -17,7 +17,9 @@ impl Discrete {
             return Err(DataError::BadConfig("empty weight vector".into()));
         }
         if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
-            return Err(DataError::BadConfig("weights must be finite and >= 0".into()));
+            return Err(DataError::BadConfig(
+                "weights must be finite and >= 0".into(),
+            ));
         }
         let mut cum = Vec::with_capacity(weights.len());
         let mut acc = 0.0;
@@ -46,7 +48,9 @@ impl Discrete {
         let total = *self.cum.last().expect("non-empty");
         let u: f64 = rng.random::<f64>() * total;
         // partition_point returns the first index with cum > u.
-        self.cum.partition_point(|&c| c <= u).min(self.cum.len() - 1)
+        self.cum
+            .partition_point(|&c| c <= u)
+            .min(self.cum.len() - 1)
     }
 
     /// Probability of outcome `i`.

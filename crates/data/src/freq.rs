@@ -92,13 +92,7 @@ mod tests {
         let fm = FrequencyMatrix::from_table(&table).unwrap();
         // Table II: rows = age groups <30,30-39,40-49,50-59,>=60;
         // columns = {Yes, No}.
-        let expect = [
-            [0.0, 2.0],
-            [0.0, 1.0],
-            [1.0, 2.0],
-            [0.0, 1.0],
-            [1.0, 0.0],
-        ];
+        let expect = [[0.0, 2.0], [0.0, 1.0], [1.0, 2.0], [0.0, 1.0], [1.0, 0.0]];
         for (age, row) in expect.iter().enumerate() {
             for (dia, &count) in row.iter().enumerate() {
                 assert_eq!(

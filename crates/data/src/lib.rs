@@ -48,7 +48,11 @@ pub enum DataError {
     /// A row has the wrong number of values.
     WrongArity { expected: usize, got: usize },
     /// A value is outside its attribute's domain.
-    ValueOutOfDomain { attr: String, value: u32, size: usize },
+    ValueOutOfDomain {
+        attr: String,
+        value: u32,
+        size: usize,
+    },
     /// A matrix's dimensions do not match the schema.
     ShapeMismatch,
     /// A generator was given an invalid configuration.

@@ -15,7 +15,10 @@ pub const DIABETES: [&str; 2] = ["Yes", "No"];
 pub fn medical_schema() -> Schema {
     Schema::new(vec![
         Attribute::ordinal("Age", AGE_GROUPS.len()),
-        Attribute::nominal("Has Diabetes?", flat(DIABETES.len()).expect("flat(2) is valid")),
+        Attribute::nominal(
+            "Has Diabetes?",
+            flat(DIABETES.len()).expect("flat(2) is valid"),
+        ),
     ])
     .expect("medical schema is valid")
 }

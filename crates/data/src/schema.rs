@@ -53,17 +53,28 @@ pub struct Attribute {
 impl Attribute {
     /// An ordinal attribute with values `0..size`.
     pub fn ordinal(name: impl Into<String>, size: usize) -> Self {
-        Attribute { name: name.into(), domain: Domain::Ordinal { size } }
+        Attribute {
+            name: name.into(),
+            domain: Domain::Ordinal { size },
+        }
     }
 
     /// A nominal attribute with the given hierarchy.
     pub fn nominal(name: impl Into<String>, hierarchy: Hierarchy) -> Self {
-        Attribute { name: name.into(), domain: Domain::Nominal { hierarchy: Arc::new(hierarchy) } }
+        Attribute {
+            name: name.into(),
+            domain: Domain::Nominal {
+                hierarchy: Arc::new(hierarchy),
+            },
+        }
     }
 
     /// A nominal attribute sharing an existing hierarchy.
     pub fn nominal_shared(name: impl Into<String>, hierarchy: Arc<Hierarchy>) -> Self {
-        Attribute { name: name.into(), domain: Domain::Nominal { hierarchy } }
+        Attribute {
+            name: name.into(),
+            domain: Domain::Nominal { hierarchy },
+        }
     }
 
     /// The attribute name.
@@ -177,8 +188,7 @@ mod tests {
     fn rejects_invalid_schemas() {
         assert_eq!(Schema::new(vec![]).unwrap_err(), DataError::EmptySchema);
         assert_eq!(
-            Schema::new(vec![Attribute::ordinal("a", 2), Attribute::ordinal("a", 3)])
-                .unwrap_err(),
+            Schema::new(vec![Attribute::ordinal("a", 2), Attribute::ordinal("a", 3)]).unwrap_err(),
             DataError::DuplicateAttribute("a".into())
         );
         assert_eq!(

@@ -19,13 +19,23 @@ impl Table {
     /// An empty table over `schema`.
     pub fn new(schema: Schema) -> Self {
         let columns = vec![Vec::new(); schema.arity()];
-        Table { schema, columns, len: 0 }
+        Table {
+            schema,
+            columns,
+            len: 0,
+        }
     }
 
     /// An empty table with row capacity pre-reserved.
     pub fn with_capacity(schema: Schema, rows: usize) -> Self {
-        let columns = (0..schema.arity()).map(|_| Vec::with_capacity(rows)).collect();
-        Table { schema, columns, len: 0 }
+        let columns = (0..schema.arity())
+            .map(|_| Vec::with_capacity(rows))
+            .collect();
+        Table {
+            schema,
+            columns,
+            len: 0,
+        }
     }
 
     /// The table's schema.
@@ -46,7 +56,10 @@ impl Table {
     /// Appends one tuple, validating arity and domain bounds.
     pub fn push_row(&mut self, values: &[u32]) -> Result<()> {
         if values.len() != self.schema.arity() {
-            return Err(DataError::WrongArity { expected: self.schema.arity(), got: values.len() });
+            return Err(DataError::WrongArity {
+                expected: self.schema.arity(),
+                got: values.len(),
+            });
         }
         for (i, &v) in values.iter().enumerate() {
             let size = self.schema.attr(i).size();
@@ -131,11 +144,18 @@ mod tests {
         let mut t = Table::new(schema());
         assert_eq!(
             t.push_row(&[0]).unwrap_err(),
-            DataError::WrongArity { expected: 2, got: 1 }
+            DataError::WrongArity {
+                expected: 2,
+                got: 1
+            }
         );
         assert_eq!(
             t.push_row(&[3, 0]).unwrap_err(),
-            DataError::ValueOutOfDomain { attr: "a".into(), value: 3, size: 3 }
+            DataError::ValueOutOfDomain {
+                attr: "a".into(),
+                value: 3,
+                size: 3
+            }
         );
         assert_eq!(t.len(), 0, "failed pushes must not grow the table");
     }

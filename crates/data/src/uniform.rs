@@ -28,7 +28,11 @@ impl TimingConfig {
     /// the paper's `|A| = m^(1/4)` rule.
     pub fn with_total_cells(m_target: usize, n_tuples: usize, seed: u64) -> Self {
         let attr_size = (m_target as f64).powf(0.25).round().max(2.0) as usize;
-        TimingConfig { attr_size, n_tuples, seed }
+        TimingConfig {
+            attr_size,
+            n_tuples,
+            seed,
+        }
     }
 
     /// Actual total cell count `m = |A|⁴`.
@@ -92,7 +96,11 @@ mod tests {
 
     #[test]
     fn schema_matches_paper_spec() {
-        let cfg = TimingConfig { attr_size: 64, n_tuples: 10, seed: 1 };
+        let cfg = TimingConfig {
+            attr_size: 64,
+            n_tuples: 10,
+            seed: 1,
+        };
         let schema = cfg.schema().unwrap();
         assert_eq!(schema.dims(), vec![64, 64, 64, 64]);
         assert!(schema.attr(0).is_ordinal());
@@ -104,16 +112,30 @@ mod tests {
 
     #[test]
     fn tiny_domains_fall_back_to_flat() {
-        let cfg = TimingConfig { attr_size: 3, n_tuples: 10, seed: 1 };
+        let cfg = TimingConfig {
+            attr_size: 3,
+            n_tuples: 10,
+            seed: 1,
+        };
         let schema = cfg.schema().unwrap();
         let h = schema.attr(2).domain().hierarchy().unwrap();
         assert_eq!(h.height(), 2);
-        assert!(TimingConfig { attr_size: 1, n_tuples: 1, seed: 1 }.schema().is_err());
+        assert!(TimingConfig {
+            attr_size: 1,
+            n_tuples: 1,
+            seed: 1
+        }
+        .schema()
+        .is_err());
     }
 
     #[test]
     fn values_are_roughly_uniform() {
-        let cfg = TimingConfig { attr_size: 8, n_tuples: 80_000, seed: 7 };
+        let cfg = TimingConfig {
+            attr_size: 8,
+            n_tuples: 80_000,
+            seed: 7,
+        };
         let t = generate(&cfg).unwrap();
         assert_eq!(t.len(), cfg.n_tuples);
         for attr in 0..4 {
@@ -131,7 +153,11 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let cfg = TimingConfig { attr_size: 5, n_tuples: 500, seed: 42 };
+        let cfg = TimingConfig {
+            attr_size: 5,
+            n_tuples: 500,
+            seed: 42,
+        };
         let a = generate(&cfg).unwrap();
         let b = generate(&cfg).unwrap();
         assert_eq!(a.column(3), b.column(3));

@@ -10,13 +10,11 @@
 
 use crate::config::AccuracyConfig;
 use crate::{EvalError, Result};
-use privelet::mechanism::{publish_basic, publish_privelet, PriveletConfig};
+use privelet::mechanism::{publish_basic, publish_privelet_with, PriveletConfig};
 use privelet_data::{census, FrequencyMatrix};
-use privelet_matrix::PrefixSums;
+use privelet_matrix::{LaneExecutor, PrefixSums};
 use privelet_noise::rng::splitmix64;
-use privelet_query::{
-    generate_workload, metrics, quantile_rows, BucketRow, RangeQuery,
-};
+use privelet_query::{generate_workload, metrics, quantile_rows, BucketRow, RangeQuery};
 
 /// Per-mechanism error series over the workload (averaged over trials).
 #[derive(Debug, Clone)]
@@ -51,15 +49,21 @@ pub struct AccuracyRun {
 impl AccuracyRun {
     /// Figure 6/7 rows: square error bucketed by query coverage.
     pub fn coverage_rows(&self) -> Result<Vec<BucketRow>> {
-        let series: Vec<&[f64]> =
-            self.mechanisms.iter().map(|m| m.square_errors.as_slice()).collect();
+        let series: Vec<&[f64]> = self
+            .mechanisms
+            .iter()
+            .map(|m| m.square_errors.as_slice())
+            .collect();
         quantile_rows(&self.coverages, &series, self.n_buckets).map_err(EvalError::Query)
     }
 
     /// Figure 8/9 rows: relative error bucketed by query selectivity.
     pub fn selectivity_rows(&self) -> Result<Vec<BucketRow>> {
-        let series: Vec<&[f64]> =
-            self.mechanisms.iter().map(|m| m.relative_errors.as_slice()).collect();
+        let series: Vec<&[f64]> = self
+            .mechanisms
+            .iter()
+            .map(|m| m.relative_errors.as_slice())
+            .collect();
         quantile_rows(&self.selectivities, &series, self.n_buckets).map_err(EvalError::Query)
     }
 
@@ -95,7 +99,14 @@ fn prepare(cfg: &AccuracyConfig) -> Result<Prepared> {
         selectivities.push(act / n as f64);
     }
     let sanity = metrics::sanity_bound(n, metrics::PAPER_SANITY_FRACTION);
-    Ok(Prepared { exact, queries, exact_answers, coverages, selectivities, sanity })
+    Ok(Prepared {
+        exact,
+        queries,
+        exact_answers,
+        coverages,
+        selectivities,
+        sanity,
+    })
 }
 
 /// Answers the workload on one noisy matrix, accumulating per-query errors.
@@ -129,6 +140,11 @@ pub fn run_accuracy(cfg: &AccuracyConfig) -> Result<Vec<AccuracyRun>> {
 
     let run_one = |(eps_idx, &epsilon): (usize, &f64)| -> Result<AccuracyRun> {
         let mut series = Vec::with_capacity(2);
+        // One engine per ε worker: its ping-pong buffers are reused across
+        // every trial's forward + inverse pipeline. Serial on purpose —
+        // the sweep already fans out one thread per ε, so per-executor
+        // parallelism would oversubscribe the cores.
+        let mut exec = LaneExecutor::serial();
         for (mech_idx, name) in ["Basic", "Privelet+"].iter().enumerate() {
             let mut sq = vec![0.0f64; nq];
             let mut rel = vec![0.0f64; nq];
@@ -139,7 +155,8 @@ pub fn run_accuracy(cfg: &AccuracyConfig) -> Result<Vec<AccuracyRun>> {
                 let noisy = if mech_idx == 0 {
                     publish_basic(&prep.exact, epsilon, seed)?
                 } else {
-                    publish_privelet(
+                    publish_privelet_with(
+                        &mut exec,
                         &prep.exact,
                         &PriveletConfig::plus(epsilon, sa.clone(), seed),
                     )?
@@ -176,7 +193,10 @@ pub fn run_accuracy(cfg: &AccuracyConfig) -> Result<Vec<AccuracyRun>> {
             .enumerate()
             .map(|job| scope.spawn(move || run_one(job)))
             .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
     });
     results.into_iter().collect()
 }

@@ -168,7 +168,10 @@ mod tests {
     fn timing_sweeps_match_paper() {
         let full = TimingSweepConfig::paper(Scale::Full);
         assert_eq!(full.n_values.len(), 5);
-        assert_eq!(full.m_values, vec![1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26]);
+        assert_eq!(
+            full.m_values,
+            vec![1 << 22, 1 << 23, 1 << 24, 1 << 25, 1 << 26]
+        );
         assert_eq!(full.n_for_m_sweep, 5_000_000);
         let scaled = TimingSweepConfig::paper(Scale::Scaled);
         assert!(scaled.m_values.iter().max() < full.m_values.iter().max());

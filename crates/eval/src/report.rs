@@ -7,12 +7,7 @@ use std::fmt::Write as _;
 /// Renders one figure panel (e.g. "Figure 6(a), ε = 0.5") as a fixed-width
 /// table: one row per quantile bucket, the bucket's mean key (coverage or
 /// selectivity) followed by each mechanism's mean error.
-pub fn figure_table(
-    title: &str,
-    x_label: &str,
-    mech_names: &[&str],
-    rows: &[BucketRow],
-) -> String {
+pub fn figure_table(title: &str, x_label: &str, mech_names: &[&str], rows: &[BucketRow]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "== {title} ==");
     let _ = write!(out, "{x_label:>14}");
@@ -67,8 +62,16 @@ mod tests {
     #[test]
     fn figure_table_contains_all_rows_and_names() {
         let rows = vec![
-            BucketRow { mean_key: 1e-3, mean_values: vec![100.0, 1.0], count: 10 },
-            BucketRow { mean_key: 1e-1, mean_values: vec![5000.0, 1.5], count: 10 },
+            BucketRow {
+                mean_key: 1e-3,
+                mean_values: vec![100.0, 1.0],
+                count: 10,
+            },
+            BucketRow {
+                mean_key: 1e-1,
+                mean_values: vec![5000.0, 1.5],
+                count: 10,
+            },
         ];
         let s = figure_table("Fig X", "coverage", &["Basic", "Privelet+"], &rows);
         assert!(s.contains("Fig X"));
@@ -79,7 +82,12 @@ mod tests {
 
     #[test]
     fn timing_table_lists_points() {
-        let pts = vec![TimingPoint { n: 1000, m: 4096, basic_secs: 0.5, privelet_secs: 1.2 }];
+        let pts = vec![TimingPoint {
+            n: 1000,
+            m: 4096,
+            basic_secs: 0.5,
+            privelet_secs: 1.2,
+        }];
         let s = timing_table("Fig 10", "n", &pts);
         assert!(s.contains("1000"));
         assert!(s.contains("4096"));

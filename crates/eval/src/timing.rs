@@ -7,9 +7,10 @@
 
 use crate::config::TimingSweepConfig;
 use crate::Result;
-use privelet::mechanism::{publish_basic, publish_privelet, PriveletConfig};
+use privelet::mechanism::{publish_basic, publish_privelet_with, PriveletConfig};
 use privelet_data::uniform::{self, TimingConfig};
 use privelet_data::FrequencyMatrix;
+use privelet_matrix::LaneExecutor;
 use std::time::Instant;
 
 /// One timing measurement.
@@ -29,6 +30,18 @@ pub struct TimingPoint {
 /// Times both mechanisms once on a dataset of `n` tuples and ~`m_target`
 /// cells. `epsilon` is fixed at 1.0 — it does not affect the running time.
 pub fn time_once(n: usize, m_target: usize, seed: u64) -> Result<TimingPoint> {
+    time_once_with(&mut LaneExecutor::new(), n, m_target, seed)
+}
+
+/// [`time_once`] on a caller-provided transform engine, so repeated
+/// measurements amortize the engine buffers (the first rep pays them, the
+/// best-of minimum reflects the warm path).
+pub fn time_once_with(
+    exec: &mut LaneExecutor,
+    n: usize,
+    m_target: usize,
+    seed: u64,
+) -> Result<TimingPoint> {
     let cfg = TimingConfig::with_total_cells(m_target, n, seed);
     let table = uniform::generate(&cfg)?;
 
@@ -40,11 +53,16 @@ pub fn time_once(n: usize, m_target: usize, seed: u64) -> Result<TimingPoint> {
 
     let start = Instant::now();
     let fm = FrequencyMatrix::from_table(&table)?;
-    let out = publish_privelet(&fm, &PriveletConfig::pure(1.0, seed))?;
+    let out = publish_privelet_with(exec, &fm, &PriveletConfig::pure(1.0, seed))?;
     let privelet_secs = start.elapsed().as_secs_f64();
     drop(out);
 
-    Ok(TimingPoint { n, m: cfg.cell_count(), basic_secs, privelet_secs })
+    Ok(TimingPoint {
+        n,
+        m: cfg.cell_count(),
+        basic_secs,
+        privelet_secs,
+    })
 }
 
 /// Times both mechanisms `reps` times and keeps the minimum of each —
@@ -52,8 +70,9 @@ pub fn time_once(n: usize, m_target: usize, seed: u64) -> Result<TimingPoint> {
 /// O(n) term under a large O(m) term) is small.
 pub fn time_best_of(n: usize, m_target: usize, seed: u64, reps: usize) -> Result<TimingPoint> {
     let mut best: Option<TimingPoint> = None;
+    let mut exec = LaneExecutor::new();
     for r in 0..reps.max(1) as u64 {
-        let p = time_once(n, m_target, seed ^ r)?;
+        let p = time_once_with(&mut exec, n, m_target, seed ^ r)?;
         best = Some(match best {
             None => p,
             Some(b) => TimingPoint {
@@ -102,10 +121,14 @@ pub fn linear_fit(xs: &[f64], ys: &[f64]) -> (f64, f64) {
 pub fn r_squared(xs: &[f64], ys: &[f64]) -> f64 {
     let (slope, icept) = linear_fit(xs, ys);
     let my = ys.iter().sum::<f64>() / ys.len() as f64;
-    let ss_res: f64 = xs.iter().zip(ys).map(|(x, y)| {
-        let e = y - (slope * x + icept);
-        e * e
-    }).sum();
+    let ss_res: f64 = xs
+        .iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let e = y - (slope * x + icept);
+            e * e
+        })
+        .sum();
     let ss_tot: f64 = ys.iter().map(|y| (y - my) * (y - my)).sum();
     if ss_tot == 0.0 {
         1.0

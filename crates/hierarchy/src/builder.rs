@@ -51,7 +51,10 @@ impl Spec {
             spec: &'a Spec,
             parent: Option<usize>,
         }
-        let mut stack = vec![Frame { spec: self, parent: None }];
+        let mut stack = vec![Frame {
+            spec: self,
+            parent: None,
+        }];
         while let Some(Frame { spec, parent: p }) = stack.pop() {
             let id = parent.len();
             parent.push(p);
@@ -70,7 +73,10 @@ impl Spec {
                     }
                     labels.push(label.clone());
                     for kid in kids.iter().rev() {
-                        stack.push(Frame { spec: kid, parent: Some(id) });
+                        stack.push(Frame {
+                            spec: kid,
+                            parent: Some(id),
+                        });
                     }
                 }
             }
@@ -209,7 +215,10 @@ mod tests {
         let bad = Spec::internal("x", vec![Spec::leaf("a")]);
         assert_eq!(
             bad.build().unwrap_err(),
-            HierarchyError::UndersizedInternal { label: "x".into(), children: 1 }
+            HierarchyError::UndersizedInternal {
+                label: "x".into(),
+                children: 1
+            }
         );
         let empty = Spec::internal("y", vec![]);
         assert!(empty.build().is_err());

@@ -218,7 +218,11 @@ impl Hierarchy {
 
     /// Node ids at a given 1-based level.
     pub fn nodes_at_level(&self, lvl: usize) -> Vec<usize> {
-        self.level_order.iter().copied().filter(|&id| self.level[id] == lvl).collect()
+        self.level_order
+            .iter()
+            .copied()
+            .filter(|&id| self.level[id] == lvl)
+            .collect()
     }
 
     /// All non-root node ids (candidate nominal query predicates are
@@ -286,7 +290,10 @@ mod tests {
         let levels: Vec<usize> = order.iter().map(|&id| h.level(id)).collect();
         let mut sorted = levels.clone();
         sorted.sort_unstable();
-        assert_eq!(levels, sorted, "level order must be non-decreasing in level");
+        assert_eq!(
+            levels, sorted,
+            "level order must be non-decreasing in level"
+        );
         for (pos, &id) in order.iter().enumerate() {
             assert_eq!(h.level_order_pos(id), pos);
         }

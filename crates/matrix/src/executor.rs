@@ -1,0 +1,620 @@
+//! The lane-execution engine: multi-stage axis transforms over reusable
+//! ping-pong buffers, optionally fanned out across threads.
+//!
+//! [`map_lanes`](crate::lanes::map_lanes) allocates a fresh matrix per
+//! axis, which makes a d-dimensional wavelet transform cost d matrix-sized
+//! allocations per direction. The [`LaneExecutor`] instead owns two
+//! buffers sized to the largest intermediate and runs an arbitrary
+//! pipeline of [`AxisStage`]s front→back, swapping after each stage, so a
+//! full multi-axis transform performs **no matrix-sized** allocation
+//! beyond the final result matrix (and the two executor buffers, which
+//! amortize across calls) — only O(d · workers) lane-length scratch
+//! buffers per call, a few KB against multi-MB matrices.
+//!
+//! Lanes are walked in the row-major `[outer, axis, inner]` decomposition:
+//! for the last axis (`inner == 1`) lanes are contiguous in memory and are
+//! fed to the kernel directly without a gather; for other axes lanes are
+//! gathered into a stack-local buffer with stride `inner` and scattered
+//! back the same way, visiting source and destination memory in strictly
+//! increasing address order per outer block.
+//!
+//! With the `parallel` cargo feature the lane range is split into
+//! contiguous chunks executed on `std::thread::scope` threads, one
+//! gather/scatter/scratch buffer set per worker. Every lane writes a
+//! disjoint set of output indices and the per-lane arithmetic is identical
+//! to the serial path, so the parallel output is **bit-identical** to the
+//! serial output — a property the equivalence test suite asserts.
+
+use crate::ndmatrix::NdMatrix;
+use crate::{MatrixError, Result};
+
+/// A 1-D kernel applied to every lane of one axis.
+///
+/// Implementations **must write every element of `dst`**: its contents on
+/// entry are unspecified (the engine reuses buffers across stages and
+/// calls, so it may hold stale data, which the engine deliberately does
+/// not spend a clearing pass on). `scratch` (at least [`scratch_len`]
+/// elements, contents likewise unspecified) may be used freely. `Sync` is
+/// required so kernels can be shared across worker threads.
+///
+/// [`scratch_len`]: LaneKernel::scratch_len
+pub trait LaneKernel: Sync {
+    /// Lane length consumed along the axis.
+    fn input_len(&self) -> usize;
+    /// Lane length produced along the axis.
+    fn output_len(&self) -> usize;
+    /// Scratch slots the kernel needs per worker.
+    fn scratch_len(&self) -> usize {
+        self.output_len()
+    }
+    /// Transforms one gathered lane.
+    fn apply(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]);
+}
+
+/// One step of a lane pipeline: apply `kernel` to every lane along `axis`.
+pub struct AxisStage<'a> {
+    /// The axis whose lanes are transformed.
+    pub axis: usize,
+    /// The 1-D kernel.
+    pub kernel: &'a dyn LaneKernel,
+}
+
+/// Reusable engine state: ping-pong buffers plus the worker count.
+///
+/// Construct once, call [`run`](Self::run) many times; the buffers grow to
+/// the largest pipeline seen and are then reused allocation-free.
+#[derive(Debug)]
+pub struct LaneExecutor {
+    front: Vec<f64>,
+    back: Vec<f64>,
+    threads: usize,
+}
+
+impl Default for LaneExecutor {
+    /// Same as [`LaneExecutor::new`] (a derived default would set a
+    /// worker count of 0, bypassing the `with_threads` clamp).
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Work below this many cells per stage is not worth fanning out.
+const MIN_PARALLEL_CELLS: usize = 1 << 14;
+
+impl LaneExecutor {
+    /// An executor with the default worker count: available parallelism
+    /// when the `parallel` feature is enabled, 1 otherwise.
+    pub fn new() -> Self {
+        Self::with_threads(default_threads())
+    }
+
+    /// An executor pinned to `threads` workers (`0` is treated as 1). With
+    /// `threads == 1` — or without the `parallel` feature — every stage
+    /// runs on the calling thread.
+    pub fn with_threads(threads: usize) -> Self {
+        LaneExecutor {
+            front: Vec::new(),
+            back: Vec::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// A single-threaded executor (the reference path).
+    pub fn serial() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs a single-stage pipeline (convenience wrapper over [`run`]).
+    ///
+    /// [`run`]: Self::run
+    pub fn map_axis(
+        &mut self,
+        src: &NdMatrix,
+        axis: usize,
+        kernel: &dyn LaneKernel,
+    ) -> Result<NdMatrix> {
+        self.run(src, &[AxisStage { axis, kernel }])
+    }
+
+    /// Applies `stages` to `src` in order and returns the final matrix.
+    ///
+    /// Each stage must consume the axis length the previous stages left
+    /// (`kernel.input_len() == dims[axis]` at that point in the pipeline).
+    /// The only matrix-sized allocation on a warmed-up executor is the
+    /// returned matrix; each stage additionally allocates lane-length
+    /// gather/scratch buffers per worker (a few KB).
+    pub fn run(&mut self, src: &NdMatrix, stages: &[AxisStage<'_>]) -> Result<NdMatrix> {
+        // Validate the whole pipeline and size the buffers up front. Only
+        // the intermediate results (outputs of all but the last stage)
+        // live in the ping-pong buffers: the first stage reads straight
+        // from `src` and the last stage writes straight into the result
+        // vector, so neither endpoint costs a staging copy.
+        let mut dims = src.dims().to_vec();
+        let mut capacity = 0usize;
+        for (idx, stage) in stages.iter().enumerate() {
+            let ndim = dims.len();
+            if stage.axis >= ndim {
+                return Err(MatrixError::BadAxis {
+                    axis: stage.axis,
+                    ndim,
+                });
+            }
+            if stage.kernel.input_len() != dims[stage.axis] {
+                return Err(MatrixError::DataLenMismatch {
+                    expected: dims[stage.axis],
+                    got: stage.kernel.input_len(),
+                });
+            }
+            if stage.kernel.output_len() == 0 {
+                return Err(MatrixError::ZeroDim { axis: stage.axis });
+            }
+            dims[stage.axis] = stage.kernel.output_len();
+            let mut cells = 1usize;
+            for &d in &dims {
+                cells = cells.checked_mul(d).ok_or(MatrixError::TooLarge)?;
+            }
+            if idx + 1 < stages.len() {
+                capacity = capacity.max(cells);
+            }
+        }
+
+        if self.front.len() < capacity {
+            self.front.resize(capacity, 0.0);
+        }
+        if self.back.len() < capacity {
+            self.back.resize(capacity, 0.0);
+        }
+
+        if stages.is_empty() {
+            return Ok(src.clone());
+        }
+
+        let mut dims = src.dims().to_vec();
+        let mut first = true;
+        for (idx, stage) in stages.iter().enumerate() {
+            let in_len = dims[stage.axis];
+            let out_len = stage.kernel.output_len();
+            let inner: usize = dims[stage.axis + 1..].iter().product();
+            let outer: usize = dims[..stage.axis].iter().product();
+            let src_cells = outer * in_len * inner;
+            let dst_cells = outer * out_len * inner;
+            let workers = self.effective_threads(src_cells.max(dst_cells));
+            let input: &[f64] = if first {
+                src.as_slice()
+            } else {
+                &self.front[..src_cells]
+            };
+            dims[stage.axis] = out_len;
+            if idx + 1 == stages.len() {
+                // Final stage: write directly into the result vector (the
+                // run's one matrix-sized allocation).
+                let mut result = vec![0.0f64; dst_cells];
+                run_stage(
+                    input,
+                    &mut result,
+                    stage.kernel,
+                    in_len,
+                    out_len,
+                    inner,
+                    workers,
+                );
+                return NdMatrix::from_vec(&dims, result);
+            }
+            run_stage(
+                input,
+                &mut self.back[..dst_cells],
+                stage.kernel,
+                in_len,
+                out_len,
+                inner,
+                workers,
+            );
+            first = false;
+            std::mem::swap(&mut self.front, &mut self.back);
+        }
+        unreachable!("non-empty pipelines return from the final stage")
+    }
+
+    /// Workers to use for a stage of `cells` total work.
+    fn effective_threads(&self, cells: usize) -> usize {
+        if cells < MIN_PARALLEL_CELLS {
+            1
+        } else {
+            self.threads
+        }
+    }
+}
+
+/// Default worker count for [`LaneExecutor::new`].
+pub fn default_threads() -> usize {
+    #[cfg(feature = "parallel")]
+    {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+}
+
+/// Per-worker gather / output / scratch buffers.
+struct WorkerBufs {
+    in_lane: Vec<f64>,
+    out_lane: Vec<f64>,
+    scratch: Vec<f64>,
+}
+
+impl WorkerBufs {
+    fn new(kernel: &dyn LaneKernel, in_len: usize, out_len: usize) -> Self {
+        WorkerBufs {
+            in_lane: vec![0.0; in_len],
+            out_lane: vec![0.0; out_len],
+            scratch: vec![0.0; kernel.scratch_len()],
+        }
+    }
+}
+
+/// Processes the flat lane range `[lane_lo, lane_hi)` serially. A lane
+/// index `L` decomposes as `(o, i) = (L / inner, L % inner)`; its source
+/// elements live at `o*in_len*inner + j*inner + i` and its destination
+/// elements at `o*out_len*inner + j*inner + i`.
+///
+/// `dst` writes go through a raw pointer so the parallel path can hand
+/// every worker the same destination buffer; the ranges written by
+/// distinct lanes are disjoint by construction.
+///
+/// # Safety
+/// Callers must guarantee `dst` points to at least `outer*out_len*inner`
+/// elements and that no two concurrent calls receive overlapping lane
+/// ranges.
+#[allow(clippy::too_many_arguments)]
+unsafe fn process_lanes(
+    src: &[f64],
+    dst: *mut f64,
+    kernel: &dyn LaneKernel,
+    in_len: usize,
+    out_len: usize,
+    inner: usize,
+    lane_lo: usize,
+    lane_hi: usize,
+    bufs: &mut WorkerBufs,
+) {
+    if inner == 1 {
+        // Contiguous lanes: no gather needed (lane L == outer index o),
+        // and each lane's destination range is itself contiguous and
+        // disjoint, so the kernel writes it directly — no staging copy.
+        for o in lane_lo..lane_hi {
+            let lane_src = &src[o * in_len..(o + 1) * in_len];
+            // SAFETY: `[o*out_len, (o+1)*out_len)` is in bounds per the
+            // caller contract and disjoint from every other lane's range.
+            let lane_dst = unsafe { std::slice::from_raw_parts_mut(dst.add(o * out_len), out_len) };
+            kernel.apply(lane_src, lane_dst, &mut bufs.scratch);
+        }
+        return;
+    }
+    for lane in lane_lo..lane_hi {
+        let (o, i) = (lane / inner, lane % inner);
+        let src_base = o * in_len * inner + i;
+        let dst_base = o * out_len * inner + i;
+        for (j, slot) in bufs.in_lane.iter_mut().enumerate() {
+            *slot = src[src_base + j * inner];
+        }
+        kernel.apply(&bufs.in_lane, &mut bufs.out_lane, &mut bufs.scratch);
+        for (j, &v) in bufs.out_lane.iter().enumerate() {
+            unsafe { *dst.add(dst_base + j * inner) = v };
+        }
+    }
+}
+
+#[cfg(feature = "parallel")]
+#[derive(Clone, Copy)]
+struct DstPtr(*mut f64);
+
+// SAFETY: the pointer is only used to write lane ranges proven disjoint
+// per worker (see `process_lanes`).
+#[cfg(feature = "parallel")]
+unsafe impl Send for DstPtr {}
+
+fn run_stage(
+    src: &[f64],
+    dst: &mut [f64],
+    kernel: &dyn LaneKernel,
+    in_len: usize,
+    out_len: usize,
+    inner: usize,
+    threads: usize,
+) {
+    let n_lanes = src.len() / in_len;
+    debug_assert_eq!(dst.len(), n_lanes * out_len);
+
+    #[cfg(feature = "parallel")]
+    if threads > 1 && n_lanes > 1 {
+        let workers = threads.min(n_lanes);
+        let chunk = n_lanes.div_ceil(workers);
+        let dst_ptr = DstPtr(dst.as_mut_ptr());
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let lane_lo = w * chunk;
+                let lane_hi = ((w + 1) * chunk).min(n_lanes);
+                if lane_lo >= lane_hi {
+                    continue;
+                }
+                scope.spawn(move || {
+                    // Capture the whole wrapper, not its raw-pointer field
+                    // (edition-2021 closures capture per field otherwise,
+                    // which would sidestep the `Send` impl).
+                    let dst_ptr = dst_ptr;
+                    let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
+                    // SAFETY: workers receive disjoint `[lane_lo, lane_hi)`
+                    // ranges, and each lane's destination indices are
+                    // disjoint from every other lane's; `dst` outlives the
+                    // scope.
+                    unsafe {
+                        process_lanes(
+                            src, dst_ptr.0, kernel, in_len, out_len, inner, lane_lo, lane_hi,
+                            &mut bufs,
+                        );
+                    }
+                });
+            }
+        });
+        return;
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = threads;
+
+    let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
+    // SAFETY: single caller covering every lane exactly once; `dst` is a
+    // live mutable borrow sized `n_lanes * out_len`.
+    unsafe {
+        process_lanes(
+            src,
+            dst.as_mut_ptr(),
+            kernel,
+            in_len,
+            out_len,
+            inner,
+            0,
+            n_lanes,
+            &mut bufs,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lanes::map_lanes;
+
+    /// Reverses a lane.
+    struct Reverse(usize);
+
+    impl LaneKernel for Reverse {
+        fn input_len(&self) -> usize {
+            self.0
+        }
+        fn output_len(&self) -> usize {
+            self.0
+        }
+        fn apply(&self, src: &[f64], dst: &mut [f64], _scratch: &mut [f64]) {
+            for (i, &v) in src.iter().enumerate() {
+                dst[src.len() - 1 - i] = v;
+            }
+        }
+    }
+
+    /// Sums a lane into a single cell (axis shrink).
+    struct SumTo1(usize);
+
+    impl LaneKernel for SumTo1 {
+        fn input_len(&self) -> usize {
+            self.0
+        }
+        fn output_len(&self) -> usize {
+            1
+        }
+        fn apply(&self, src: &[f64], dst: &mut [f64], _scratch: &mut [f64]) {
+            dst[0] = src.iter().sum();
+        }
+    }
+
+    /// Repeats the lane twice (axis growth) using scratch.
+    struct Duplicate(usize);
+
+    impl LaneKernel for Duplicate {
+        fn input_len(&self) -> usize {
+            self.0
+        }
+        fn output_len(&self) -> usize {
+            self.0 * 2
+        }
+        fn scratch_len(&self) -> usize {
+            self.0
+        }
+        fn apply(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+            scratch[..src.len()].copy_from_slice(src);
+            dst[..src.len()].copy_from_slice(&scratch[..src.len()]);
+            dst[src.len()..].copy_from_slice(&scratch[..src.len()]);
+        }
+    }
+
+    fn sample(dims: &[usize]) -> NdMatrix {
+        let n: usize = dims.iter().product();
+        NdMatrix::from_vec(
+            dims,
+            (0..n).map(|i| ((i * 37) % 23) as f64 - 11.0).collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn single_stage_matches_map_lanes() {
+        let m = sample(&[4, 3, 5]);
+        let mut exec = LaneExecutor::serial();
+        for axis in 0..3 {
+            let k = Reverse(m.dims()[axis]);
+            let got = exec.map_axis(&m, axis, &k).unwrap();
+            let want = map_lanes(&m, axis, m.dims()[axis], |s, d| {
+                for (i, &v) in s.iter().enumerate() {
+                    d[s.len() - 1 - i] = v;
+                }
+            })
+            .unwrap();
+            assert_eq!(got, want, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn pipeline_matches_chained_map_lanes() {
+        let m = sample(&[3, 4, 2]);
+        let k0 = Duplicate(3);
+        let k1 = SumTo1(4);
+        let k2 = Reverse(2);
+        let mut exec = LaneExecutor::serial();
+        let got = exec
+            .run(
+                &m,
+                &[
+                    AxisStage {
+                        axis: 0,
+                        kernel: &k0,
+                    },
+                    AxisStage {
+                        axis: 1,
+                        kernel: &k1,
+                    },
+                    AxisStage {
+                        axis: 2,
+                        kernel: &k2,
+                    },
+                ],
+            )
+            .unwrap();
+        let s0 = map_lanes(&m, 0, 6, |s, d| {
+            d[..3].copy_from_slice(s);
+            d[3..].copy_from_slice(s);
+        })
+        .unwrap();
+        let s1 = map_lanes(&s0, 1, 1, |s, d| d[0] = s.iter().sum()).unwrap();
+        let want = map_lanes(&s1, 2, 2, |s, d| {
+            d[0] = s[1];
+            d[1] = s[0];
+        })
+        .unwrap();
+        assert_eq!(got.dims(), &[6, 1, 2]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn default_matches_new() {
+        assert_eq!(
+            LaneExecutor::default().threads(),
+            LaneExecutor::new().threads()
+        );
+        assert!(LaneExecutor::default().threads() >= 1);
+    }
+
+    #[test]
+    fn executor_is_reusable_across_shapes() {
+        let mut exec = LaneExecutor::serial();
+        for dims in [vec![8usize], vec![2, 9], vec![3, 3, 3], vec![2, 2]] {
+            let m = sample(&dims);
+            let k = Reverse(dims[0]);
+            let once = exec.map_axis(&m, 0, &k).unwrap();
+            let twice = exec.map_axis(&once, 0, &k).unwrap();
+            assert_eq!(twice, m, "{dims:?}");
+        }
+    }
+
+    #[test]
+    fn stage_validation_errors() {
+        let m = sample(&[2, 3]);
+        let mut exec = LaneExecutor::serial();
+        let bad_axis = Reverse(2);
+        assert!(matches!(
+            exec.map_axis(&m, 2, &bad_axis).unwrap_err(),
+            MatrixError::BadAxis { .. }
+        ));
+        let wrong_len = Reverse(5);
+        assert!(matches!(
+            exec.map_axis(&m, 0, &wrong_len).unwrap_err(),
+            MatrixError::DataLenMismatch { .. }
+        ));
+        // A stage after an axis change must match the *new* length.
+        let k0 = Duplicate(2);
+        let stale = Reverse(3);
+        let refreshed = Reverse(3);
+        assert!(exec
+            .run(
+                &m,
+                &[
+                    AxisStage {
+                        axis: 0,
+                        kernel: &k0
+                    },
+                    AxisStage {
+                        axis: 0,
+                        kernel: &stale
+                    }
+                ]
+            )
+            .is_err());
+        let ok = exec.run(
+            &m,
+            &[
+                AxisStage {
+                    axis: 0,
+                    kernel: &k0,
+                },
+                AxisStage {
+                    axis: 1,
+                    kernel: &refreshed,
+                },
+            ],
+        );
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn zero_output_len_is_rejected() {
+        struct Empty;
+        impl LaneKernel for Empty {
+            fn input_len(&self) -> usize {
+                2
+            }
+            fn output_len(&self) -> usize {
+                0
+            }
+            fn apply(&self, _: &[f64], _: &mut [f64], _: &mut [f64]) {}
+        }
+        let m = sample(&[2, 2]);
+        assert!(matches!(
+            LaneExecutor::serial().map_axis(&m, 0, &Empty).unwrap_err(),
+            MatrixError::ZeroDim { .. }
+        ));
+    }
+
+    #[test]
+    fn multi_threaded_output_is_bit_identical() {
+        // Compiled in both feature configurations: without `parallel` the
+        // worker count collapses to the serial path, which must still give
+        // identical results. The matrix exceeds MIN_PARALLEL_CELLS so the
+        // feature build genuinely runs the threaded branch.
+        let m = sample(&[32, 32, 8, 4]);
+        let mut serial = LaneExecutor::serial();
+        let mut wide = LaneExecutor::with_threads(8);
+        for axis in 0..4 {
+            let k = Reverse(m.dims()[axis]);
+            let a = serial.map_axis(&m, axis, &k).unwrap();
+            let b = wide.map_axis(&m, axis, &k).unwrap();
+            assert_eq!(a.as_slice(), b.as_slice(), "axis {axis}");
+        }
+    }
+}

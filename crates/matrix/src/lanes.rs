@@ -93,7 +93,10 @@ pub fn for_each_lane(src: &NdMatrix, axis: usize, mut f: impl FnMut(&[f64])) -> 
 /// Number of lanes along `axis` (= product of the other dimension sizes).
 pub fn lane_count(m: &NdMatrix, axis: usize) -> Result<usize> {
     if axis >= m.ndim() {
-        return Err(MatrixError::BadAxis { axis, ndim: m.ndim() });
+        return Err(MatrixError::BadAxis {
+            axis,
+            ndim: m.ndim(),
+        });
     }
     Ok(m.len() / m.dims()[axis])
 }
@@ -177,10 +180,7 @@ mod tests {
         for a in 0..2 {
             for b in 0..2 {
                 for c in 0..2 {
-                    assert_eq!(
-                        out.get(&[a, b, c]).unwrap(),
-                        m.get(&[a, 1 - b, c]).unwrap()
-                    );
+                    assert_eq!(out.get(&[a, b, c]).unwrap(), m.get(&[a, 1 - b, c]).unwrap());
                 }
             }
         }

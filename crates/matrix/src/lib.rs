@@ -10,6 +10,10 @@
 //!   matrix, possibly changing the length of that axis ([`lanes`]) — this is
 //!   exactly the operation the paper's multi-dimensional Haar–nominal
 //!   wavelet transform (standard decomposition, §VI-A) is built from.
+//! - [`LaneExecutor`]: the allocation-free, optionally multi-threaded
+//!   engine running pipelines of per-axis lane kernels over reusable
+//!   ping-pong buffers ([`executor`]) — the hot path under every
+//!   multi-dimensional transform in the workspace.
 //! - [`PrefixSums`]: d-dimensional inclusive prefix sums answering
 //!   hyper-rectangle sums in O(2^d) ([`prefix`]) — the range-count query
 //!   engine substrate.
@@ -20,6 +24,7 @@
 //! `f64` up to 2^53 which comfortably covers the paper's datasets
 //! (n ≤ 10^7, m ≤ 2^26).
 
+pub mod executor;
 pub mod lanes;
 pub mod ndmatrix;
 pub mod prefix;
@@ -27,6 +32,7 @@ pub mod shape;
 pub mod slice;
 pub mod view;
 
+pub use executor::{AxisStage, LaneExecutor, LaneKernel};
 pub use lanes::map_lanes;
 pub use ndmatrix::NdMatrix;
 pub use prefix::PrefixSums;
@@ -48,7 +54,11 @@ pub enum MatrixError {
     /// A coordinate vector has the wrong number of dimensions.
     WrongArity { expected: usize, got: usize },
     /// A coordinate is out of bounds on some axis.
-    OutOfBounds { axis: usize, coord: usize, dim: usize },
+    OutOfBounds {
+        axis: usize,
+        coord: usize,
+        dim: usize,
+    },
     /// An axis index is out of range.
     BadAxis { axis: usize, ndim: usize },
     /// A rectangle has `lo > hi` on some axis.
@@ -62,13 +72,19 @@ impl std::fmt::Display for MatrixError {
             MatrixError::ZeroDim { axis } => write!(f, "dimension {axis} has size zero"),
             MatrixError::TooLarge => write!(f, "shape cell count overflows usize"),
             MatrixError::DataLenMismatch { expected, got } => {
-                write!(f, "data length {got} does not match shape cell count {expected}")
+                write!(
+                    f,
+                    "data length {got} does not match shape cell count {expected}"
+                )
             }
             MatrixError::WrongArity { expected, got } => {
                 write!(f, "expected {expected} coordinates, got {got}")
             }
             MatrixError::OutOfBounds { axis, coord, dim } => {
-                write!(f, "coordinate {coord} out of bounds for axis {axis} of size {dim}")
+                write!(
+                    f,
+                    "coordinate {coord} out of bounds for axis {axis} of size {dim}"
+                )
             }
             MatrixError::BadAxis { axis, ndim } => {
                 write!(f, "axis {axis} out of range for {ndim}-dimensional shape")

@@ -25,7 +25,10 @@ impl NdMatrix {
     pub fn from_vec(dims: &[usize], data: Vec<f64>) -> Result<Self> {
         let shape = Shape::new(dims)?;
         if data.len() != shape.len() {
-            return Err(MatrixError::DataLenMismatch { expected: shape.len(), got: data.len() });
+            return Err(MatrixError::DataLenMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
         }
         Ok(NdMatrix { shape, data })
     }
@@ -33,7 +36,10 @@ impl NdMatrix {
     /// Builds a matrix with an existing shape and flat data.
     pub fn from_shape_vec(shape: Shape, data: Vec<f64>) -> Result<Self> {
         if data.len() != shape.len() {
-            return Err(MatrixError::DataLenMismatch { expected: shape.len(), got: data.len() });
+            return Err(MatrixError::DataLenMismatch {
+                expected: shape.len(),
+                got: data.len(),
+            });
         }
         Ok(NdMatrix { shape, data })
     }
@@ -181,7 +187,10 @@ mod tests {
         assert!(NdMatrix::from_vec(&[2, 2], vec![1.0; 4]).is_ok());
         assert_eq!(
             NdMatrix::from_vec(&[2, 2], vec![1.0; 5]).unwrap_err(),
-            MatrixError::DataLenMismatch { expected: 4, got: 5 }
+            MatrixError::DataLenMismatch {
+                expected: 4,
+                got: 5
+            }
         );
     }
 

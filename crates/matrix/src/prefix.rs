@@ -58,7 +58,10 @@ impl PrefixSums {
     pub fn rect_sum(&self, lo: &[usize], hi: &[usize]) -> Result<f64> {
         let d = self.shape.ndim();
         if lo.len() != d || hi.len() != d {
-            return Err(MatrixError::WrongArity { expected: d, got: lo.len().min(hi.len()) });
+            return Err(MatrixError::WrongArity {
+                expected: d,
+                got: lo.len().min(hi.len()),
+            });
         }
         for axis in 0..d {
             if hi[axis] >= self.shape.dim(axis) {

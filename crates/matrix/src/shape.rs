@@ -31,7 +31,11 @@ impl Shape {
             strides[axis] = acc;
             acc = acc.checked_mul(dims[axis]).ok_or(MatrixError::TooLarge)?;
         }
-        Ok(Shape { dims: dims.to_vec(), strides, len: acc })
+        Ok(Shape {
+            dims: dims.to_vec(),
+            strides,
+            len: acc,
+        })
     }
 
     /// Number of dimensions.
@@ -79,14 +83,23 @@ impl Shape {
     /// Linear index of a coordinate vector (checked).
     pub fn linear(&self, coords: &[usize]) -> Result<usize> {
         if coords.len() != self.dims.len() {
-            return Err(MatrixError::WrongArity { expected: self.dims.len(), got: coords.len() });
+            return Err(MatrixError::WrongArity {
+                expected: self.dims.len(),
+                got: coords.len(),
+            });
         }
         let mut idx = 0usize;
-        for (axis, (&c, (&d, &s))) in
-            coords.iter().zip(self.dims.iter().zip(self.strides.iter())).enumerate()
+        for (axis, (&c, (&d, &s))) in coords
+            .iter()
+            .zip(self.dims.iter().zip(self.strides.iter()))
+            .enumerate()
         {
             if c >= d {
-                return Err(MatrixError::OutOfBounds { axis, coord: c, dim: d });
+                return Err(MatrixError::OutOfBounds {
+                    axis,
+                    coord: c,
+                    dim: d,
+                });
             }
             idx += c * s;
         }
@@ -108,10 +121,17 @@ impl Shape {
     /// Writes the coordinates of a linear index into `out`.
     pub fn coords(&self, mut linear: usize, out: &mut [usize]) -> Result<()> {
         if out.len() != self.dims.len() {
-            return Err(MatrixError::WrongArity { expected: self.dims.len(), got: out.len() });
+            return Err(MatrixError::WrongArity {
+                expected: self.dims.len(),
+                got: out.len(),
+            });
         }
         if linear >= self.len {
-            return Err(MatrixError::OutOfBounds { axis: 0, coord: linear, dim: self.len });
+            return Err(MatrixError::OutOfBounds {
+                axis: 0,
+                coord: linear,
+                dim: self.len,
+            });
         }
         for (slot, &stride) in out.iter_mut().zip(&self.strides) {
             *slot = linear / stride;
@@ -124,7 +144,10 @@ impl Shape {
     /// `new_size`.
     pub fn with_dim(&self, axis: usize, new_size: usize) -> Result<Shape> {
         if axis >= self.ndim() {
-            return Err(MatrixError::BadAxis { axis, ndim: self.ndim() });
+            return Err(MatrixError::BadAxis {
+                axis,
+                ndim: self.ndim(),
+            });
         }
         let mut dims = self.dims.clone();
         dims[axis] = new_size;
@@ -133,7 +156,10 @@ impl Shape {
 
     /// Iterates over all coordinate vectors in row-major order.
     pub fn iter_coords(&self) -> CoordIter {
-        CoordIter { dims: self.dims.clone(), next: Some(vec![0; self.dims.len()]) }
+        CoordIter {
+            dims: self.dims.clone(),
+            next: Some(vec![0; self.dims.len()]),
+        }
     }
 }
 
@@ -192,12 +218,18 @@ mod tests {
     #[test]
     fn rejects_empty_and_zero_dims() {
         assert_eq!(Shape::new(&[]).unwrap_err(), MatrixError::EmptyShape);
-        assert_eq!(Shape::new(&[3, 0]).unwrap_err(), MatrixError::ZeroDim { axis: 1 });
+        assert_eq!(
+            Shape::new(&[3, 0]).unwrap_err(),
+            MatrixError::ZeroDim { axis: 1 }
+        );
     }
 
     #[test]
     fn rejects_overflowing_shapes() {
-        assert_eq!(Shape::new(&[usize::MAX, 3]).unwrap_err(), MatrixError::TooLarge);
+        assert_eq!(
+            Shape::new(&[usize::MAX, 3]).unwrap_err(),
+            MatrixError::TooLarge
+        );
     }
 
     #[test]
@@ -216,9 +248,19 @@ mod tests {
         let s = Shape::new(&[3, 4]).unwrap();
         assert_eq!(
             s.linear(&[1, 4]).unwrap_err(),
-            MatrixError::OutOfBounds { axis: 1, coord: 4, dim: 4 }
+            MatrixError::OutOfBounds {
+                axis: 1,
+                coord: 4,
+                dim: 4
+            }
         );
-        assert_eq!(s.linear(&[1]).unwrap_err(), MatrixError::WrongArity { expected: 2, got: 1 });
+        assert_eq!(
+            s.linear(&[1]).unwrap_err(),
+            MatrixError::WrongArity {
+                expected: 2,
+                got: 1
+            }
+        );
     }
 
     #[test]

@@ -23,7 +23,10 @@ impl RectIter {
     pub fn new(m: &NdMatrix, lo: &[usize], hi: &[usize]) -> Result<Self> {
         let d = m.ndim();
         if lo.len() != d || hi.len() != d {
-            return Err(MatrixError::WrongArity { expected: d, got: lo.len().min(hi.len()) });
+            return Err(MatrixError::WrongArity {
+                expected: d,
+                got: lo.len().min(hi.len()),
+            });
         }
         for axis in 0..d {
             if hi[axis] >= m.dims()[axis] {
@@ -108,7 +111,10 @@ mod tests {
         let idxs: Vec<usize> = RectIter::new(&m, &[1, 1], &[2, 2]).unwrap().collect();
         // Rows 1..=2, cols 1..=2 of a 3x4: linear indices 5,6,9,10.
         assert_eq!(idxs, vec![5, 6, 9, 10]);
-        assert_eq!(rect_sum_naive(&m, &[1, 1], &[2, 2]).unwrap(), 5.0 + 6.0 + 9.0 + 10.0);
+        assert_eq!(
+            rect_sum_naive(&m, &[1, 1], &[2, 2]).unwrap(),
+            5.0 + 6.0 + 9.0 + 10.0
+        );
     }
 
     #[test]

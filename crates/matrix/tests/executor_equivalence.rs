@@ -1,0 +1,185 @@
+//! Equivalence suite for the lane-execution engine.
+//!
+//! The engine guarantees that (a) a `LaneExecutor` pipeline computes
+//! exactly what chained [`map_lanes`] calls compute, and (b) the parallel
+//! path is **bit-identical** to the serial path. Matrices here are larger
+//! than the engine's parallel cut-over threshold so that, when built with
+//! `--features parallel`, the multi-threaded code path really runs
+//! (without the feature the same assertions hold trivially and keep the
+//! suite compiling in both configurations).
+
+use privelet_matrix::{map_lanes, AxisStage, LaneExecutor, LaneKernel, NdMatrix};
+
+/// A deliberately asymmetric kernel: output length differs from input,
+/// every output mixes several inputs, and scratch is exercised.
+struct Mix {
+    in_len: usize,
+    out_len: usize,
+}
+
+impl LaneKernel for Mix {
+    fn input_len(&self) -> usize {
+        self.in_len
+    }
+    fn output_len(&self) -> usize {
+        self.out_len
+    }
+    fn scratch_len(&self) -> usize {
+        self.in_len
+    }
+    fn apply(&self, src: &[f64], dst: &mut [f64], scratch: &mut [f64]) {
+        // Prefix sums into scratch, then strided reads with sign flips.
+        let mut acc = 0.0;
+        for (slot, &v) in scratch.iter_mut().zip(src) {
+            acc += v;
+            *slot = acc;
+        }
+        for (j, slot) in dst.iter_mut().enumerate() {
+            let k = (j * 7 + 3) % self.in_len;
+            *slot = scratch[k] - 0.25 * src[j % self.in_len];
+        }
+    }
+}
+
+fn mix_reference(src: &[f64], dst: &mut [f64]) {
+    let n = src.len();
+    let mut prefix = vec![0.0; n];
+    let mut acc = 0.0;
+    for (slot, &v) in prefix.iter_mut().zip(src) {
+        acc += v;
+        *slot = acc;
+    }
+    for (j, slot) in dst.iter_mut().enumerate() {
+        let k = (j * 7 + 3) % n;
+        *slot = prefix[k] - 0.25 * src[j % n];
+    }
+}
+
+fn big_matrix(dims: &[usize]) -> NdMatrix {
+    let n: usize = dims.iter().product();
+    NdMatrix::from_vec(
+        dims,
+        (0..n)
+            .map(|i| (((i * 2654435761) % 977) as f64) / 13.0 - 35.0)
+            .collect(),
+    )
+    .unwrap()
+}
+
+/// Shapes whose per-stage work exceeds the engine's parallel threshold.
+fn shapes() -> Vec<Vec<usize>> {
+    vec![
+        vec![1 << 16],       // 1-D, contiguous-lane fast path only
+        vec![256, 128],      // axis 0 strided, axis 1 contiguous
+        vec![32, 64, 32],    // middle-axis gather
+        vec![8, 16, 16, 32], // 4-D
+        vec![65536, 2],      // extreme outer count, tiny lanes
+        vec![2, 65536],      // two huge contiguous lanes
+    ]
+}
+
+#[test]
+fn serial_executor_matches_map_lanes_on_every_axis() {
+    let mut exec = LaneExecutor::serial();
+    for dims in shapes() {
+        let m = big_matrix(&dims);
+        for axis in 0..dims.len() {
+            let kernel = Mix {
+                in_len: dims[axis],
+                out_len: dims[axis] + 5,
+            };
+            let got = exec.map_axis(&m, axis, &kernel).unwrap();
+            let want = map_lanes(&m, axis, dims[axis] + 5, mix_reference).unwrap();
+            assert_eq!(got, want, "dims {dims:?} axis {axis}");
+        }
+    }
+}
+
+#[test]
+fn parallel_executor_is_bit_identical_to_serial() {
+    let mut serial = LaneExecutor::serial();
+    for threads in [2usize, 3, 8, 64] {
+        let mut wide = LaneExecutor::with_threads(threads);
+        for dims in shapes() {
+            let m = big_matrix(&dims);
+            for axis in 0..dims.len() {
+                let kernel = Mix {
+                    in_len: dims[axis],
+                    out_len: dims[axis] + 3,
+                };
+                let a = serial.map_axis(&m, axis, &kernel).unwrap();
+                let b = wide.map_axis(&m, axis, &kernel).unwrap();
+                // Bit-identical, not approximately equal.
+                assert_eq!(
+                    a.as_slice(),
+                    b.as_slice(),
+                    "dims {dims:?} axis {axis} threads {threads}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_pipeline_is_bit_identical_to_serial_pipeline() {
+    let dims = vec![24usize, 32, 40];
+    let m = big_matrix(&dims);
+    let k0 = Mix {
+        in_len: 24,
+        out_len: 31,
+    };
+    let k1 = Mix {
+        in_len: 32,
+        out_len: 17,
+    };
+    let k2 = Mix {
+        in_len: 40,
+        out_len: 64,
+    };
+    fn stages<'a>(s0: &'a Mix, s1: &'a Mix, s2: &'a Mix) -> Vec<AxisStage<'a>> {
+        vec![
+            AxisStage {
+                axis: 0,
+                kernel: s0 as &dyn LaneKernel,
+            },
+            AxisStage {
+                axis: 1,
+                kernel: s1,
+            },
+            AxisStage {
+                axis: 2,
+                kernel: s2,
+            },
+        ]
+    }
+    let a = LaneExecutor::serial()
+        .run(&m, &stages(&k0, &k1, &k2))
+        .unwrap();
+    let b = LaneExecutor::with_threads(16)
+        .run(&m, &stages(&k0, &k1, &k2))
+        .unwrap();
+    assert_eq!(a.dims(), &[31, 17, 64]);
+    assert_eq!(a.as_slice(), b.as_slice());
+}
+
+#[test]
+fn warm_executor_never_leaks_previous_results() {
+    // Run a big pipeline, then a small one whose output region is a strict
+    // subset of the dirty buffer; every cell must still be freshly written.
+    let mut exec = LaneExecutor::with_threads(4);
+    let big = big_matrix(&[64, 64, 32]);
+    let kernel_big = Mix {
+        in_len: 64,
+        out_len: 64,
+    };
+    exec.map_axis(&big, 0, &kernel_big).unwrap();
+
+    let small = big_matrix(&[6, 5]);
+    let kernel_small = Mix {
+        in_len: 6,
+        out_len: 4,
+    };
+    let got = exec.map_axis(&small, 0, &kernel_small).unwrap();
+    let want = map_lanes(&small, 0, 4, mix_reference).unwrap();
+    assert_eq!(got, want);
+}

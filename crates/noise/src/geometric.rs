@@ -119,7 +119,12 @@ mod tests {
         let se = (d.variance() / stats.count() as f64).sqrt();
         assert!(stats.mean().abs() < 5.0 * se, "mean {}", stats.mean());
         let rel = (stats.variance() - d.variance()).abs() / d.variance();
-        assert!(rel < 0.03, "variance {} vs {}", stats.variance(), d.variance());
+        assert!(
+            rel < 0.03,
+            "variance {} vs {}",
+            stats.variance(),
+            d.variance()
+        );
     }
 
     #[test]

@@ -144,7 +144,12 @@ mod tests {
         let se = (d.variance() / stats.count() as f64).sqrt();
         assert!(stats.mean().abs() < 5.0 * se, "mean = {}", stats.mean());
         let rel = (stats.variance() - d.variance()).abs() / d.variance();
-        assert!(rel < 0.03, "variance = {}, expected {}", stats.variance(), d.variance());
+        assert!(
+            rel < 0.03,
+            "variance = {}, expected {}",
+            stats.variance(),
+            d.variance()
+        );
     }
 
     #[test]
@@ -157,7 +162,11 @@ mod tests {
         samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for &x in &[-2.0, -0.5, 0.0, 0.5, 2.0] {
             let emp = samples.partition_point(|&s| s <= x) as f64 / n as f64;
-            assert!((emp - d.cdf(x)).abs() < 0.01, "x={x} emp={emp} cdf={}", d.cdf(x));
+            assert!(
+                (emp - d.cdf(x)).abs() < 0.01,
+                "x={x} emp={emp} cdf={}",
+                d.cdf(x)
+            );
         }
     }
 

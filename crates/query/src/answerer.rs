@@ -79,7 +79,9 @@ mod tests {
             RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
             RangeQuery::new(vec![
                 Predicate::Range { lo: 1, hi: 4 },
-                Predicate::Node { node: h.leaf_node(1) },
+                Predicate::Node {
+                    node: h.leaf_node(1),
+                },
             ]),
         ];
         let batch = ans.answer_all(&queries).unwrap();

@@ -29,10 +29,14 @@ pub struct BucketRow {
 /// by at most one (when `k` does not divide the query count).
 pub fn quantile_rows(keys: &[f64], series: &[&[f64]], k: usize) -> Result<Vec<BucketRow>> {
     if k == 0 {
-        return Err(QueryError::BadConfig("bucket count must be positive".into()));
+        return Err(QueryError::BadConfig(
+            "bucket count must be positive".into(),
+        ));
     }
     if keys.is_empty() {
-        return Err(QueryError::BadConfig("cannot bucket an empty workload".into()));
+        return Err(QueryError::BadConfig(
+            "cannot bucket an empty workload".into(),
+        ));
     }
     for s in series {
         if s.len() != keys.len() {
@@ -61,7 +65,11 @@ pub fn quantile_rows(keys: &[f64], series: &[&[f64]], k: usize) -> Result<Vec<Bu
             .iter()
             .map(|s| idxs.iter().map(|&i| s[i]).sum::<f64>() / len as f64)
             .collect();
-        rows.push(BucketRow { mean_key, mean_values, count: len });
+        rows.push(BucketRow {
+            mean_key,
+            mean_values,
+            count: len,
+        });
     }
     Ok(rows)
 }

@@ -46,12 +46,21 @@ pub enum QueryError {
     /// attributes.
     WrongArity { expected: usize, got: usize },
     /// An ordinal interval is invalid (`lo > hi` or `hi` out of domain).
-    BadInterval { attr: usize, lo: usize, hi: usize, size: usize },
+    BadInterval {
+        attr: usize,
+        lo: usize,
+        hi: usize,
+        size: usize,
+    },
     /// An interval predicate was applied to a nominal attribute or a node
     /// predicate to an ordinal attribute.
     KindMismatch { attr: usize },
     /// A node id is out of range for the attribute's hierarchy.
-    BadNode { attr: usize, node: usize, nodes: usize },
+    BadNode {
+        attr: usize,
+        node: usize,
+        nodes: usize,
+    },
     /// The matrix/prefix structure does not match the schema.
     ShapeMismatch,
     /// The workload generator was misconfigured.
@@ -62,16 +71,28 @@ impl std::fmt::Display for QueryError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             QueryError::WrongArity { expected, got } => {
-                write!(f, "query has {got} predicates, schema has {expected} attributes")
+                write!(
+                    f,
+                    "query has {got} predicates, schema has {expected} attributes"
+                )
             }
             QueryError::BadInterval { attr, lo, hi, size } => {
-                write!(f, "bad interval [{lo},{hi}] for attribute {attr} of size {size}")
+                write!(
+                    f,
+                    "bad interval [{lo},{hi}] for attribute {attr} of size {size}"
+                )
             }
             QueryError::KindMismatch { attr } => {
-                write!(f, "predicate kind does not match attribute {attr}'s domain kind")
+                write!(
+                    f,
+                    "predicate kind does not match attribute {attr}'s domain kind"
+                )
             }
             QueryError::BadNode { attr, node, nodes } => {
-                write!(f, "node {node} out of range for attribute {attr} ({nodes} nodes)")
+                write!(
+                    f,
+                    "node {node} out of range for attribute {attr} ({nodes} nodes)"
+                )
             }
             QueryError::ShapeMismatch => write!(f, "matrix shape does not match schema"),
             QueryError::BadConfig(msg) => write!(f, "bad workload config: {msg}"),

@@ -33,7 +33,12 @@ impl Predicate {
             (Predicate::All, _) => Ok((0, attr.size() - 1)),
             (Predicate::Range { lo, hi }, Domain::Ordinal { size }) => {
                 if lo > hi || *hi >= *size {
-                    Err(QueryError::BadInterval { attr: attr_idx, lo: *lo, hi: *hi, size: *size })
+                    Err(QueryError::BadInterval {
+                        attr: attr_idx,
+                        lo: *lo,
+                        hi: *hi,
+                        size: *size,
+                    })
                 } else {
                     Ok((*lo, *hi))
                 }
@@ -68,10 +73,15 @@ mod tests {
     #[test]
     fn ordinal_resolution() {
         let a = Attribute::ordinal("x", 10);
-        assert_eq!(Predicate::Range { lo: 2, hi: 5 }.resolve(0, &a).unwrap(), (2, 5));
+        assert_eq!(
+            Predicate::Range { lo: 2, hi: 5 }.resolve(0, &a).unwrap(),
+            (2, 5)
+        );
         assert_eq!(Predicate::All.resolve(0, &a).unwrap(), (0, 9));
         assert!(matches!(
-            Predicate::Range { lo: 5, hi: 2 }.resolve(0, &a).unwrap_err(),
+            Predicate::Range { lo: 5, hi: 2 }
+                .resolve(0, &a)
+                .unwrap_err(),
             QueryError::BadInterval { .. }
         ));
         assert!(Predicate::Range { lo: 0, hi: 10 }.resolve(0, &a).is_err());
@@ -86,7 +96,10 @@ mod tests {
         let h = three_level(9, 3).unwrap();
         let a = Attribute::nominal("occ", h.clone());
         // Root covers everything.
-        assert_eq!(Predicate::Node { node: h.root() }.resolve(1, &a).unwrap(), (0, 8));
+        assert_eq!(
+            Predicate::Node { node: h.root() }.resolve(1, &a).unwrap(),
+            (0, 8)
+        );
         // A level-2 group covers its contiguous leaves.
         let mids = h.nodes_at_level(2);
         assert_eq!(
@@ -95,7 +108,10 @@ mod tests {
         );
         // A leaf covers a single value.
         let leaf = h.leaf_node(7);
-        assert_eq!(Predicate::Node { node: leaf }.resolve(1, &a).unwrap(), (7, 7));
+        assert_eq!(
+            Predicate::Node { node: leaf }.resolve(1, &a).unwrap(),
+            (7, 7)
+        );
         // Bad node id.
         assert!(matches!(
             Predicate::Node { node: 99 }.resolve(1, &a).unwrap_err(),

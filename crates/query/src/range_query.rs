@@ -20,7 +20,9 @@ impl RangeQuery {
 
     /// A query with no constraints over a `d`-attribute schema.
     pub fn all(d: usize) -> Self {
-        RangeQuery { preds: vec![Predicate::All; d] }
+        RangeQuery {
+            preds: vec![Predicate::All; d],
+        }
     }
 
     /// The predicates, in schema order.
@@ -67,7 +69,9 @@ impl RangeQuery {
             return Err(QueryError::ShapeMismatch);
         }
         let (lo, hi) = self.bounds(schema)?;
-        prefix.rect_sum(&lo, &hi).map_err(|_| QueryError::ShapeMismatch)
+        prefix
+            .rect_sum(&lo, &hi)
+            .map_err(|_| QueryError::ShapeMismatch)
     }
 
     /// The query's *coverage*: the fraction of frequency-matrix cells the
@@ -143,7 +147,9 @@ mod tests {
             RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 3 }, Predicate::All]),
             RangeQuery::new(vec![
                 Predicate::Range { lo: 0, hi: 4 },
-                Predicate::Node { node: h.leaf_node(1) },
+                Predicate::Node {
+                    node: h.leaf_node(1),
+                },
             ]),
             RangeQuery::new(vec![Predicate::All, Predicate::Node { node: h.root() }]),
         ];
@@ -172,7 +178,10 @@ mod tests {
         let q = RangeQuery::new(vec![Predicate::All]);
         assert_eq!(
             q.evaluate(&fm).unwrap_err(),
-            QueryError::WrongArity { expected: 2, got: 1 }
+            QueryError::WrongArity {
+                expected: 2,
+                got: 1
+            }
         );
     }
 

@@ -34,7 +34,12 @@ pub struct WorkloadConfig {
 impl WorkloadConfig {
     /// The paper's workload: 40 000 queries with 1–4 predicates.
     pub fn paper(seed: u64) -> Self {
-        WorkloadConfig { n_queries: 40_000, min_predicates: 1, max_predicates: 4, seed }
+        WorkloadConfig {
+            n_queries: 40_000,
+            min_predicates: 1,
+            max_predicates: 4,
+            seed,
+        }
     }
 }
 
@@ -71,7 +76,10 @@ fn random_predicate(schema: &Schema, attr: usize, rng: &mut impl Rng) -> Predica
         Domain::Ordinal { size } => {
             let a = rng.random_range(0..*size);
             let b = rng.random_range(0..*size);
-            Predicate::Range { lo: a.min(b), hi: a.max(b) }
+            Predicate::Range {
+                lo: a.min(b),
+                hi: a.max(b),
+            }
         }
         Domain::Nominal { hierarchy } => {
             let nodes = hierarchy.node_count();
@@ -79,7 +87,9 @@ fn random_predicate(schema: &Schema, attr: usize, rng: &mut impl Rng) -> Predica
                 // Degenerate single-node hierarchy: only the root exists.
                 Predicate::Node { node: 0 }
             } else {
-                Predicate::Node { node: rng.random_range(1..nodes) }
+                Predicate::Node {
+                    node: rng.random_range(1..nodes),
+                }
             }
         }
     }
@@ -104,7 +114,12 @@ mod tests {
     #[test]
     fn generates_requested_count_deterministically() {
         let s = schema();
-        let cfg = WorkloadConfig { n_queries: 500, min_predicates: 1, max_predicates: 4, seed: 9 };
+        let cfg = WorkloadConfig {
+            n_queries: 500,
+            min_predicates: 1,
+            max_predicates: 4,
+            seed: 9,
+        };
         let a = generate_workload(&s, &cfg).unwrap();
         let b = generate_workload(&s, &cfg).unwrap();
         assert_eq!(a.len(), 500);
@@ -116,8 +131,12 @@ mod tests {
     #[test]
     fn predicate_counts_are_in_range_and_varied() {
         let s = schema();
-        let cfg =
-            WorkloadConfig { n_queries: 2000, min_predicates: 1, max_predicates: 4, seed: 3 };
+        let cfg = WorkloadConfig {
+            n_queries: 2000,
+            min_predicates: 1,
+            max_predicates: 4,
+            seed: 3,
+        };
         let qs = generate_workload(&s, &cfg).unwrap();
         let mut histogram = [0usize; 5];
         for q in &qs {
@@ -138,7 +157,10 @@ mod tests {
     fn every_query_is_valid_for_the_schema() {
         let s = schema();
         let cfg = WorkloadConfig::paper(1);
-        let cfg = WorkloadConfig { n_queries: 1000, ..cfg };
+        let cfg = WorkloadConfig {
+            n_queries: 1000,
+            ..cfg
+        };
         for q in generate_workload(&s, &cfg).unwrap() {
             q.bounds(&s).expect("workload queries must validate");
         }
@@ -147,8 +169,12 @@ mod tests {
     #[test]
     fn nominal_predicates_never_use_the_root() {
         let s = schema();
-        let cfg =
-            WorkloadConfig { n_queries: 1000, min_predicates: 4, max_predicates: 4, seed: 5 };
+        let cfg = WorkloadConfig {
+            n_queries: 1000,
+            min_predicates: 4,
+            max_predicates: 4,
+            seed: 5,
+        };
         for q in generate_workload(&s, &cfg).unwrap() {
             for (i, p) in q.predicates().iter().enumerate() {
                 if let Predicate::Node { node } = p {
@@ -161,8 +187,12 @@ mod tests {
     #[test]
     fn max_predicates_is_capped_at_arity() {
         let s = Schema::new(vec![Attribute::ordinal("only", 10)]).unwrap();
-        let cfg =
-            WorkloadConfig { n_queries: 100, min_predicates: 1, max_predicates: 4, seed: 2 };
+        let cfg = WorkloadConfig {
+            n_queries: 100,
+            min_predicates: 1,
+            max_predicates: 4,
+            seed: 2,
+        };
         for q in generate_workload(&s, &cfg).unwrap() {
             assert_eq!(q.predicate_count(), 1);
         }
@@ -171,11 +201,19 @@ mod tests {
     #[test]
     fn rejects_bad_predicate_ranges() {
         let s = schema();
-        let bad =
-            WorkloadConfig { n_queries: 10, min_predicates: 0, max_predicates: 4, seed: 1 };
+        let bad = WorkloadConfig {
+            n_queries: 10,
+            min_predicates: 0,
+            max_predicates: 4,
+            seed: 1,
+        };
         assert!(generate_workload(&s, &bad).is_err());
-        let inverted =
-            WorkloadConfig { n_queries: 10, min_predicates: 3, max_predicates: 2, seed: 1 };
+        let inverted = WorkloadConfig {
+            n_queries: 10,
+            min_predicates: 3,
+            max_predicates: 2,
+            seed: 1,
+        };
         assert!(generate_workload(&s, &inverted).is_err());
     }
 }

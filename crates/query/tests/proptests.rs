@@ -43,7 +43,9 @@ fn table_for(schema: &Schema, rows: usize) -> Table {
     let mut row = vec![0u32; schema.arity()];
     for i in 0..rows {
         for (j, slot) in row.iter_mut().enumerate() {
-            *slot = ((i as u32).wrapping_mul(2654435761).wrapping_add(j as u32 * 40503))
+            *slot = ((i as u32)
+                .wrapping_mul(2654435761)
+                .wrapping_add(j as u32 * 40503))
                 % sizes[j];
         }
         t.push_row_unchecked(&row);

@@ -9,9 +9,7 @@ use privelet_repro::core::mechanism::{publish_basic, publish_privelet, PriveletC
 use privelet_repro::data::census::{self, CensusConfig};
 use privelet_repro::data::FrequencyMatrix;
 use privelet_repro::matrix::PrefixSums;
-use privelet_repro::query::{
-    generate_workload, metrics, quantile_rows, WorkloadConfig,
-};
+use privelet_repro::query::{generate_workload, metrics, quantile_rows, WorkloadConfig};
 
 fn main() {
     // A reduced Brazil-like dataset so the example runs in seconds. The
@@ -33,15 +31,20 @@ fn main() {
     let exact = FrequencyMatrix::from_table(&table).expect("frequency matrix");
 
     // The §VII-A workload (scaled down from 40 000 queries).
-    let workload_cfg = WorkloadConfig { n_queries: 4_000, ..WorkloadConfig::paper(7) };
+    let workload_cfg = WorkloadConfig {
+        n_queries: 4_000,
+        ..WorkloadConfig::paper(7)
+    };
     let queries = generate_workload(exact.schema(), &workload_cfg).expect("workload");
     let prefix = PrefixSums::build(exact.matrix());
     let acts: Vec<f64> = queries
         .iter()
         .map(|q| q.evaluate_prefix(exact.schema(), &prefix).unwrap())
         .collect();
-    let coverages: Vec<f64> =
-        queries.iter().map(|q| q.coverage(exact.schema()).unwrap()).collect();
+    let coverages: Vec<f64> = queries
+        .iter()
+        .map(|q| q.coverage(exact.schema()).unwrap())
+        .collect();
     let sanity = metrics::sanity_bound(table.len(), metrics::PAPER_SANITY_FRACTION);
 
     // Publish under ε = 1.
@@ -50,8 +53,7 @@ fn main() {
     let sa_names: Vec<&str> = sa.iter().map(|&i| exact.schema().attr(i).name()).collect();
     println!("publishing at ε = {epsilon}; Privelet+ SA = {sa_names:?}");
     let basic = publish_basic(&exact, epsilon, 99).expect("basic");
-    let plus = publish_privelet(&exact, &PriveletConfig::plus(epsilon, sa, 99))
-        .expect("privelet+");
+    let plus = publish_privelet(&exact, &PriveletConfig::plus(epsilon, sa, 99)).expect("privelet+");
 
     // Answer the whole workload on each noisy matrix.
     let basic_prefix = PrefixSums::build(basic.matrix());

@@ -22,23 +22,18 @@ fn main() {
     // An Occupation attribute: 60 occupations in 6 groups (height-3
     // hierarchy, like Table III's Occupation at small scale).
     let hierarchy = three_level(60, 6).expect("hierarchy");
-    let schema = Schema::new(vec![Attribute::nominal(
-        "Occupation",
-        hierarchy.clone(),
-    )])
-    .unwrap();
+    let schema = Schema::new(vec![Attribute::nominal("Occupation", hierarchy.clone())]).unwrap();
 
     // Zipf-distributed workforce of 100 000 people.
     let weights = zipf_weights(60, 1.0);
     let total: f64 = weights.iter().sum();
-    let counts: Vec<f64> =
-        weights.iter().map(|w| (w / total * 100_000.0).round()).collect();
+    let counts: Vec<f64> = weights
+        .iter()
+        .map(|w| (w / total * 100_000.0).round())
+        .collect();
     let n: f64 = counts.iter().sum();
-    let fm = FrequencyMatrix::from_parts(
-        schema,
-        NdMatrix::from_vec(&[60], counts).unwrap(),
-    )
-    .unwrap();
+    let fm =
+        FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[60], counts).unwrap()).unwrap();
 
     let epsilon = 0.5;
     let out = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 11)).expect("publish");
@@ -60,7 +55,10 @@ fn main() {
 
     // Level 2: every occupation group.
     println!("\ngroup totals (drill-down level 2):");
-    println!("{:>8} {:>10} {:>12} {:>10}", "group", "exact", "noisy", "rel.err");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "group", "exact", "noisy", "rel.err"
+    );
     for &g in &hierarchy.nodes_at_level(2) {
         let (exact, noisy) = answer(g);
         println!(
@@ -82,16 +80,17 @@ fn main() {
     let (lo, hi) = hierarchy.leaf_range(largest);
     for pos in lo..=hi {
         let (exact, noisy) = answer(hierarchy.leaf_node(pos));
-        println!("{:>8} {exact:>10.0} {noisy:>12.1}", hierarchy.label(hierarchy.leaf_node(pos)));
+        println!(
+            "{:>8} {exact:>10.0} {noisy:>12.1}",
+            hierarchy.label(hierarchy.leaf_node(pos))
+        );
     }
 
     // Consistency remark: after mean subtraction the noisy group total and
     // the sum of its noisy members agree (a property of the nominal
     // transform's reconstruction).
     let (_, group_noisy) = answer(largest);
-    let member_sum: f64 = (lo..=hi)
-        .map(|p| answer(hierarchy.leaf_node(p)).1)
-        .sum();
+    let member_sum: f64 = (lo..=hi).map(|p| answer(hierarchy.leaf_node(p)).1).sum();
     println!(
         "\ngroup total {group_noisy:.3} vs sum of members {member_sum:.3} \
          (difference {:.2e} — the release is internally consistent)",

@@ -16,7 +16,10 @@ use privelet_repro::query::{Predicate, RangeQuery};
 fn main() {
     // Table I: the input relation.
     let table = medical_example();
-    println!("Table I — {} medical records (Age, Has Diabetes?)", table.len());
+    println!(
+        "Table I — {} medical records (Age, Has Diabetes?)",
+        table.len()
+    );
 
     // Table II: its frequency matrix.
     let fm = FrequencyMatrix::from_table(&table).expect("frequency matrix");
@@ -33,7 +36,9 @@ fn main() {
     let hierarchy = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
     let query = RangeQuery::new(vec![
         Predicate::Range { lo: 0, hi: 2 },
-        Predicate::Node { node: hierarchy.leaf_node(0) },
+        Predicate::Node {
+            node: hierarchy.leaf_node(0),
+        },
     ]);
     let exact = query.evaluate(&fm).unwrap();
     println!("\nquery: COUNT(*) WHERE Age < 50 AND Diabetes = Yes");
@@ -45,8 +50,8 @@ fn main() {
     // error profiles.)
     let epsilon = 1.0;
     let basic = publish_basic(&fm, epsilon, 2024).expect("basic publish");
-    let out = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 2024))
-        .expect("privelet publish");
+    let out =
+        publish_privelet(&fm, &PriveletConfig::pure(epsilon, 2024)).expect("privelet publish");
 
     println!("\nε = {epsilon}:");
     println!(

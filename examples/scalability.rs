@@ -16,7 +16,10 @@ fn main() {
     for k in 1..=4 {
         let n = k * 500_000;
         let p = time_once(n, 1 << 16, 3).expect("timing run");
-        println!("{:>10} {:>12.3} {:>14.3}", p.n, p.basic_secs, p.privelet_secs);
+        println!(
+            "{:>10} {:>12.3} {:>14.3}",
+            p.n, p.basic_secs, p.privelet_secs
+        );
         ns.push(n as f64);
         privelet_times.push(p.privelet_secs);
     }
@@ -32,7 +35,10 @@ fn main() {
     let mut privelet_times = Vec::new();
     for e in [14u32, 16, 18, 20] {
         let p = time_once(100_000, 1 << e, 3).expect("timing run");
-        println!("{:>12} {:>12.3} {:>14.3}", p.m, p.basic_secs, p.privelet_secs);
+        println!(
+            "{:>12} {:>12.3} {:>14.3}",
+            p.m, p.basic_secs, p.privelet_secs
+        );
         ms.push(p.m as f64);
         privelet_times.push(p.privelet_secs);
     }

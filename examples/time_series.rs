@@ -39,20 +39,15 @@ fn main() {
     let n: f64 = counts.iter().sum();
 
     let schema = Schema::new(vec![Attribute::ordinal("hour", HOURS)]).unwrap();
-    let fm = FrequencyMatrix::from_parts(
-        schema,
-        NdMatrix::from_vec(&[HOURS], counts).unwrap(),
-    )
-    .unwrap();
+    let fm =
+        FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[HOURS], counts).unwrap()).unwrap();
 
     let epsilon = 0.5;
     let basic = publish_basic(&fm, epsilon, 77).unwrap();
     let privelet = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 77)).unwrap();
     let hier = publish_hierarchical_1d(&fm, epsilon, 77).unwrap();
 
-    println!(
-        "published {n:.0} admissions over {HOURS} hourly buckets at ε = {epsilon}"
-    );
+    println!("published {n:.0} admissions over {HOURS} hourly buckets at ε = {epsilon}");
     println!(
         "Privelet variance bound (Eq. 4): {:.0}  [m pads to {}]",
         eq4_ordinal_bound(HOURS, epsilon),
@@ -60,9 +55,7 @@ fn main() {
     );
 
     // Window queries of increasing length, 200 random placements each.
-    println!(
-        "\nmean |error| by window length (hours), 200 random windows each:"
-    );
+    println!("\nmean |error| by window length (hours), 200 random windows each:");
     println!(
         "{:>8} {:>12} {:>12} {:>14} {:>12}",
         "window", "exact mean", "Basic", "Privelet", "Hierarchical"
@@ -73,7 +66,10 @@ fn main() {
         let trials = 200;
         for _ in 0..trials {
             let lo = rng.random_range(0..HOURS - window);
-            let q = RangeQuery::new(vec![Predicate::Range { lo, hi: lo + window - 1 }]);
+            let q = RangeQuery::new(vec![Predicate::Range {
+                lo,
+                hi: lo + window - 1,
+            }]);
             let act = q.evaluate(&fm).unwrap();
             mean_exact += act;
             eb += (q.evaluate(&basic).unwrap() - act).abs();

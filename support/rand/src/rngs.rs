@@ -1,0 +1,31 @@
+//! Concrete generators.
+
+use crate::{mix64, RngCore, SeedableRng, GOLDEN_GAMMA};
+
+/// The workspace's standard RNG: a SplitMix64 stream.
+///
+/// Unlike the real `rand::rngs::StdRng` (ChaCha12) this is not
+/// cryptographically secure; the workspace only needs reproducible
+/// statistical randomness for noise sampling and data generation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StdRng {
+    state: u64,
+}
+
+impl SeedableRng for StdRng {
+    #[inline]
+    fn seed_from_u64(seed: u64) -> Self {
+        // Pre-mix the seed so nearby seeds start in decorrelated states.
+        StdRng {
+            state: mix64(seed ^ GOLDEN_GAMMA),
+        }
+    }
+}
+
+impl RngCore for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GOLDEN_GAMMA);
+        mix64(self.state)
+    }
+}

@@ -1,0 +1,18 @@
+//! Slice helpers (`rand::seq` subset).
+
+use crate::{Rng, SampleRange};
+
+/// Random slice operations.
+pub trait SliceRandom {
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0usize..=i).sample_single(rng);
+            self.swap(i, j);
+        }
+    }
+}

@@ -41,16 +41,15 @@ fn medical_pipeline_round_trips() {
 #[test]
 fn census_pipeline_answers_workload_on_all_mechanisms() {
     let (_, fm, n) = tiny_census();
-    let wcfg = WorkloadConfig { n_queries: 300, ..WorkloadConfig::paper(5) };
+    let wcfg = WorkloadConfig {
+        n_queries: 300,
+        ..WorkloadConfig::paper(5)
+    };
     let queries = generate_workload(fm.schema(), &wcfg).unwrap();
     let exact_prefix = PrefixSums::build(fm.matrix());
 
     let basic = publish_basic(&fm, 1.0, 11).unwrap();
-    let plus = publish_privelet(
-        &fm,
-        &PriveletConfig::auto(fm.schema(), 1.0, 11),
-    )
-    .unwrap();
+    let plus = publish_privelet(&fm, &PriveletConfig::auto(fm.schema(), 1.0, 11)).unwrap();
     let basic_prefix = PrefixSums::build(basic.matrix());
     let plus_prefix = PrefixSums::build(plus.matrix.matrix());
 
@@ -60,8 +59,14 @@ fn census_pipeline_answers_workload_on_all_mechanisms() {
         // Both noisy answers are finite and (on average) near the truth;
         // just assert finiteness per-query here, moments are covered by
         // the utility tests.
-        assert!(q.evaluate_prefix(fm.schema(), &basic_prefix).unwrap().is_finite());
-        assert!(q.evaluate_prefix(fm.schema(), &plus_prefix).unwrap().is_finite());
+        assert!(q
+            .evaluate_prefix(fm.schema(), &basic_prefix)
+            .unwrap()
+            .is_finite());
+        assert!(q
+            .evaluate_prefix(fm.schema(), &plus_prefix)
+            .unwrap()
+            .is_finite());
     }
 }
 
@@ -89,7 +94,9 @@ fn noisy_totals_track_true_total() {
 fn rounding_post_process_keeps_schema_and_integrality() {
     let table = medical_example();
     let fm = FrequencyMatrix::from_table(&table).unwrap();
-    let mut out = publish_privelet(&fm, &PriveletConfig::pure(1.0, 9)).unwrap().matrix;
+    let mut out = publish_privelet(&fm, &PriveletConfig::pure(1.0, 9))
+        .unwrap()
+        .matrix;
     out.matrix_mut().round_nonnegative();
     for &v in out.matrix().as_slice() {
         assert!(v >= 0.0);
@@ -121,7 +128,10 @@ fn one_dimensional_pipeline_through_all_three_mechanisms() {
 #[test]
 fn workload_statistics_match_paper_conventions() {
     let (_, fm, n) = tiny_census();
-    let wcfg = WorkloadConfig { n_queries: 500, ..WorkloadConfig::paper(3) };
+    let wcfg = WorkloadConfig {
+        n_queries: 500,
+        ..WorkloadConfig::paper(3)
+    };
     let queries = generate_workload(fm.schema(), &wcfg).unwrap();
     let prefix = PrefixSums::build(fm.matrix());
     for q in &queries {

@@ -49,9 +49,11 @@ fn privelet_plus_sa_all_is_basic_bit_for_bit() {
 fn privelet_plus_empty_sa_is_pure_privelet() {
     let fm = small_census_fm();
     let pure = publish_privelet(&fm, &PriveletConfig::pure(1.0, 5)).unwrap();
-    let plus =
-        publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::new(), 5)).unwrap();
-    assert_eq!(pure.matrix.matrix().as_slice(), plus.matrix.matrix().as_slice());
+    let plus = publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::new(), 5)).unwrap();
+    assert_eq!(
+        pure.matrix.matrix().as_slice(),
+        plus.matrix.matrix().as_slice()
+    );
     assert_eq!(pure.rho, plus.rho);
     assert_eq!(pure.variance_bound, plus.variance_bound);
 }
@@ -78,11 +80,8 @@ fn figure5_submatrix_formulation_matches_identity_dims() {
     let coeffs = integrated.forward(&m).unwrap();
 
     // The sub-schema of the non-SA dims.
-    let sub_schema = Schema::new(vec![
-        Attribute::ordinal("ord", 5),
-        schema.attr(2).clone(),
-    ])
-    .unwrap();
+    let sub_schema =
+        Schema::new(vec![Attribute::ordinal("ord", 5), schema.attr(2).clone()]).unwrap();
     let sub_hn = HnTransform::for_schema(&sub_schema, &BTreeSet::new()).unwrap();
 
     for a in 0..3 {

@@ -42,8 +42,8 @@ fn invalid_epsilons_are_rejected_everywhere() {
 #[test]
 fn sa_indices_out_of_range_are_rejected() {
     let fm = medical_fm();
-    let err = publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::from([2]), 1))
-        .unwrap_err();
+    let err =
+        publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::from([2]), 1)).unwrap_err();
     assert!(matches!(err, CoreError::BadSaIndex { index: 2, arity: 2 }));
 }
 
@@ -70,7 +70,9 @@ fn hierarchical_requires_one_dimension() {
 #[test]
 fn malformed_hierarchies_are_rejected_at_build_time() {
     assert!(matches!(
-        Spec::internal("bad", vec![Spec::leaf("only")]).build().unwrap_err(),
+        Spec::internal("bad", vec![Spec::leaf("only")])
+            .build()
+            .unwrap_err(),
         HierarchyError::UndersizedInternal { .. }
     ));
     assert!(privelet_repro::hierarchy::builder::three_level(4, 3).is_err());
@@ -134,7 +136,7 @@ fn errors_render_human_readable_messages() {
     let err = publish_privelet(&fm, &PriveletConfig::pure(-1.0, 1)).unwrap_err();
     let msg = err.to_string();
     assert!(msg.contains("epsilon"), "unhelpful message: {msg}");
-    let err = publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::from([9]), 1))
-        .unwrap_err();
+    let err =
+        publish_privelet(&fm, &PriveletConfig::plus(1.0, BTreeSet::from([9]), 1)).unwrap_err();
     assert!(err.to_string().contains("9"));
 }

@@ -17,7 +17,10 @@ use std::collections::BTreeSet;
 fn census_like_schema() -> Schema {
     Schema::new(vec![
         Attribute::ordinal("Age", 11),
-        Attribute::nominal("Gender", privelet_repro::hierarchy::builder::flat(2).unwrap()),
+        Attribute::nominal(
+            "Gender",
+            privelet_repro::hierarchy::builder::flat(2).unwrap(),
+        ),
         Attribute::nominal("Occupation", three_level(8, 2).unwrap()),
         Attribute::ordinal("Income", 5),
     ])
@@ -28,7 +31,11 @@ fn census_like_schema() -> Schema {
 fn rho_matches_measured_sensitivity_on_census_like_schema() {
     // Theorem 2 is not just an upper bound: with uniform-depth hierarchies
     // the HN transform's generalized sensitivity equals ∏P exactly.
-    for sa in [BTreeSet::new(), BTreeSet::from([0, 1]), BTreeSet::from([0, 1, 2, 3])] {
+    for sa in [
+        BTreeSet::new(),
+        BTreeSet::from([0, 1]),
+        BTreeSet::from([0, 1, 2, 3]),
+    ] {
         let hn = HnTransform::for_schema(&census_like_schema(), &sa).unwrap();
         let measured = measured_sensitivity(&hn).unwrap();
         assert!(
@@ -106,7 +113,12 @@ fn basic_noise_matches_laplace_two_over_epsilon() {
     let lambda: f64 = 2.0 / eps;
     let expected_var = 2.0 * lambda * lambda;
     let rel = (stats.variance() - expected_var).abs() / expected_var;
-    assert!(rel < 0.05, "variance {} vs {}", stats.variance(), expected_var);
+    assert!(
+        rel < 0.05,
+        "variance {} vs {}",
+        stats.variance(),
+        expected_var
+    );
     let frac = positives as f64 / count as f64;
     assert!((frac - 0.5).abs() < 0.01, "sign fraction {frac}");
 }
@@ -155,7 +167,10 @@ fn epsilon_budget_table_matches_paper_constants() {
     // for pure Privelet, and P(Occ)·P(Income) for SA = {Age, Gender}.
     let schema = Schema::new(vec![
         Attribute::ordinal("Age", 101),
-        Attribute::nominal("Gender", privelet_repro::hierarchy::builder::flat(2).unwrap()),
+        Attribute::nominal(
+            "Gender",
+            privelet_repro::hierarchy::builder::flat(2).unwrap(),
+        ),
         Attribute::nominal("Occupation", three_level(512, 22).unwrap()),
         Attribute::ordinal("Income", 1001),
     ])

@@ -23,7 +23,11 @@ const TRIALS: u64 = 400;
 const MARGIN: f64 = 1.25;
 
 /// Publishes `TRIALS` times and returns the per-query answer variance.
-fn answer_variance(fm: &FrequencyMatrix, cfg_for: impl Fn(u64) -> PriveletConfig, q: &RangeQuery) -> f64 {
+fn answer_variance(
+    fm: &FrequencyMatrix,
+    cfg_for: impl Fn(u64) -> PriveletConfig,
+    q: &RangeQuery,
+) -> f64 {
     let mut stats = RunningStats::new();
     for t in 0..TRIALS {
         let out = publish_privelet(fm, &cfg_for(t)).unwrap();
@@ -37,11 +41,8 @@ fn lemma3_haar_bound_holds_for_ordinal_ranges() {
     let size = 64usize;
     let schema = Schema::new(vec![Attribute::ordinal("x", size)]).unwrap();
     let counts: Vec<f64> = (0..size).map(|i| (i % 9) as f64 * 3.0).collect();
-    let fm = FrequencyMatrix::from_parts(
-        schema,
-        NdMatrix::from_vec(&[size], counts).unwrap(),
-    )
-    .unwrap();
+    let fm =
+        FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[size], counts).unwrap()).unwrap();
     let eps = 1.0;
     let bound = eq4_ordinal_bound(size, eps);
     for (lo, hi) in [(0usize, 63usize), (0, 31), (5, 40), (17, 17)] {
@@ -59,11 +60,8 @@ fn lemma5_nominal_bound_holds_for_subtree_queries() {
     let hierarchy = three_level(27, 3).unwrap();
     let schema = Schema::new(vec![Attribute::nominal("occ", hierarchy.clone())]).unwrap();
     let counts: Vec<f64> = (0..27).map(|i| ((i * 5) % 11) as f64).collect();
-    let fm = FrequencyMatrix::from_parts(
-        schema,
-        NdMatrix::from_vec(&[27], counts).unwrap(),
-    )
-    .unwrap();
+    let fm =
+        FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[27], counts).unwrap()).unwrap();
     let eps = 1.0;
     let bound = eq6_nominal_bound(hierarchy.height(), eps);
     // Query every node of the hierarchy (root, groups, leaves).
@@ -97,21 +95,24 @@ fn theorem3_bound_holds_for_multidimensional_queries() {
         let hn = HnTransform::for_schema(&schema, &sa).unwrap();
         let bound = hn_variance_bound(&hn, eps);
         let hierarchy = schema.attr(1).domain().hierarchy().unwrap().clone();
-        let queries = [RangeQuery::all(3),
+        let queries = [
+            RangeQuery::all(3),
             RangeQuery::new(vec![
                 Predicate::Range { lo: 2, hi: 6 },
-                Predicate::Node { node: hierarchy.nodes_at_level(2)[1] },
+                Predicate::Node {
+                    node: hierarchy.nodes_at_level(2)[1],
+                },
                 Predicate::All,
             ]),
             RangeQuery::new(vec![
                 Predicate::Range { lo: 0, hi: 0 },
                 Predicate::All,
                 Predicate::Range { lo: 1, hi: 3 },
-            ])];
+            ]),
+        ];
         for (qi, q) in queries.iter().enumerate() {
             let sa = sa.clone();
-            let var =
-                answer_variance(&fm, |t| PriveletConfig::plus(eps, sa.clone(), t), q);
+            let var = answer_variance(&fm, |t| PriveletConfig::plus(eps, sa.clone(), t), q);
             assert!(
                 var <= bound * MARGIN,
                 "sa={sa:?} query {qi}: variance {var} exceeds Thm 3 bound {bound}"
@@ -133,9 +134,15 @@ fn bounds_are_not_vacuous() {
     )
     .unwrap();
     let eps = 1.0;
-    let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: size - 1 }]);
+    let q = RangeQuery::new(vec![Predicate::Range {
+        lo: 0,
+        hi: size - 1,
+    }]);
     let var = answer_variance(&fm, |t| PriveletConfig::pure(eps, t), &q);
     let bound = eq4_ordinal_bound(size, eps);
-    assert!(var > bound / 50.0, "variance {var} implausibly small vs bound {bound}");
+    assert!(
+        var > bound / 50.0,
+        "variance {var} implausibly small vs bound {bound}"
+    );
     assert!(var <= bound * MARGIN);
 }
