@@ -287,14 +287,28 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
-                        let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?;
-                        let code =
-                            u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape")?;
-                        out.push(char::from_u32(code).ok_or("surrogate \\u escape unsupported")?);
+                        let code = parse_hex4(bytes, *pos + 1)?;
                         *pos += 4;
+                        let c = match code {
+                            // High surrogate: must pair with an immediately
+                            // following \uDC00..\uDFFF low surrogate; the
+                            // two combine into one non-BMP scalar.
+                            0xD800..=0xDBFF => {
+                                if bytes.get(*pos + 1..*pos + 3) != Some(b"\\u") {
+                                    return Err("lone high surrogate \\u escape".into());
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("high surrogate not followed by low".into());
+                                }
+                                *pos += 6;
+                                let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(combined).ok_or("invalid surrogate pair")?
+                            }
+                            0xDC00..=0xDFFF => return Err("lone low surrogate \\u escape".into()),
+                            _ => char::from_u32(code).ok_or("invalid \\u escape")?,
+                        };
+                        out.push(c);
                     }
                     _ => return Err(format!("invalid escape at byte {pos}", pos = *pos)),
                 }
@@ -313,6 +327,18 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
             }
         }
     }
+}
+
+/// Parses the four hex digits of a `\u` escape starting at `at`.
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u32, String> {
+    let hex = bytes.get(at..at + 4).ok_or("truncated \\u escape")?;
+    // Exactly four ASCII hex digits: from_str_radix alone would also
+    // accept a sign (e.g. "+041").
+    if !hex.iter().all(u8::is_ascii_hexdigit) {
+        return Err("invalid \\u escape".into());
+    }
+    let hex = std::str::from_utf8(hex).map_err(|_| "invalid \\u escape")?;
+    u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())
 }
 
 fn utf8_len(first: u8) -> usize {
@@ -377,6 +403,36 @@ mod tests {
     #[test]
     fn rejects_malformed_input() {
         for bad in ["{", "[1,", "\"open", "{\"a\" 1}", "nul", "1 2"] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_to_non_bmp_chars() {
+        // U+1D11E (𝄞) is \ud834\udd1e as a JSON surrogate pair.
+        let v = Json::parse(r#""\ud834\udd1e""#).unwrap();
+        assert_eq!(v.as_str(), Some("𝄞"));
+        // Mixed-case hex and surrounding text survive.
+        let v = Json::parse(r#""clef: \uD834\uDD1E!""#).unwrap();
+        assert_eq!(v.as_str(), Some("clef: 𝄞!"));
+        // Round trip: the writer emits the raw UTF-8 char, which parses
+        // back to the same string.
+        let text = Json::Str("a𝄞b😀".into()).to_string();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some("a𝄞b😀"));
+    }
+
+    #[test]
+    fn lone_surrogates_are_rejected() {
+        for bad in [
+            r#""\ud834""#,       // lone high at end of string
+            r#""\ud834x""#,      // high followed by a plain char
+            r#""\ud834\n""#,     // high followed by another escape
+            r#""\udd1e""#,       // lone low
+            r#""\ud834\ud834""#, // high followed by high
+            r#""\ud83"#,         // truncated escape
+            r#""\u+041""#,       // sign is not a hex digit
+            r#""\ud834\u+d1e""#, // sign inside the low-surrogate escape
+        ] {
             assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
         }
     }

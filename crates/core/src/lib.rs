@@ -74,6 +74,16 @@ pub enum CoreError {
         expected: Vec<usize>,
         got: Vec<usize>,
     },
+    /// A query-bound vector has the wrong number of dimensions.
+    BadQueryArity { expected: usize, got: usize },
+    /// A query interval is invalid on one dimension (`lo > hi` or `hi`
+    /// out of the domain).
+    BadQueryBounds {
+        axis: usize,
+        lo: usize,
+        hi: usize,
+        len: usize,
+    },
     /// ε must be finite and strictly positive.
     BadEpsilon(f64),
     /// A mechanism was applied to an unsupported schema (e.g. the 1-D
@@ -96,6 +106,18 @@ impl std::fmt::Display for CoreError {
             }
             CoreError::ShapeMismatch { expected, got } => {
                 write!(f, "expected matrix dims {expected:?}, got {got:?}")
+            }
+            CoreError::BadQueryArity { expected, got } => {
+                write!(
+                    f,
+                    "query bounds have {got} dimensions, transform has {expected}"
+                )
+            }
+            CoreError::BadQueryBounds { axis, lo, hi, len } => {
+                write!(
+                    f,
+                    "query interval [{lo}, {hi}] out of range on axis {axis} of length {len}"
+                )
             }
             CoreError::BadEpsilon(e) => write!(f, "epsilon must be finite and > 0, got {e}"),
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),

@@ -27,8 +27,9 @@ pub use basic::{publish_basic, publish_basic_geometric};
 pub use hierarchical::{publish_hierarchical_1d, publish_hierarchical_1d_kary};
 pub use marginals::{marginal_cell_variance_bound, marginal_of};
 pub use privelet::{
-    publish_privelet, publish_privelet_with, publish_with_transform, publish_with_transform_on,
-    PriveletConfig, PriveletOutput,
+    publish_coefficients, publish_coefficients_with, publish_privelet, publish_privelet_with,
+    publish_with_transform, publish_with_transform_on, CoefficientOutput, PriveletConfig,
+    PriveletOutput,
 };
 
 /// RNG sub-stream shared by the mechanisms' noise draws (see module docs).

@@ -6,7 +6,7 @@ use crate::transform::HnTransform;
 use crate::Result;
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
-use privelet_matrix::LaneExecutor;
+use privelet_matrix::{LaneExecutor, NdMatrix};
 use privelet_noise::{derive_rng, Laplace};
 use std::collections::BTreeSet;
 
@@ -113,6 +113,32 @@ pub fn publish_with_transform_on(
     epsilon: f64,
     seed: u64,
 ) -> Result<PriveletOutput> {
+    let (coeffs, rho, lambda) = noisy_coefficient_matrix(exec, fm, hn, epsilon, seed)?;
+
+    // Step 3: refinement + inverse transform.
+    let noisy = hn.inverse_refined_with(exec, &coeffs)?;
+
+    Ok(PriveletOutput {
+        matrix: FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?,
+        epsilon,
+        rho,
+        lambda,
+        variance_bound: hn_variance_bound(hn, epsilon),
+        coefficient_count: hn.output_cells(),
+    })
+}
+
+/// Steps 1–2 of a Privelet publish, shared by the matrix-publishing and
+/// coefficient-publishing paths so both draw the identical noise stream
+/// for a given seed: forward HN transform, then `Lap(λ/W_HN(c))` on every
+/// coefficient.
+fn noisy_coefficient_matrix(
+    exec: &mut LaneExecutor,
+    fm: &FrequencyMatrix,
+    hn: &HnTransform,
+    epsilon: f64,
+    seed: u64,
+) -> Result<(NdMatrix, f64, f64)> {
     let rho = hn.rho();
     let lambda = lambda_for_epsilon(epsilon, rho)?;
     let std_lap = Laplace::new(1.0)?;
@@ -127,17 +153,96 @@ pub fn publish_with_transform_on(
     hn.for_each_weight(|lin, w| {
         data[lin] += lambda / w * std_lap.sample(&mut rng);
     });
+    Ok((coeffs, rho, lambda))
+}
 
-    // Step 3: refinement + inverse transform.
-    let noisy = hn.inverse_refined_with(exec, &coeffs)?;
+/// A Privelet release kept in the *coefficient domain*: the noisy
+/// coefficient matrix plus the schema / transform metadata needed to
+/// interpret it.
+///
+/// Skipping the inverse transform changes the serving cost model: a
+/// range-count query intersects only O(log m) Haar coefficients per
+/// dimension (§IV–§V), so a `CoefficientAnswerer` built over this release
+/// answers queries in O(∏ polylog mᵢ) without ever materializing the
+/// m-cell matrix — the right shape when queries arrive online and m is
+/// large. [`to_matrix`](Self::to_matrix) recovers exactly what
+/// [`publish_privelet`] would have produced for the same seed, bit for
+/// bit, so nothing is lost by publishing coefficients.
+///
+/// The stored coefficients are the raw noisy ones (no refinement);
+/// consumers that serve them directly must apply
+/// [`HnTransform::refine_coefficients`] once — `CoefficientAnswerer` does
+/// this at construction.
+#[derive(Debug, Clone)]
+pub struct CoefficientOutput {
+    /// The schema of the underlying frequency matrix.
+    pub schema: Schema,
+    /// The HN transform that produced the coefficients.
+    pub transform: HnTransform,
+    /// The noisy, unrefined coefficient matrix (dims =
+    /// `transform.output_dims()`).
+    pub coefficients: NdMatrix,
+    /// The privacy budget the release satisfies.
+    pub epsilon: f64,
+    /// Generalized sensitivity `ρ = ∏ P(Aᵢ)` of the transform used.
+    pub rho: f64,
+    /// The Laplace magnitude parameter `λ = 2ρ/ε`.
+    pub lambda: f64,
+    /// The analytic per-query noise-variance bound (Corollary 1).
+    pub variance_bound: f64,
+}
 
-    Ok(PriveletOutput {
-        matrix: FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?,
-        epsilon,
+impl CoefficientOutput {
+    /// Number of published coefficients `m'`.
+    pub fn coefficient_count(&self) -> usize {
+        self.coefficients.len()
+    }
+
+    /// Reconstructs the noisy frequency matrix (refinement + inverse
+    /// transform) on a throwaway executor. Bit-identical to the matrix
+    /// [`publish_privelet`] produces for the same input, config and seed.
+    pub fn to_matrix(&self) -> Result<FrequencyMatrix> {
+        self.to_matrix_with(&mut LaneExecutor::new())
+    }
+
+    /// [`to_matrix`](Self::to_matrix) on a caller-provided executor.
+    pub fn to_matrix_with(&self, exec: &mut LaneExecutor) -> Result<FrequencyMatrix> {
+        let noisy = self
+            .transform
+            .inverse_refined_with(exec, &self.coefficients)?;
+        Ok(FrequencyMatrix::from_parts(self.schema.clone(), noisy)?)
+    }
+}
+
+/// Publishes the *noisy coefficient matrix* of a Privelet / Privelet⁺ run
+/// instead of inverting it — the serve-from-coefficients flow. Privacy is
+/// identical to [`publish_privelet`] (the release is a post-processing cut
+/// of the same mechanism at the same point ε-DP is established: after the
+/// Laplace step).
+pub fn publish_coefficients(
+    fm: &FrequencyMatrix,
+    cfg: &PriveletConfig,
+) -> Result<CoefficientOutput> {
+    publish_coefficients_with(&mut LaneExecutor::new(), fm, cfg)
+}
+
+/// [`publish_coefficients`] on a caller-provided [`LaneExecutor`].
+pub fn publish_coefficients_with(
+    exec: &mut LaneExecutor,
+    fm: &FrequencyMatrix,
+    cfg: &PriveletConfig,
+) -> Result<CoefficientOutput> {
+    let hn = HnTransform::for_schema(fm.schema(), &cfg.sa)?;
+    let (coefficients, rho, lambda) =
+        noisy_coefficient_matrix(exec, fm, &hn, cfg.epsilon, cfg.seed)?;
+    Ok(CoefficientOutput {
+        schema: fm.schema().clone(),
+        variance_bound: hn_variance_bound(&hn, cfg.epsilon),
+        transform: hn,
+        coefficients,
+        epsilon: cfg.epsilon,
         rho,
         lambda,
-        variance_bound: hn_variance_bound(hn, epsilon),
-        coefficient_count: hn.output_cells(),
     })
 }
 
@@ -181,6 +286,43 @@ mod tests {
                 "seed {seed}"
             );
         }
+    }
+
+    #[test]
+    fn coefficient_publish_reconstructs_matrix_publish_bitwise() {
+        // Same seed, same noise stream: inverting the published
+        // coefficients must recover publish_privelet's matrix bit for bit,
+        // with identical accounting.
+        let fm = medical_fm();
+        for seed in [3u64, 7, 99] {
+            let cfg = PriveletConfig::pure(1.0, seed);
+            let dense = publish_privelet(&fm, &cfg).unwrap();
+            let coeff = publish_coefficients(&fm, &cfg).unwrap();
+            assert_eq!(coeff.coefficient_count(), dense.coefficient_count);
+            assert_eq!(coeff.rho, dense.rho);
+            assert_eq!(coeff.lambda, dense.lambda);
+            assert_eq!(coeff.variance_bound, dense.variance_bound);
+            let back = coeff.to_matrix().unwrap();
+            assert_eq!(
+                back.matrix().as_slice(),
+                dense.matrix.matrix().as_slice(),
+                "seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn coefficient_publish_shape_and_config_handling() {
+        let fm = medical_fm();
+        let out = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 5)).unwrap();
+        // Age 5 pads to 8 (Haar); diabetes flat(2) has 3 nodes (nominal).
+        assert_eq!(out.coefficients.dims(), &[8, 3]);
+        assert_eq!(out.transform.output_dims(), vec![8, 3]);
+        assert_eq!(out.schema.dims(), fm.schema().dims());
+        // Bad configs are rejected exactly like the dense publisher.
+        assert!(publish_coefficients(&fm, &PriveletConfig::pure(0.0, 1)).is_err());
+        let bad_sa = PriveletConfig::plus(1.0, BTreeSet::from([9]), 1);
+        assert!(publish_coefficients(&fm, &bad_sa).is_err());
     }
 
     #[test]

@@ -123,6 +123,60 @@ impl Transform1d for HaarTransform {
         w
     }
 
+    /// Sparse support of the interval-sum functional (§IV / Theorem 1's
+    /// dual): the base coefficient contributes once per covered cell, and
+    /// a detail coefficient `c_j` contributes `+1` per covered cell in its
+    /// left subtree and `−1` per covered cell in its right subtree — which
+    /// cancels to zero unless node `j`'s span straddles `lo` or `hi`. The
+    /// only candidates are therefore the ancestors of the two boundary
+    /// leaves, so the support has at most `2·log₂ m + 1` entries and a
+    /// range-count query can be answered in O(log m) coefficient reads.
+    fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+        assert!(
+            lo <= hi && hi < self.input_len,
+            "interval [{lo}, {hi}] out of range for domain of {}",
+            self.input_len
+        );
+        let m = self.padded_len;
+        let mut out = Vec::with_capacity(2 * self.levels as usize + 1);
+        out.push((0usize, (hi - lo + 1) as f64));
+        if m == 1 {
+            return out;
+        }
+        // Candidate nodes: ancestors of the boundary leaves in the virtual
+        // heap (leaf x ↔ virtual node m + x). BTreeSet dedupes the shared
+        // root-side prefix and yields a deterministic ascending order.
+        let mut nodes = std::collections::BTreeSet::new();
+        for leaf in [lo, hi] {
+            let mut j = (m + leaf) >> 1;
+            while j >= 1 {
+                nodes.insert(j);
+                j >>= 1;
+            }
+        }
+        // |[lo, hi] ∩ [a, b)| for an inclusive query interval.
+        let overlap = |a: usize, b: usize| -> usize {
+            let l = lo.max(a);
+            let r = hi.min(b - 1);
+            if l > r {
+                0
+            } else {
+                r - l + 1
+            }
+        };
+        for &j in &nodes {
+            let level_minus_1 = (usize::BITS - 1 - j.leading_zeros()) as usize;
+            let span = m >> level_minus_1;
+            let start = (j - (1usize << level_minus_1)) * span;
+            let mid = start + span / 2;
+            let w = overlap(start, mid) as f64 - overlap(mid, start + span) as f64;
+            if w != 0.0 {
+                out.push((j, w));
+            }
+        }
+        out
+    }
+
     /// Generalized sensitivity `P(A) = 1 + log₂ m` of the transform w.r.t.
     /// its weights (Lemma 2, exact — property-tested below).
     fn p_value(&self) -> f64 {
@@ -279,6 +333,56 @@ mod tests {
             t.forward_alloc(&unit, &mut c);
             let weighted: f64 = c.iter().zip(&w).map(|(ci, wi)| wi * ci.abs()).sum();
             assert!((weighted - 4.0).abs() < 1e-9, "cell {cell}: {weighted}");
+        }
+    }
+
+    #[test]
+    fn query_weights_reproduce_example2() {
+        // The single-cell interval [1, 1] is Example 2's reconstruction:
+        // v2 = c0 + c1 + c2 - c4.
+        let t = HaarTransform::new(8);
+        let w = t.query_weights(1, 1);
+        assert_eq!(w, vec![(0, 1.0), (1, 1.0), (2, 1.0), (4, -1.0)]);
+    }
+
+    #[test]
+    fn query_weights_are_adjoint_of_inverse() {
+        // Σ_k w_k·c_k == Σ_{x∈[lo,hi]} inverse(c)[x] for arbitrary
+        // (noisy-like) coefficient vectors, every interval, padded or not.
+        for len in [1usize, 2, 5, 8, 13, 16] {
+            let t = HaarTransform::new(len);
+            let c: Vec<f64> = (0..t.output_len())
+                .map(|i| ((i * 73 + 11) % 19) as f64 * 0.37 - 3.0)
+                .collect();
+            let mut back = vec![0.0; len];
+            t.inverse_alloc(&c, &mut back);
+            for lo in 0..len {
+                for hi in lo..len {
+                    let direct: f64 = back[lo..=hi].iter().sum();
+                    let sparse: f64 = t.query_weights(lo, hi).iter().map(|&(k, w)| w * c[k]).sum();
+                    assert!(
+                        (direct - sparse).abs() < 1e-9,
+                        "len={len} [{lo},{hi}]: {direct} vs {sparse}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn query_weight_support_is_logarithmic() {
+        // Every interval's support is ≤ 2·log₂ m + 1 coefficients, even
+        // for intervals covering most of a large domain.
+        let t = HaarTransform::new(1 << 10);
+        let bound = 2 * 10 + 1;
+        for (lo, hi) in [(0, 1023), (1, 1022), (511, 512), (0, 800), (37, 901)] {
+            let support = t.query_weights(lo, hi);
+            assert!(
+                support.len() <= bound,
+                "[{lo},{hi}]: {} entries > {bound}",
+                support.len()
+            );
+            assert!(support.iter().all(|&(_, w)| w != 0.0));
         }
     }
 

@@ -80,6 +80,26 @@ impl LaneKernel for InverseKernel<'_> {
     }
 }
 
+/// Lane kernel applying one dimension's refinement in place (same lane
+/// length in and out); used by the standalone coefficient-refinement pass.
+struct RefineKernel<'a>(&'a DimTransform);
+
+impl LaneKernel for RefineKernel<'_> {
+    fn input_len(&self) -> usize {
+        self.0.output_len()
+    }
+    fn output_len(&self) -> usize {
+        self.0.output_len()
+    }
+    fn scratch_len(&self) -> usize {
+        0
+    }
+    fn apply(&self, src: &[f64], dst: &mut [f64], _scratch: &mut [f64]) {
+        dst.copy_from_slice(src);
+        self.0.refine(dst);
+    }
+}
+
 /// The multi-dimensional HN wavelet transform: one [`DimTransform`] per
 /// dimension, with cached per-dimension weight vectors.
 #[derive(Debug, Clone)]
@@ -258,6 +278,102 @@ impl HnTransform {
         exec.run(c, &stages).map_err(CoreError::Matrix)
     }
 
+    /// Applies every dimension's refinement (the §V-B mean subtraction on
+    /// nominal axes) to a coefficient matrix without inverting it, on a
+    /// throwaway executor. See
+    /// [`refine_coefficients_with`](Self::refine_coefficients_with).
+    pub fn refine_coefficients(&self, c: &NdMatrix) -> Result<NdMatrix> {
+        self.refine_coefficients_with(&mut LaneExecutor::new(), c)
+    }
+
+    /// [`refine_coefficients`](Self::refine_coefficients) on a
+    /// caller-provided executor.
+    ///
+    /// Because the per-axis transforms are linear maps on disjoint axes,
+    /// refining every nominal lane up front and then running the plain
+    /// [`inverse`](Self::inverse) is equivalent to
+    /// [`inverse_refined`](Self::inverse_refined) (to floating-point
+    /// rounding). This is the publish-side step of coefficient-domain
+    /// query answering: a noisy coefficient matrix refined once can be
+    /// served directly via [`query_supports`](Self::query_supports)
+    /// without ever reconstructing the m-cell matrix. The refinement is
+    /// idempotent, and a no-op (one copy) when no axis has one.
+    pub fn refine_coefficients_with(
+        &self,
+        exec: &mut LaneExecutor,
+        c: &NdMatrix,
+    ) -> Result<NdMatrix> {
+        if c.dims() != self.output_dims() {
+            return Err(CoreError::ShapeMismatch {
+                expected: self.output_dims(),
+                got: c.dims().to_vec(),
+            });
+        }
+        let kernels: Vec<(usize, RefineKernel<'_>)> = self
+            .transforms
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.has_refinement())
+            .map(|(axis, t)| (axis, RefineKernel(t)))
+            .collect();
+        if kernels.is_empty() {
+            return Ok(c.clone());
+        }
+        let stages: Vec<AxisStage<'_>> = kernels
+            .iter()
+            .map(|(axis, kernel)| AxisStage {
+                axis: *axis,
+                kernel,
+            })
+            .collect();
+        exec.run(c, &stages).map_err(CoreError::Matrix)
+    }
+
+    /// Per-dimension sparse supports of the hyper-rectangle-sum functional
+    /// `[lo, hi]` (inclusive bounds, one pair per dimension): entry `i`
+    /// lists the `(coefficient index, weight)` pairs of dimension `i`'s
+    /// [`query_weights`](Transform1d::query_weights).
+    ///
+    /// Because the HN transform is the tensor product of its per-dimension
+    /// transforms, the rectangle sum over the reconstruction equals the
+    /// sparse tensor-product dot `Σ ∏ᵢ wᵢ[kᵢ] · C[k₁,…,k_d]` over the
+    /// (refined) coefficient matrix — `∏ᵢ supportᵢ` terms, which for
+    /// all-Haar schemas is O(∏ᵢ log mᵢ) instead of the O(m) of
+    /// reconstruct-then-sum. Bounds must satisfy `loᵢ ≤ hiᵢ <
+    /// input_len(i)`; wrong arity or out-of-range intervals are rejected
+    /// with an `Err`, never a panic, so untrusted query bounds can be fed
+    /// here directly.
+    pub fn query_supports(&self, lo: &[usize], hi: &[usize]) -> Result<Vec<Vec<(usize, f64)>>> {
+        if lo.len() != self.ndim() || hi.len() != self.ndim() {
+            // Report the offending slice's length (lo's takes precedence).
+            let got = if lo.len() != self.ndim() {
+                lo.len()
+            } else {
+                hi.len()
+            };
+            return Err(CoreError::BadQueryArity {
+                expected: self.ndim(),
+                got,
+            });
+        }
+        for (axis, (t, (&l, &h))) in self.transforms.iter().zip(lo.iter().zip(hi)).enumerate() {
+            if l > h || h >= t.input_len() {
+                return Err(CoreError::BadQueryBounds {
+                    axis,
+                    lo: l,
+                    hi: h,
+                    len: t.input_len(),
+                });
+            }
+        }
+        Ok(self
+            .transforms
+            .iter()
+            .zip(lo.iter().zip(hi))
+            .map(|(t, (&l, &h))| t.query_weights(l, h))
+            .collect())
+    }
+
     /// Visits every coefficient cell of the output matrix in row-major
     /// order with its factorized weight `W_HN = ∏ᵢ wᵢ[xᵢ]`.
     pub fn for_each_weight(&self, mut f: impl FnMut(usize, f64)) {
@@ -423,6 +539,121 @@ mod tests {
         assert!(matches!(
             HnTransform::new(vec![]).unwrap_err(),
             CoreError::EmptyTransform
+        ));
+    }
+
+    #[test]
+    fn refine_then_plain_inverse_matches_inverse_refined() {
+        let (_, hn) = mixed_transform();
+        let n: usize = hn.output_dims().iter().product();
+        // Arbitrary (noisy-like) coefficients, NOT a forward image.
+        let c = NdMatrix::from_vec(
+            &hn.output_dims(),
+            (0..n)
+                .map(|i| ((i * 29 + 3) % 17) as f64 * 0.43 - 3.0)
+                .collect(),
+        )
+        .unwrap();
+        let refined = hn.refine_coefficients(&c).unwrap();
+        let via_refined_coeffs = hn.inverse(&refined).unwrap();
+        let via_inverse_refined = hn.inverse_refined(&c).unwrap();
+        for (a, b) in via_refined_coeffs
+            .as_slice()
+            .iter()
+            .zip(via_inverse_refined.as_slice())
+        {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        // Idempotent: refining again changes nothing (groups already sum
+        // to zero).
+        let twice = hn.refine_coefficients(&refined).unwrap();
+        for (a, b) in refined.as_slice().iter().zip(twice.as_slice()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn refine_is_copy_when_no_axis_refines() {
+        let schema =
+            Schema::new(vec![Attribute::ordinal("a", 4), Attribute::ordinal("b", 3)]).unwrap();
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let c = NdMatrix::from_vec(&hn.output_dims(), (0..16).map(|i| i as f64).collect()).unwrap();
+        let refined = hn.refine_coefficients(&c).unwrap();
+        assert_eq!(refined.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn query_supports_compute_rect_sums_from_coefficients() {
+        // The sparse tensor-product dot over exact coefficients equals the
+        // direct rectangle sum over the data, for a sweep of rectangles.
+        let (_, hn) = mixed_transform();
+        let dims = hn.input_dims();
+        let n: usize = dims.iter().product();
+        let data: Vec<f64> = (0..n).map(|i| ((i * 37) % 11) as f64 - 3.0).collect();
+        let m = NdMatrix::from_vec(&dims, data).unwrap();
+        let c = hn.forward(&m).unwrap();
+        let strides = c.shape().strides().to_vec();
+        let cdata = c.as_slice();
+        for (lo, hi) in [
+            (vec![0, 0, 0, 0], vec![4, 1, 5, 3]), // everything
+            (vec![1, 0, 2, 1], vec![3, 0, 4, 2]),
+            (vec![4, 1, 5, 3], vec![4, 1, 5, 3]), // single cell
+            (vec![0, 1, 0, 0], vec![2, 1, 5, 1]),
+        ] {
+            let supports = hn.query_supports(&lo, &hi).unwrap();
+            // Fold the tensor product.
+            let mut acc = vec![(0usize, 1.0f64)];
+            for (axis, support) in supports.iter().enumerate() {
+                let mut next = Vec::with_capacity(acc.len() * support.len());
+                for &(base, w) in &acc {
+                    for &(k, wk) in support {
+                        next.push((base + k * strides[axis], w * wk));
+                    }
+                }
+                acc = next;
+            }
+            let sparse: f64 = acc.iter().map(|&(idx, w)| w * cdata[idx]).sum();
+            let direct = privelet_matrix::rect_sum_naive(&m, &lo, &hi).unwrap();
+            assert!(
+                (direct - sparse).abs() < 1e-9,
+                "rect {lo:?}..{hi:?}: {direct} vs {sparse}"
+            );
+        }
+    }
+
+    #[test]
+    fn query_supports_reject_bad_arity_and_bounds() {
+        let (_, hn) = mixed_transform();
+        assert!(matches!(
+            hn.query_supports(&[0, 0], &[1, 1]).unwrap_err(),
+            CoreError::BadQueryArity {
+                expected: 4,
+                got: 2
+            }
+        ));
+        // One-sided mismatch reports the offending slice's length, not a
+        // self-contradictory "4 vs 4".
+        assert!(matches!(
+            hn.query_supports(&[0, 0, 0, 0], &[1, 1]).unwrap_err(),
+            CoreError::BadQueryArity {
+                expected: 4,
+                got: 2
+            }
+        ));
+        // hi at the (unpadded) domain size: Err, not a panic.
+        assert!(matches!(
+            hn.query_supports(&[0, 0, 0, 0], &[5, 1, 5, 3]).unwrap_err(),
+            CoreError::BadQueryBounds {
+                axis: 0,
+                hi: 5,
+                len: 5,
+                ..
+            }
+        ));
+        // lo > hi likewise.
+        assert!(matches!(
+            hn.query_supports(&[0, 0, 3, 0], &[4, 1, 2, 3]).unwrap_err(),
+            CoreError::BadQueryBounds { axis: 2, .. }
         ));
     }
 

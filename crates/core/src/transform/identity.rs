@@ -63,6 +63,17 @@ impl Transform1d for IdentityTransform {
         vec![1.0; self.len]
     }
 
+    /// Interval-sum support: the covered cells themselves, weight 1 each
+    /// (coefficients *are* cells for the identity transform).
+    fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+        assert!(
+            lo <= hi && hi < self.len,
+            "interval [{lo}, {hi}] out of range for domain of {}",
+            self.len
+        );
+        (lo..=hi).map(|i| (i, 1.0)).collect()
+    }
+
     /// Generalized sensitivity factor `P(A) = 1`.
     fn p_value(&self) -> f64 {
         1.0
@@ -98,6 +109,13 @@ mod tests {
         t.inverse_alloc(&c, &mut back);
         assert_eq!(back, src);
         assert_eq!(t.scratch_len(), 0);
+    }
+
+    #[test]
+    fn query_weights_are_the_covered_cells() {
+        let t = IdentityTransform::new(5);
+        assert_eq!(t.query_weights(1, 3), vec![(1, 1.0), (2, 1.0), (3, 1.0)]);
+        assert_eq!(t.query_weights(4, 4), vec![(4, 1.0)]);
     }
 
     #[test]

@@ -113,6 +113,10 @@ impl Transform1d for DimTransform {
         self.as_transform().weights()
     }
 
+    fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+        self.as_transform().query_weights(lo, hi)
+    }
+
     fn p_value(&self) -> f64 {
         self.as_transform().p_value()
     }

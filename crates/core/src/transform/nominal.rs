@@ -155,6 +155,42 @@ impl Transform1d for NominalTransform {
         w
     }
 
+    /// Interval-sum support: the adjoint of the Equation-5 reconstruction
+    /// applied to the interval's indicator, run sparsely bottom-up.
+    ///
+    /// Seed every covered leaf's coefficient with weight 1, then fold each
+    /// node's accumulated weight into its parent scaled by `1/fanout` —
+    /// exactly reversing `ls(node) = c(node) + ls(parent)/fanout(parent)`.
+    /// Level-order positions are monotone in depth, so draining a map in
+    /// descending position order processes every node after all of its
+    /// children. The support is the covered leaves plus their ancestors —
+    /// O(cells + height) entries; unlike Haar, covered leaves never
+    /// cancel (each carries weight 1), so the per-covered-cell term is
+    /// irreducible even for the §II-A whole-subtree query shape.
+    fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)> {
+        let h = &self.hierarchy;
+        assert!(
+            lo <= hi && hi < h.leaf_count(),
+            "interval [{lo}, {hi}] out of range for domain of {}",
+            h.leaf_count()
+        );
+        let mut acc = std::collections::BTreeMap::new();
+        for pos in lo..=hi {
+            acc.insert(h.level_order_pos(h.leaf_node(pos)), 1.0f64);
+        }
+        let mut out = Vec::new();
+        while let Some((&pos, _)) = acc.iter().next_back() {
+            let w = acc.remove(&pos).expect("key just observed");
+            out.push((pos, w));
+            let id = h.level_order()[pos];
+            if let Some(p) = h.parent(id) {
+                *acc.entry(h.level_order_pos(p)).or_insert(0.0) += w / h.fanout(p) as f64;
+            }
+        }
+        out.reverse();
+        out
+    }
+
     /// Generalized sensitivity `P(A) = h` (Lemma 4; for non-uniform-depth
     /// hierarchies this is the maximum leaf depth, which the sensitivity
     /// achieves at the deepest leaves).
@@ -282,6 +318,75 @@ mod tests {
         // The perturbation is spread: c3 got +6 - 2 = +4 relative to exact.
         assert_eq!(c[3], 3.0 + 4.0);
         assert_eq!(c[4], -3.0 - 2.0);
+    }
+
+    #[test]
+    fn query_weights_reproduce_example3() {
+        // The single-leaf interval [0, 0] is Example 3's reconstruction:
+        // v1 = c3 + c1/3 + c0/6.
+        let (h, _) = figure3();
+        let t = NominalTransform::new(h);
+        let w = t.query_weights(0, 0);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w[0], (0, 1.0 / 6.0));
+        assert_eq!(w[1], (1, 1.0 / 3.0));
+        assert_eq!(w[2], (3, 1.0));
+    }
+
+    #[test]
+    fn query_weights_are_adjoint_of_inverse() {
+        // Σ_k w_k·c_k == Σ_{x∈[lo,hi]} inverse(c)[x] for arbitrary
+        // coefficient vectors on uneven hierarchies too.
+        let hierarchies = vec![
+            figure3().0,
+            Arc::new(privelet_hierarchy::builder::flat(7).unwrap()),
+            Arc::new(
+                Spec::internal(
+                    "root",
+                    vec![
+                        Spec::leaf("a"),
+                        Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")]),
+                    ],
+                )
+                .build()
+                .unwrap(),
+            ),
+        ];
+        for h in hierarchies {
+            let t = NominalTransform::new(h);
+            let n = t.input_len();
+            let c: Vec<f64> = (0..t.output_len())
+                .map(|i| ((i * 41 + 7) % 13) as f64 * 0.61 - 2.5)
+                .collect();
+            let mut back = vec![0.0; n];
+            t.inverse_alloc(&c, &mut back);
+            for lo in 0..n {
+                for hi in lo..n {
+                    let direct: f64 = back[lo..=hi].iter().sum();
+                    let sparse: f64 = t.query_weights(lo, hi).iter().map(|&(k, w)| w * c[k]).sum();
+                    assert!(
+                        (direct - sparse).abs() < 1e-9,
+                        "n={n} [{lo},{hi}]: {direct} vs {sparse}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn subtree_query_support_is_ancestors_plus_leaves() {
+        // A whole-subtree interval (the §II-A node-predicate shape)
+        // touches the subtree's leaves plus the root-path ancestors.
+        let (h, _) = figure3();
+        let t = NominalTransform::new(h.clone());
+        let (lo, hi) = h.leaf_range(1); // node c1's three leaves
+        let support = t.query_weights(lo, hi);
+        // c0 (root), c1, and the three leaf coefficients c3..c5.
+        let positions: Vec<usize> = support.iter().map(|&(k, _)| k).collect();
+        assert_eq!(positions, vec![0, 1, 3, 4, 5]);
+        // Root weight: 3 leaves × 1/(2·3) each; c1: 3 × 1/3.
+        assert!((support[0].1 - 0.5).abs() < 1e-12);
+        assert!((support[1].1 - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -64,6 +64,27 @@ pub trait Transform1d: Sync {
     /// entries, all strictly positive).
     fn weights(&self) -> Vec<f64>;
 
+    /// Sparse coefficient support of the interval-sum functional
+    /// `c ↦ Σ_{x ∈ [lo, hi]} inverse(c)[x]` (inclusive bounds over the
+    /// *domain*, `lo ≤ hi < input_len()`).
+    ///
+    /// Returns `(coefficient index, weight)` pairs with strictly nonzero
+    /// weights such that the identity above holds for **every** coefficient
+    /// vector — noisy or exact — because it is the adjoint of the (linear)
+    /// inverse transform applied to the interval's indicator vector. This
+    /// is the paper's §IV/§V observation that a range-count query touches
+    /// only a few coefficients: O(log m) entries for Haar (the two
+    /// boundary root-to-leaf paths), O(cells + height) for nominal, and
+    /// exactly the covered cells for identity. Coefficient-domain query
+    /// answering rests on this method.
+    ///
+    /// For transforms with a refinement step ([`refine`](Self::refine)),
+    /// the identity is stated against the plain `inverse`; callers serving
+    /// noisy coefficients must refine them once beforehand (the
+    /// refinement is idempotent, so refining already-refined or exact
+    /// coefficients is harmless).
+    fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)>;
+
     /// Generalized-sensitivity factor `P(A)` (§VI-C).
     fn p_value(&self) -> f64;
 

@@ -9,17 +9,22 @@
 //!   and aggregate square / relative errors into coverage / selectivity
 //!   quintile buckets.
 //! - [`timing`] — runs the computation-time sweeps behind Figures 10–11.
+//! - [`serving`] — compares the two query-serving paths on one release:
+//!   coefficient-domain answering (O(polylog m) per query) versus
+//!   reconstruct + prefix sums (O(m) build), checking they agree.
 //! - [`report`] — fixed-width table / markdown rendering of the series so
 //!   each bench target prints the same rows the paper plots.
 
 pub mod accuracy;
 pub mod config;
 pub mod report;
+pub mod serving;
 pub mod timing;
 
 pub use accuracy::{run_accuracy, AccuracyRun, MechanismSeries};
 pub use config::{AccuracyConfig, Scale};
 pub use report::{print_figure, print_timing};
+pub use serving::{compare_serving_paths, ServingReport};
 pub use timing::{run_timing_m_sweep, run_timing_n_sweep, TimingPoint};
 
 /// Errors produced by the harness.

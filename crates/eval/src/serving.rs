@@ -1,0 +1,177 @@
+//! Serving-path comparison: coefficient-domain answering versus
+//! reconstruct-then-prefix-sum.
+//!
+//! The accuracy harness ([`accuracy`](crate::accuracy)) evaluates 40 000
+//! queries per published matrix, which favors the O(m)-build / O(2^d)-
+//! per-query prefix path. A serving tier sees the opposite regime:
+//! queries trickle in online and the domain is large, so the
+//! O(polylog m)-per-query coefficient path of
+//! [`CoefficientAnswerer`](privelet_query::CoefficientAnswerer) wins.
+//! This module measures both on the same release and checks they agree,
+//! giving the eval story a serve-from-coefficients leg to stand on (and a
+//! regression guard for the equivalence).
+
+use crate::Result;
+use privelet::mechanism::{publish_coefficients_with, PriveletConfig};
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::LaneExecutor;
+use privelet_query::{Answerer, CoefficientAnswerer, RangeQuery};
+use std::time::Instant;
+
+/// Timings and agreement of the two serving paths on one release.
+#[derive(Debug, Clone)]
+pub struct ServingReport {
+    /// Frequency-matrix cell count m.
+    pub cells: usize,
+    /// Published coefficient count m'.
+    pub coefficients: usize,
+    /// Workload size.
+    pub queries: usize,
+    /// Worst absolute disagreement between the two paths over the
+    /// workload (floating-point rounding only; must be tiny).
+    pub max_abs_diff: f64,
+    /// Seconds to build the coefficient-domain answerer (refinement pass).
+    pub coeff_build_secs: f64,
+    /// Seconds to answer the workload in the coefficient domain.
+    pub coeff_answer_secs: f64,
+    /// Seconds to reconstruct the matrix and build prefix sums.
+    pub prefix_build_secs: f64,
+    /// Seconds to answer the workload on the prefix sums.
+    pub prefix_answer_secs: f64,
+    /// Mean coefficient reads per query (`∏ᵢ |supportᵢ|`).
+    pub mean_support: f64,
+}
+
+impl ServingReport {
+    /// Total wall-clock of the coefficient path (build + answer).
+    pub fn coeff_total_secs(&self) -> f64 {
+        self.coeff_build_secs + self.coeff_answer_secs
+    }
+
+    /// Total wall-clock of the reconstruct path (build + answer).
+    pub fn prefix_total_secs(&self) -> f64 {
+        self.prefix_build_secs + self.prefix_answer_secs
+    }
+}
+
+/// Publishes `fm` in the coefficient domain and serves `queries` through
+/// both paths, timing each phase and recording the worst disagreement.
+pub fn compare_serving_paths(
+    fm: &FrequencyMatrix,
+    cfg: &PriveletConfig,
+    queries: &[RangeQuery],
+) -> Result<ServingReport> {
+    let mut exec = LaneExecutor::new();
+    let release = publish_coefficients_with(&mut exec, fm, cfg)?;
+
+    let start = Instant::now();
+    let coeff = CoefficientAnswerer::from_output(&release)?;
+    let coeff_build_secs = start.elapsed().as_secs_f64();
+
+    // One support derivation per query covers both the answer and the
+    // per-query cost accounting.
+    let start = Instant::now();
+    let mut coeff_answers = Vec::with_capacity(queries.len());
+    let mut support_sum = 0usize;
+    for q in queries {
+        let (value, support) = coeff.answer_with_support(q)?;
+        coeff_answers.push(value);
+        support_sum += support;
+    }
+    let coeff_answer_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let dense = Answerer::new(&release.to_matrix_with(&mut exec)?);
+    let prefix_build_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let prefix_answers = dense.answer_all(queries)?;
+    let prefix_answer_secs = start.elapsed().as_secs_f64();
+
+    let max_abs_diff = coeff_answers
+        .iter()
+        .zip(&prefix_answers)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f64, f64::max);
+
+    Ok(ServingReport {
+        cells: fm.cell_count(),
+        coefficients: release.coefficient_count(),
+        queries: queries.len(),
+        max_abs_diff,
+        coeff_build_secs,
+        coeff_answer_secs,
+        prefix_build_secs,
+        prefix_answer_secs,
+        mean_support: if queries.is_empty() {
+            0.0
+        } else {
+            support_sum as f64 / queries.len() as f64
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::schema::{Attribute, Schema};
+    use privelet_data::uniform::{self, TimingConfig};
+    use privelet_query::{generate_workload, WorkloadConfig};
+
+    #[test]
+    fn paths_agree_on_a_mixed_release() {
+        let cfg = TimingConfig::with_total_cells(1 << 12, 5_000, 11);
+        let table = uniform::generate(&cfg).unwrap();
+        let fm = FrequencyMatrix::from_table(&table).unwrap();
+        let queries = generate_workload(
+            fm.schema(),
+            &WorkloadConfig {
+                n_queries: 400,
+                min_predicates: 1,
+                max_predicates: 4,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        let report = compare_serving_paths(&fm, &PriveletConfig::pure(1.0, 17), &queries).unwrap();
+        assert_eq!(report.queries, 400);
+        assert_eq!(report.cells, 1 << 12);
+        assert!(
+            report.max_abs_diff < 1e-7,
+            "paths disagree by {}",
+            report.max_abs_diff
+        );
+        assert!(report.mean_support >= 1.0);
+        assert!(report.coeff_total_secs() > 0.0 && report.prefix_total_secs() > 0.0);
+    }
+
+    #[test]
+    fn per_query_support_stays_polylog_on_a_large_ordinal_domain() {
+        // 2^16 cells in one Haar dimension: every query's support is
+        // ≤ 2·16 + 1 coefficients while the prefix path scans 2^16 cells
+        // before its first answer.
+        let schema = Schema::new(vec![Attribute::ordinal("v", 1 << 16)]).unwrap();
+        let fm = FrequencyMatrix::from_parts(
+            schema.clone(),
+            privelet_matrix::NdMatrix::zeros(&schema.dims()).unwrap(),
+        )
+        .unwrap();
+        let queries = generate_workload(
+            &schema,
+            &WorkloadConfig {
+                n_queries: 64,
+                min_predicates: 1,
+                max_predicates: 1,
+                seed: 5,
+            },
+        )
+        .unwrap();
+        let report = compare_serving_paths(&fm, &PriveletConfig::pure(1.0, 23), &queries).unwrap();
+        assert!(
+            report.mean_support <= (2 * 16 + 1) as f64,
+            "mean support {}",
+            report.mean_support
+        );
+        assert!(report.max_abs_diff < 1e-7);
+    }
+}

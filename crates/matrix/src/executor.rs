@@ -68,6 +68,7 @@ pub struct LaneExecutor {
     front: Vec<f64>,
     back: Vec<f64>,
     threads: usize,
+    parallel_min_cells: usize,
 }
 
 impl Default for LaneExecutor {
@@ -78,8 +79,23 @@ impl Default for LaneExecutor {
     }
 }
 
-/// Work below this many cells per stage is not worth fanning out.
-const MIN_PARALLEL_CELLS: usize = 1 << 14;
+/// Default parallel cut-over: stages below this many cells are not worth
+/// fanning out. Overridable per executor with
+/// [`LaneExecutor::with_parallel_threshold`] or process-wide with the
+/// `PRIVELET_PARALLEL_MIN_CELLS` environment variable (read at executor
+/// construction), so the cut-over can be tuned on real multi-core
+/// hardware without a rebuild.
+pub const MIN_PARALLEL_CELLS: usize = 1 << 14;
+
+/// The construction-time parallel threshold: the
+/// `PRIVELET_PARALLEL_MIN_CELLS` env override when set and parseable,
+/// [`MIN_PARALLEL_CELLS`] otherwise. `0` means "always fan out".
+fn default_parallel_threshold() -> usize {
+    std::env::var("PRIVELET_PARALLEL_MIN_CELLS")
+        .ok()
+        .and_then(|v| v.trim().parse().ok())
+        .unwrap_or(MIN_PARALLEL_CELLS)
+}
 
 impl LaneExecutor {
     /// An executor with the default worker count: available parallelism
@@ -96,6 +112,7 @@ impl LaneExecutor {
             front: Vec::new(),
             back: Vec::new(),
             threads: threads.max(1),
+            parallel_min_cells: default_parallel_threshold(),
         }
     }
 
@@ -104,9 +121,24 @@ impl LaneExecutor {
         Self::with_threads(1)
     }
 
+    /// Sets the parallel cut-over: stages with fewer than `min_cells`
+    /// total cells run on the calling thread regardless of the worker
+    /// count (`0` = always fan out). Builder-style so executors can be
+    /// tuned inline; overrides the `PRIVELET_PARALLEL_MIN_CELLS` env
+    /// default captured at construction.
+    pub fn with_parallel_threshold(mut self, min_cells: usize) -> Self {
+        self.parallel_min_cells = min_cells;
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured parallel cut-over in cells per stage.
+    pub fn parallel_threshold(&self) -> usize {
+        self.parallel_min_cells
     }
 
     /// Runs a single-stage pipeline (convenience wrapper over [`run`]).
@@ -145,9 +177,10 @@ impl LaneExecutor {
                 });
             }
             if stage.kernel.input_len() != dims[stage.axis] {
-                return Err(MatrixError::DataLenMismatch {
-                    expected: dims[stage.axis],
-                    got: stage.kernel.input_len(),
+                return Err(MatrixError::KernelLenMismatch {
+                    axis: stage.axis,
+                    axis_len: dims[stage.axis],
+                    kernel_len: stage.kernel.input_len(),
                 });
             }
             if stage.kernel.output_len() == 0 {
@@ -222,7 +255,7 @@ impl LaneExecutor {
 
     /// Workers to use for a stage of `cells` total work.
     fn effective_threads(&self, cells: usize) -> usize {
-        if cells < MIN_PARALLEL_CELLS {
+        if cells < self.parallel_min_cells {
             1
         } else {
             self.threads
@@ -543,10 +576,17 @@ mod tests {
             MatrixError::BadAxis { .. }
         ));
         let wrong_len = Reverse(5);
-        assert!(matches!(
+        assert_eq!(
             exec.map_axis(&m, 0, &wrong_len).unwrap_err(),
-            MatrixError::DataLenMismatch { .. }
-        ));
+            MatrixError::KernelLenMismatch {
+                axis: 0,
+                axis_len: 2,
+                kernel_len: 5
+            }
+        );
+        // The message names the axis, not a whole-matrix cell count.
+        let msg = exec.map_axis(&m, 0, &wrong_len).unwrap_err().to_string();
+        assert!(msg.contains("axis 0"), "message was: {msg}");
         // A stage after an axis change must match the *new* length.
         let k0 = Duplicate(2);
         let stale = Reverse(3);
@@ -599,6 +639,38 @@ mod tests {
             LaneExecutor::serial().map_axis(&m, 0, &Empty).unwrap_err(),
             MatrixError::ZeroDim { .. }
         ));
+    }
+
+    #[test]
+    fn parallel_threshold_is_configurable() {
+        // Builder override wins over the built-in default.
+        let exec = LaneExecutor::with_threads(4).with_parallel_threshold(64);
+        assert_eq!(exec.parallel_threshold(), 64);
+        assert_eq!(exec.effective_threads(63), 1);
+        assert_eq!(exec.effective_threads(64), 4);
+        // 0 = always fan out.
+        let eager = LaneExecutor::with_threads(4).with_parallel_threshold(0);
+        assert_eq!(eager.effective_threads(1), 4);
+        // Default matches the compiled constant unless the env overrides
+        // it (don't mutate the environment here: std::env::set_var is a
+        // process-global race against parallel tests).
+        let default = default_parallel_threshold();
+        assert_eq!(LaneExecutor::new().parallel_threshold(), default);
+        if std::env::var("PRIVELET_PARALLEL_MIN_CELLS").is_err() {
+            assert_eq!(default, MIN_PARALLEL_CELLS);
+        }
+    }
+
+    #[test]
+    fn threshold_does_not_change_results() {
+        // Crossing the cut-over only changes scheduling, never output.
+        let m = sample(&[64, 32]);
+        let k = Reverse(64);
+        let mut eager = LaneExecutor::with_threads(8).with_parallel_threshold(0);
+        let mut lazy = LaneExecutor::with_threads(8).with_parallel_threshold(usize::MAX);
+        let a = eager.map_axis(&m, 0, &k).unwrap();
+        let b = lazy.map_axis(&m, 0, &k).unwrap();
+        assert_eq!(a.as_slice(), b.as_slice());
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub enum MatrixError {
     TooLarge,
     /// A data vector's length does not match the shape's cell count.
     DataLenMismatch { expected: usize, got: usize },
+    /// A lane kernel's input length does not match the axis it is applied
+    /// to (at that point in the pipeline).
+    KernelLenMismatch {
+        axis: usize,
+        axis_len: usize,
+        kernel_len: usize,
+    },
     /// A coordinate vector has the wrong number of dimensions.
     WrongArity { expected: usize, got: usize },
     /// A coordinate is out of bounds on some axis.
@@ -75,6 +82,16 @@ impl std::fmt::Display for MatrixError {
                 write!(
                     f,
                     "data length {got} does not match shape cell count {expected}"
+                )
+            }
+            MatrixError::KernelLenMismatch {
+                axis,
+                axis_len,
+                kernel_len,
+            } => {
+                write!(
+                    f,
+                    "kernel consumes lanes of {kernel_len} but axis {axis} has length {axis_len}"
                 )
             }
             MatrixError::WrongArity { expected, got } => {

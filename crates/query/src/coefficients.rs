@@ -1,0 +1,374 @@
+//! Coefficient-domain query answering: O(∏ polylog mᵢ) per query, no
+//! reconstruction.
+//!
+//! The paper's central structural fact (§IV–§V) is that a range-count
+//! query intersects only O(log m) Haar coefficients per dimension — the
+//! two boundary root-to-leaf paths — so a query can be answered *directly
+//! in the noisy coefficient domain* as a sparse tensor-product dot,
+//! without ever inverting the transform or building O(m) prefix sums.
+//! [`CoefficientAnswerer`] packages that serving path over a
+//! [`CoefficientOutput`] release: construction refines the coefficients
+//! once (O(m'), the mean-subtraction post-processing nominal dimensions
+//! need), and each `answer` then reads `∏ᵢ |supportᵢ|` coefficients.
+//!
+//! Compare [`Answerer`](crate::Answerer): O(m) prefix-sum build, O(2^d)
+//! per query. The coefficient path wins when queries arrive online, when
+//! m is large relative to the query volume, or when the reconstructed
+//! matrix would not fit the serving tier; the prefix path wins for
+//! huge offline workloads over small m. Both return the same answers to
+//! floating-point rounding (property-tested at the workspace root).
+
+use crate::range_query::RangeQuery;
+use crate::{QueryError, Result};
+use privelet::mechanism::CoefficientOutput;
+use privelet::transform::{DimTransform, HnTransform};
+use privelet_data::schema::{Domain, Schema};
+use privelet_matrix::NdMatrix;
+
+/// A prepared coefficient-domain query answerer: the refined noisy
+/// coefficients plus the schema and transform they were published under.
+#[derive(Debug, Clone)]
+pub struct CoefficientAnswerer {
+    schema: Schema,
+    transform: HnTransform,
+    /// Refined coefficients (mean subtraction already applied on nominal
+    /// axes), so `answer` is a pure dot product.
+    coeffs: NdMatrix,
+    /// Row-major strides of `coeffs`, cached for the per-query walk.
+    strides: Vec<usize>,
+    total: f64,
+}
+
+impl CoefficientAnswerer {
+    /// Builds the answerer from a published coefficient matrix and its
+    /// metadata. Applies the refinement once (O(m'); idempotent, so exact
+    /// or already-refined coefficients pass through unchanged).
+    ///
+    /// Errors with [`QueryError::ShapeMismatch`] when the schema, the
+    /// transform and the coefficient matrix do not describe the same
+    /// release.
+    pub fn new(schema: Schema, transform: HnTransform, noisy: &NdMatrix) -> Result<Self> {
+        if transform.input_dims() != schema.dims() || noisy.dims() != transform.output_dims() {
+            return Err(QueryError::ShapeMismatch);
+        }
+        // Dimension sizes alone would let a nominal transform built over a
+        // *different* hierarchy with the same leaf count slip through;
+        // node predicates would then resolve through the schema's
+        // hierarchy while weights come from the transform's. Require
+        // structural equality per nominal axis. (Haar/identity transforms
+        // carry no structure beyond their lengths, already checked above —
+        // Haar over a nominal attribute's imposed leaf order is a
+        // legitimate §V-D ablation pairing.)
+        for (attr, dim) in schema.attrs().iter().zip(transform.transforms()) {
+            if let DimTransform::Nominal(t) = dim {
+                match attr.domain() {
+                    Domain::Nominal { hierarchy }
+                        if hierarchy.as_ref() == t.hierarchy().as_ref() => {}
+                    _ => return Err(QueryError::ShapeMismatch),
+                }
+            }
+        }
+        let coeffs = transform
+            .refine_coefficients(noisy)
+            .map_err(|_| QueryError::ShapeMismatch)?;
+        let strides = coeffs.shape().strides().to_vec();
+        let mut answerer = CoefficientAnswerer {
+            schema,
+            transform,
+            coeffs,
+            strides,
+            total: 0.0,
+        };
+        answerer.total = answerer.answer(&RangeQuery::all(answerer.schema.arity()))?;
+        Ok(answerer)
+    }
+
+    /// Builds the answerer straight from a [`publish_coefficients`]
+    /// release.
+    ///
+    /// [`publish_coefficients`]: privelet::mechanism::publish_coefficients
+    pub fn from_output(out: &CoefficientOutput) -> Result<Self> {
+        Self::new(out.schema.clone(), out.transform.clone(), &out.coefficients)
+    }
+
+    /// The schema queries are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The transform the release was published under.
+    pub fn transform(&self) -> &HnTransform {
+        &self.transform
+    }
+
+    /// The (noisy) total count — the unconstrained query's answer.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Answers one range-count query as a sparse tensor-product dot
+    /// against the coefficients: `Σ ∏ᵢ wᵢ[kᵢ] · C[k₁,…,k_d]` over the
+    /// per-dimension supports, `∏ᵢ |supportᵢ|` coefficient reads — for
+    /// all-Haar schemas O(∏ᵢ log mᵢ), versus the O(m) reconstruction the
+    /// prefix-sum path must pay before its first answer.
+    pub fn answer(&self, q: &RangeQuery) -> Result<f64> {
+        Ok(self.answer_with_support(q)?.0)
+    }
+
+    /// [`answer`](Self::answer) plus the number of coefficients the dot
+    /// product read (`∏ᵢ |supportᵢ|`) — one support derivation for both,
+    /// for callers that report the per-query cost alongside the value.
+    pub fn answer_with_support(&self, q: &RangeQuery) -> Result<(f64, usize)> {
+        let supports = self.supports(q)?;
+        let value = sparse_dot(self.coeffs.as_slice(), &self.strides, &supports, 0, 0, 1.0);
+        Ok((value, supports.iter().map(Vec::len).product()))
+    }
+
+    /// Answers a whole workload.
+    pub fn answer_all(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        queries.iter().map(|q| self.answer(q)).collect()
+    }
+
+    /// Number of coefficients `answer` would read for this query
+    /// (`∏ᵢ |supportᵢ|`) — the per-query cost, exposed for diagnostics
+    /// and the `query_answering` bench. Prefer
+    /// [`answer_with_support`](Self::answer_with_support) when the answer
+    /// is needed too.
+    pub fn support_size(&self, q: &RangeQuery) -> Result<usize> {
+        Ok(self.supports(q)?.iter().map(Vec::len).product())
+    }
+
+    /// Resolves a query to its per-dimension sparse supports.
+    fn supports(&self, q: &RangeQuery) -> Result<Vec<Vec<(usize, f64)>>> {
+        let (lo, hi) = q.bounds(&self.schema)?;
+        // bounds() already validated arity and intervals against the
+        // schema, so the transform-side validation cannot fire here.
+        self.transform
+            .query_supports(&lo, &hi)
+            .map_err(|_| QueryError::ShapeMismatch)
+    }
+
+    /// Selectivity of a query relative to a tuple count `n`.
+    pub fn selectivity(&self, q: &RangeQuery, n: usize) -> Result<f64> {
+        if n == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.answer(q)? / n as f64)
+    }
+}
+
+/// Folds the tensor product of the per-dimension sparse supports against
+/// the flat coefficient data: depth-first over dimensions, accumulating
+/// the linear index and the weight product.
+fn sparse_dot(
+    data: &[f64],
+    strides: &[usize],
+    supports: &[Vec<(usize, f64)>],
+    dim: usize,
+    base: usize,
+    weight: f64,
+) -> f64 {
+    if dim + 1 == supports.len() {
+        // Innermost dimension: contiguous-ish reads, no recursion.
+        return supports[dim]
+            .iter()
+            .map(|&(k, w)| weight * w * data[base + k * strides[dim]])
+            .sum();
+    }
+    supports[dim]
+        .iter()
+        .map(|&(k, w)| {
+            sparse_dot(
+                data,
+                strides,
+                supports,
+                dim + 1,
+                base + k * strides[dim],
+                weight * w,
+            )
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answerer::Answerer;
+    use crate::predicate::Predicate;
+    use privelet::mechanism::{publish_coefficients, PriveletConfig};
+    use privelet::transform::Transform1d;
+    use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+    use std::collections::BTreeSet;
+
+    fn medical_release(seed: u64) -> (FrequencyMatrix, CoefficientOutput) {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let out = publish_coefficients(&fm, &PriveletConfig::pure(1.0, seed)).unwrap();
+        (fm, out)
+    }
+
+    fn medical_queries(fm: &FrequencyMatrix) -> Vec<RangeQuery> {
+        let h = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
+        vec![
+            RangeQuery::all(2),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+            RangeQuery::new(vec![
+                Predicate::Range { lo: 1, hi: 4 },
+                Predicate::Node {
+                    node: h.leaf_node(1),
+                },
+            ]),
+            RangeQuery::new(vec![Predicate::All, Predicate::Node { node: h.root() }]),
+        ]
+    }
+
+    #[test]
+    fn matches_reconstruct_then_prefix_sum_on_noisy_release() {
+        for seed in [1u64, 5, 42] {
+            let (fm, out) = medical_release(seed);
+            let coeff = CoefficientAnswerer::from_output(&out).unwrap();
+            let dense = Answerer::new(&out.to_matrix().unwrap());
+            for q in medical_queries(&fm) {
+                let a = coeff.answer(&q).unwrap();
+                let b = dense.answer(&q).unwrap();
+                assert!((a - b).abs() < 1e-9, "seed {seed}: {a} vs {b}");
+            }
+            assert!((coeff.total() - dense.total()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_coefficients_answer_exactly() {
+        // Forward-transform the exact matrix (no noise): answers equal the
+        // exact evaluation.
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let hn =
+            privelet::transform::HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let ans = CoefficientAnswerer::new(fm.schema().clone(), hn, &coeffs).unwrap();
+        for q in medical_queries(&fm) {
+            let got = ans.answer(&q).unwrap();
+            let want = q.evaluate(&fm).unwrap();
+            assert!((got - want).abs() < 1e-9, "{got} vs {want}");
+        }
+        assert!((ans.total() - 8.0).abs() < 1e-9);
+        assert!((ans.selectivity(&RangeQuery::all(2), 8).unwrap() - 1.0).abs() < 1e-9);
+        assert_eq!(ans.selectivity(&RangeQuery::all(2), 0).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn answer_with_support_matches_separate_calls() {
+        let (fm, out) = medical_release(13);
+        let ans = CoefficientAnswerer::from_output(&out).unwrap();
+        for q in medical_queries(&fm) {
+            let (value, support) = ans.answer_with_support(&q).unwrap();
+            assert_eq!(value, ans.answer(&q).unwrap());
+            assert_eq!(support, ans.support_size(&q).unwrap());
+            assert!(support >= 1);
+        }
+    }
+
+    #[test]
+    fn support_size_is_logarithmic_for_haar() {
+        use privelet_data::schema::{Attribute, Schema};
+        let schema = Schema::new(vec![Attribute::ordinal("v", 1 << 12)]).unwrap();
+        let hn = privelet::transform::HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let coeffs = privelet_matrix::NdMatrix::zeros(&hn.output_dims()).unwrap();
+        let ans = CoefficientAnswerer::new(schema, hn, &coeffs).unwrap();
+        let q = RangeQuery::new(vec![Predicate::Range { lo: 37, hi: 3901 }]);
+        let support = ans.support_size(&q).unwrap();
+        assert!(support <= 2 * 12 + 1, "support {support}");
+        // The prefix path would have scanned 2^12 cells to build first.
+        assert!(support < 1 << 12);
+    }
+
+    #[test]
+    fn rejects_mismatched_metadata_and_bad_queries() {
+        let (fm, out) = medical_release(9);
+        // Coefficient matrix with the wrong dims.
+        let wrong = privelet_matrix::NdMatrix::zeros(&[4, 3]).unwrap();
+        assert_eq!(
+            CoefficientAnswerer::new(fm.schema().clone(), out.transform.clone(), &wrong)
+                .unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+        // Transform not matching the schema.
+        use privelet_data::schema::{Attribute, Schema};
+        let other = Schema::new(vec![Attribute::ordinal("x", 3)]).unwrap();
+        let other_hn =
+            privelet::transform::HnTransform::for_schema(&other, &BTreeSet::new()).unwrap();
+        assert_eq!(
+            CoefficientAnswerer::new(fm.schema().clone(), other_hn, &out.coefficients).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+        // Query errors propagate.
+        let ans = CoefficientAnswerer::from_output(&out).unwrap();
+        let bad = RangeQuery::new(vec![Predicate::Range { lo: 9, hi: 9 }, Predicate::All]);
+        assert!(ans.answer(&bad).is_err());
+        assert!(ans.answer_all(&[bad]).is_err());
+    }
+
+    #[test]
+    fn rejects_nominal_transform_over_a_different_hierarchy() {
+        use privelet::transform::{DimTransform, HnTransform, NominalTransform};
+        use privelet_data::schema::{Attribute, Schema};
+        use privelet_hierarchy::Spec;
+        use std::sync::Arc;
+
+        // Schema hierarchy: 6 leaves in two groups of 3 (9 nodes).
+        let schema_h = privelet_hierarchy::builder::three_level(6, 2).unwrap();
+        let schema = Schema::new(vec![Attribute::nominal("n", schema_h)]).unwrap();
+        // Transform hierarchy: same 6 leaves and 9 nodes, grouped (2, 4).
+        let other_h = Arc::new(
+            Spec::internal(
+                "r",
+                vec![
+                    Spec::internal("g1", vec![Spec::leaf("a"), Spec::leaf("b")]),
+                    Spec::internal(
+                        "g2",
+                        vec![
+                            Spec::leaf("c"),
+                            Spec::leaf("d"),
+                            Spec::leaf("e"),
+                            Spec::leaf("f"),
+                        ],
+                    ),
+                ],
+            )
+            .build()
+            .unwrap(),
+        );
+        let hn =
+            HnTransform::new(vec![DimTransform::Nominal(NominalTransform::new(other_h))]).unwrap();
+        // Dims line up (6 in, 9 out) — only the structural check can
+        // reject this.
+        assert_eq!(hn.input_dims(), schema.dims());
+        let coeffs = privelet_matrix::NdMatrix::zeros(&hn.output_dims()).unwrap();
+        assert_eq!(
+            CoefficientAnswerer::new(schema, hn, &coeffs).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn refinement_at_build_matters_for_nominal_dims() {
+        // Without the build-time refinement, nominal noisy coefficients
+        // would disagree with the inverse_refined matrix; the answerer's
+        // construction must absorb it.
+        let (fm, out) = medical_release(77);
+        let t = &out.transform.transforms()[1];
+        assert!(t.has_refinement(), "dim 1 is nominal");
+        let ans = CoefficientAnswerer::from_output(&out).unwrap();
+        let dense = Answerer::new(&out.to_matrix().unwrap());
+        let h = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
+        let q = RangeQuery::new(vec![
+            Predicate::All,
+            Predicate::Node {
+                node: h.leaf_node(0),
+            },
+        ]);
+        let a = ans.answer(&q).unwrap();
+        let b = dense.answer(&q).unwrap();
+        assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+    }
+}

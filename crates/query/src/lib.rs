@@ -18,6 +18,9 @@
 //! - [`predicate`] — per-attribute predicates and their interval resolution.
 //! - [`range_query`] — the query type, naive and prefix-sum evaluation,
 //!   coverage and selectivity.
+//! - [`coefficients`] — coefficient-domain answering over a published
+//!   noisy coefficient matrix: O(log m) coefficient reads per dimension
+//!   instead of an O(m) reconstruction before the first query.
 //! - [`workload`] — the random workload generator of §VII-A (40 000 queries,
 //!   1–4 predicates each).
 //! - [`metrics`] — square error and relative error with the sanity bound
@@ -27,6 +30,7 @@
 
 pub mod answerer;
 pub mod buckets;
+pub mod coefficients;
 pub mod metrics;
 pub mod predicate;
 pub mod range_query;
@@ -34,6 +38,7 @@ pub mod workload;
 
 pub use answerer::Answerer;
 pub use buckets::{quantile_rows, BucketRow};
+pub use coefficients::CoefficientAnswerer;
 pub use metrics::{relative_error, sanity_bound, square_error};
 pub use predicate::Predicate;
 pub use range_query::RangeQuery;
