@@ -14,6 +14,15 @@
 //!   (`serve1_*`) flips from prefix-favored to coefficient-favored as m
 //!   grows.
 //!
+//! The `query_answering_batched` group isolates the serving engine's
+//! batch machinery at m = 2^10 … 2^20, workloads 64 and 1024:
+//! `plan_compile_*` (support interning + term flattening),
+//! `plan_execute_*` (sparse dots over the compiled arena),
+//! `batched_*` (compile + execute, what `answer_all` does) and
+//! `perquery_*` (the one-at-a-time loop through the support cache).
+//! The batch path must beat the per-query loop — it derives each
+//! distinct support once and skips per-query locking/allocation.
+//!
 //! Run with: `cargo bench --bench query_answering`
 
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -78,8 +87,11 @@ fn bench_query_answering(c: &mut Criterion) {
             let a = coeff.answer_all(&queries).unwrap();
             let b = prefix.answer_all(&queries).unwrap();
             for (x, y) in a.iter().zip(&b) {
+                // Relative tolerance: the two paths sum the same noisy
+                // mass in different orders, so rounding scales with the
+                // answer magnitude (~1e7 at 2^20).
                 assert!(
-                    (x - y).abs() < 1e-6,
+                    (x - y).abs() <= 1e-9 * x.abs().max(1.0),
                     "paths disagree at 2^{exp}: {x} vs {y}"
                 );
             }
@@ -110,5 +122,51 @@ fn bench_query_answering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_answering);
+fn bench_batched(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_answering_batched");
+    group.sample_size(10);
+    for exp in EXPONENTS {
+        let (schema, out) = release_for(exp);
+        let coeff = CoefficientAnswerer::from_output(&out).unwrap();
+        for n_queries in WORKLOADS {
+            // The motivating batch workload: a dashboard of 64 distinct
+            // queries refreshed n/64 times per batch (WaveCluster-style
+            // consumers re-ask the same predicates every tick). The
+            // planner collapses the repeats onto 64 term lists and at
+            // most 64 distinct supports.
+            let catalog = workload(&schema, 64.min(n_queries));
+            let queries: Vec<RangeQuery> =
+                catalog.iter().cycle().take(n_queries).cloned().collect();
+
+            // Sanity: the compiled plan and the per-query loop agree
+            // (bit for bit — same supports, same float-op order).
+            let plan = coeff.plan(&queries).unwrap();
+            let batch = coeff.answer_plan(&plan).unwrap();
+            for (q, want) in queries.iter().zip(&batch) {
+                assert_eq!(coeff.answer(q).unwrap(), *want, "2^{exp}");
+            }
+
+            group.bench_function(&format!("plan_compile{n_queries}_2^{exp}"), |b| {
+                b.iter(|| coeff.plan(black_box(&queries)).unwrap())
+            });
+            group.bench_function(&format!("plan_execute{n_queries}_2^{exp}"), |b| {
+                b.iter(|| coeff.answer_plan(black_box(&plan)).unwrap())
+            });
+            group.bench_function(&format!("batched{n_queries}_2^{exp}"), |b| {
+                b.iter(|| coeff.answer_all(black_box(&queries)).unwrap())
+            });
+            group.bench_function(&format!("perquery{n_queries}_2^{exp}"), |b| {
+                b.iter(|| {
+                    black_box(&queries)
+                        .iter()
+                        .map(|q| coeff.answer(q).unwrap())
+                        .collect::<Vec<f64>>()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_answering, bench_batched);
 criterion_main!(benches);

@@ -76,6 +76,9 @@ pub enum CoreError {
     },
     /// A query-bound vector has the wrong number of dimensions.
     BadQueryArity { expected: usize, got: usize },
+    /// A per-dimension accessor was given an axis index outside the
+    /// transform's dimensions.
+    BadAxis { axis: usize, ndim: usize },
     /// A query interval is invalid on one dimension (`lo > hi` or `hi`
     /// out of the domain).
     BadQueryBounds {
@@ -111,6 +114,12 @@ impl std::fmt::Display for CoreError {
                 write!(
                     f,
                     "query bounds have {got} dimensions, transform has {expected}"
+                )
+            }
+            CoreError::BadAxis { axis, ndim } => {
+                write!(
+                    f,
+                    "axis {axis} out of range for a {ndim}-dimensional transform"
                 )
             }
             CoreError::BadQueryBounds { axis, lo, hi, len } => {

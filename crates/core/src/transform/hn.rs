@@ -356,22 +356,43 @@ impl HnTransform {
                 got,
             });
         }
-        for (axis, (t, (&l, &h))) in self.transforms.iter().zip(lo.iter().zip(hi)).enumerate() {
-            if l > h || h >= t.input_len() {
-                return Err(CoreError::BadQueryBounds {
-                    axis,
-                    lo: l,
-                    hi: h,
-                    len: t.input_len(),
-                });
-            }
+        lo.iter()
+            .zip(hi)
+            .enumerate()
+            .map(|(axis, (&l, &h))| self.query_weights_for_dim(axis, l, h))
+            .collect()
+    }
+
+    /// Sparse coefficient support of **one** dimension's interval-sum
+    /// functional: dimension `axis`'s
+    /// [`query_weights`](Transform1d::query_weights) over the inclusive
+    /// interval `[lo, hi]`, validated (`Err`, never a panic, on a bad axis
+    /// or bounds).
+    ///
+    /// This is the planner-facing entry point of
+    /// [`query_supports`](Self::query_supports): a batch compiler that
+    /// interns each distinct `(axis, lo, hi)` support once needs to derive
+    /// supports per *dimension*, not per whole query, so it can skip the
+    /// derivation entirely on an interned triple.
+    pub fn query_weights_for_dim(
+        &self,
+        axis: usize,
+        lo: usize,
+        hi: usize,
+    ) -> Result<Vec<(usize, f64)>> {
+        let t = self.transforms.get(axis).ok_or(CoreError::BadAxis {
+            axis,
+            ndim: self.ndim(),
+        })?;
+        if lo > hi || hi >= t.input_len() {
+            return Err(CoreError::BadQueryBounds {
+                axis,
+                lo,
+                hi,
+                len: t.input_len(),
+            });
         }
-        Ok(self
-            .transforms
-            .iter()
-            .zip(lo.iter().zip(hi))
-            .map(|(t, (&l, &h))| t.query_weights(l, h))
-            .collect())
+        Ok(t.query_weights(lo, hi))
     }
 
     /// Visits every coefficient cell of the output matrix in row-major
@@ -654,6 +675,35 @@ mod tests {
         assert!(matches!(
             hn.query_supports(&[0, 0, 3, 0], &[4, 1, 2, 3]).unwrap_err(),
             CoreError::BadQueryBounds { axis: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn query_weights_for_dim_matches_query_supports() {
+        let (_, hn) = mixed_transform();
+        let lo = vec![1, 0, 2, 1];
+        let hi = vec![3, 1, 4, 2];
+        let all = hn.query_supports(&lo, &hi).unwrap();
+        for (axis, support) in all.iter().enumerate() {
+            let one = hn.query_weights_for_dim(axis, lo[axis], hi[axis]).unwrap();
+            assert_eq!(&one, support, "axis {axis}");
+        }
+        assert!(matches!(
+            hn.query_weights_for_dim(4, 0, 0).unwrap_err(),
+            CoreError::BadAxis { axis: 4, ndim: 4 }
+        ));
+        assert!(matches!(
+            hn.query_weights_for_dim(0, 3, 2).unwrap_err(),
+            CoreError::BadQueryBounds { axis: 0, .. }
+        ));
+        assert!(matches!(
+            hn.query_weights_for_dim(1, 0, 2).unwrap_err(),
+            CoreError::BadQueryBounds {
+                axis: 1,
+                hi: 2,
+                len: 2,
+                ..
+            }
         ));
     }
 

@@ -9,9 +9,11 @@
 //!   and aggregate square / relative errors into coverage / selectivity
 //!   quintile buckets.
 //! - [`timing`] — runs the computation-time sweeps behind Figures 10–11.
-//! - [`serving`] — compares the two query-serving paths on one release:
-//!   coefficient-domain answering (O(polylog m) per query) versus
-//!   reconstruct + prefix sums (O(m) build), checking they agree.
+//! - [`serving`] — compares the serving engine's paths on one release:
+//!   coefficient-domain answering via a compiled batch plan and via the
+//!   cached online loop (O(polylog m) per query) versus reconstruct +
+//!   prefix sums (O(m) build), checking they agree and reporting the
+//!   plan's dedup ratio and the cache's hit rate.
 //! - [`report`] — fixed-width table / markdown rendering of the series so
 //!   each bench target prints the same rows the paper plots.
 

@@ -1,15 +1,17 @@
-//! Serving-path comparison: coefficient-domain answering versus
-//! reconstruct-then-prefix-sum.
+//! Serving-path comparison: the unified answering engine's
+//! coefficient-domain paths (compiled batch plan + cached online loop)
+//! versus reconstruct-then-prefix-sum.
 //!
 //! The accuracy harness ([`accuracy`](crate::accuracy)) evaluates 40 000
 //! queries per published matrix, which favors the O(m)-build / O(2^d)-
 //! per-query prefix path. A serving tier sees the opposite regime:
-//! queries trickle in online and the domain is large, so the
-//! O(polylog m)-per-query coefficient path of
-//! [`CoefficientAnswerer`](privelet_query::CoefficientAnswerer) wins.
-//! This module measures both on the same release and checks they agree,
-//! giving the eval story a serve-from-coefficients leg to stand on (and a
-//! regression guard for the equivalence).
+//! queries arrive in batches or trickle in online over a large domain,
+//! so the O(polylog m)-per-query coefficient paths of
+//! [`CoefficientAnswerer`] win.
+//! This module measures all three on the same release and checks they
+//! agree, reporting the batch plan's support-dedup ratio and the online
+//! cache's hit rate alongside the timings — the two amortization levers
+//! the serving engine adds.
 
 use crate::Result;
 use privelet::mechanism::{publish_coefficients_with, PriveletConfig};
@@ -18,7 +20,8 @@ use privelet_matrix::LaneExecutor;
 use privelet_query::{Answerer, CoefficientAnswerer, RangeQuery};
 use std::time::Instant;
 
-/// Timings and agreement of the two serving paths on one release.
+/// Timings, agreement and amortization diagnostics of the serving paths
+/// on one release.
 #[derive(Debug, Clone)]
 pub struct ServingReport {
     /// Frequency-matrix cell count m.
@@ -27,25 +30,40 @@ pub struct ServingReport {
     pub coefficients: usize,
     /// Workload size.
     pub queries: usize,
-    /// Worst absolute disagreement between the two paths over the
-    /// workload (floating-point rounding only; must be tiny).
+    /// Worst absolute disagreement across the three paths (batch plan,
+    /// online cached loop, reconstruct + prefix sums) over the workload
+    /// (floating-point rounding only; must be tiny).
     pub max_abs_diff: f64,
     /// Seconds to build the coefficient-domain answerer (refinement pass).
     pub coeff_build_secs: f64,
-    /// Seconds to answer the workload in the coefficient domain.
+    /// Seconds to compile the workload into a `QueryPlan` (support
+    /// interning + term flattening).
+    pub plan_compile_secs: f64,
+    /// Seconds to execute the compiled plan (the batch path).
     pub coeff_answer_secs: f64,
+    /// Seconds to answer the workload one query at a time through the
+    /// support cache (the online path).
+    pub online_answer_secs: f64,
     /// Seconds to reconstruct the matrix and build prefix sums.
     pub prefix_build_secs: f64,
     /// Seconds to answer the workload on the prefix sums.
     pub prefix_answer_secs: f64,
     /// Mean coefficient reads per query (`∏ᵢ |supportᵢ|`).
     pub mean_support: f64,
+    /// Distinct `(dim, lo, hi)` supports the plan derived.
+    pub distinct_supports: usize,
+    /// Fraction of the batch's support derivations the plan's interning
+    /// avoided (`1 − distinct/requested`).
+    pub dedup_ratio: f64,
+    /// Hit rate of the online support cache over the one-at-a-time pass.
+    pub cache_hit_rate: f64,
 }
 
 impl ServingReport {
-    /// Total wall-clock of the coefficient path (build + answer).
+    /// Total wall-clock of the batch coefficient path (build + compile +
+    /// execute).
     pub fn coeff_total_secs(&self) -> f64 {
-        self.coeff_build_secs + self.coeff_answer_secs
+        self.coeff_build_secs + self.plan_compile_secs + self.coeff_answer_secs
     }
 
     /// Total wall-clock of the reconstruct path (build + answer).
@@ -55,7 +73,9 @@ impl ServingReport {
 }
 
 /// Publishes `fm` in the coefficient domain and serves `queries` through
-/// both paths, timing each phase and recording the worst disagreement.
+/// the engine's batch path (compiled plan), its online path (support
+/// cache) and the reconstruct-then-prefix-sum path, timing each phase
+/// and recording the worst disagreement.
 pub fn compare_serving_paths(
     fm: &FrequencyMatrix,
     cfg: &PriveletConfig,
@@ -68,17 +88,23 @@ pub fn compare_serving_paths(
     let coeff = CoefficientAnswerer::from_output(&release)?;
     let coeff_build_secs = start.elapsed().as_secs_f64();
 
-    // One support derivation per query covers both the answer and the
-    // per-query cost accounting.
+    // Batch path: compile the workload once, then execute the plan.
     let start = Instant::now();
-    let mut coeff_answers = Vec::with_capacity(queries.len());
-    let mut support_sum = 0usize;
-    for q in queries {
-        let (value, support) = coeff.answer_with_support(q)?;
-        coeff_answers.push(value);
-        support_sum += support;
-    }
+    let plan = coeff.plan(queries)?;
+    let plan_compile_secs = start.elapsed().as_secs_f64();
+
+    let start = Instant::now();
+    let batch_answers = coeff.answer_plan(&plan)?;
     let coeff_answer_secs = start.elapsed().as_secs_f64();
+
+    // Online path: one query at a time through the support cache.
+    let start = Instant::now();
+    let mut online_answers = Vec::with_capacity(queries.len());
+    for q in queries {
+        online_answers.push(coeff.answer(q)?);
+    }
+    let online_answer_secs = start.elapsed().as_secs_f64();
+    let cache_hit_rate = coeff.cache_stats().hit_rate();
 
     let start = Instant::now();
     let dense = Answerer::new(&release.to_matrix_with(&mut exec)?);
@@ -88,10 +114,16 @@ pub fn compare_serving_paths(
     let prefix_answers = dense.answer_all(queries)?;
     let prefix_answer_secs = start.elapsed().as_secs_f64();
 
-    let max_abs_diff = coeff_answers
+    let max_abs_diff = batch_answers
         .iter()
         .zip(&prefix_answers)
         .map(|(a, b)| (a - b).abs())
+        .chain(
+            batch_answers
+                .iter()
+                .zip(&online_answers)
+                .map(|(a, b)| (a - b).abs()),
+        )
         .fold(0.0f64, f64::max);
 
     Ok(ServingReport {
@@ -100,14 +132,15 @@ pub fn compare_serving_paths(
         queries: queries.len(),
         max_abs_diff,
         coeff_build_secs,
+        plan_compile_secs,
         coeff_answer_secs,
+        online_answer_secs,
         prefix_build_secs,
         prefix_answer_secs,
-        mean_support: if queries.is_empty() {
-            0.0
-        } else {
-            support_sum as f64 / queries.len() as f64
-        },
+        mean_support: plan.mean_support(),
+        distinct_supports: plan.distinct_supports(),
+        dedup_ratio: plan.dedup_ratio(),
+        cache_hit_rate,
     })
 }
 
@@ -143,6 +176,20 @@ mod tests {
         );
         assert!(report.mean_support >= 1.0);
         assert!(report.coeff_total_secs() > 0.0 && report.prefix_total_secs() > 0.0);
+        assert!(report.online_answer_secs > 0.0);
+        // 400 queries over a few dimensions must repeat predicate
+        // intervals: the plan dedups and the cache hits.
+        assert!(report.distinct_supports >= 1);
+        assert!(
+            report.dedup_ratio > 0.0 && report.dedup_ratio < 1.0,
+            "dedup ratio {}",
+            report.dedup_ratio
+        );
+        assert!(
+            report.cache_hit_rate > 0.0 && report.cache_hit_rate <= 1.0,
+            "cache hit rate {}",
+            report.cache_hit_rate
+        );
     }
 
     #[test]
@@ -173,5 +220,9 @@ mod tests {
             report.mean_support
         );
         assert!(report.max_abs_diff < 1e-7);
+        // 64 random intervals over 2^16 values rarely collide, but the
+        // ratio is still well-defined and bounded.
+        assert!((0.0..=1.0).contains(&report.dedup_ratio));
+        assert!((0.0..=1.0).contains(&report.cache_hit_rate));
     }
 }

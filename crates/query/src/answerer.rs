@@ -4,8 +4,9 @@
 //! O(2^d) is how the experiment harness evaluates 40 000 queries per
 //! published matrix; [`Answerer`] packages that pattern for library users.
 
+use crate::engine::{AnswerEngine, EngineDiagnostics};
 use crate::range_query::RangeQuery;
-use crate::Result;
+use crate::{QueryError, Result};
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
 use privelet_matrix::PrefixSums;
@@ -44,17 +45,45 @@ impl Answerer {
         q.evaluate_prefix(&self.schema, &self.prefix)
     }
 
-    /// Answers a whole workload.
+    /// Answers a whole workload. Each query is already O(2^d) on the
+    /// prebuilt prefix sums with nothing shareable between queries, so
+    /// the batch path is the plain loop.
     pub fn answer_all(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
         queries.iter().map(|q| self.answer(q)).collect()
     }
 
     /// Selectivity of a query relative to a tuple count `n`.
+    ///
+    /// Errors with [`QueryError::ZeroPopulation`] when `n == 0`: the
+    /// ratio is undefined, and both serving paths reject it identically
+    /// rather than silently reporting 0.
     pub fn selectivity(&self, q: &RangeQuery, n: usize) -> Result<f64> {
         if n == 0 {
-            return Ok(0.0);
+            return Err(QueryError::ZeroPopulation);
         }
         Ok(self.answer(q)? / n as f64)
+    }
+}
+
+impl AnswerEngine for Answerer {
+    fn schema(&self) -> &Schema {
+        self.schema()
+    }
+
+    fn answer_one(&self, q: &RangeQuery) -> Result<f64> {
+        self.answer(q)
+    }
+
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        self.answer_all(queries)
+    }
+
+    fn diagnostics(&self) -> EngineDiagnostics {
+        EngineDiagnostics {
+            engine: "prefix-sum",
+            build_cells: self.schema.cell_count(),
+            cache: None,
+        }
     }
 }
 
@@ -96,7 +125,10 @@ mod tests {
         assert_eq!(ans.total(), 8.0);
         let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 1 }, Predicate::All]);
         assert!((ans.selectivity(&q, 8).unwrap() - 3.0 / 8.0).abs() < 1e-12);
-        assert_eq!(ans.selectivity(&q, 0).unwrap(), 0.0);
+        assert_eq!(
+            ans.selectivity(&q, 0).unwrap_err(),
+            QueryError::ZeroPopulation
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Bounded LRU memoization of per-dimension query supports.
+//!
+//! The online one-query-at-a-time serving path re-derives each
+//! dimension's sparse support (`Transform1d::query_weights`) on every
+//! request, even though OLAP traffic repeats the same predicate
+//! intervals dimension after dimension. [`SupportCache`] memoizes
+//! supports keyed on `(dim, lo, hi)` so repeated predicates across
+//! requests amortize the derivation the same way a compiled
+//! [`QueryPlan`](crate::QueryPlan) amortizes it within one batch.
+//!
+//! The cache is bounded (least-recently-used eviction) and counts hits,
+//! misses and evictions, so serving tiers can report hit rates and size
+//! the capacity. Each entry holds `O(polylog m)` weight pairs behind an
+//! [`Arc`], so a hit is one clone of a pointer, never of the support.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// Cache key: `(dimension index, inclusive lo, inclusive hi)` over the
+/// *domain* of that dimension.
+pub type SupportKey = (usize, usize, usize);
+
+/// A memoized per-dimension support: `(coefficient index, weight)` pairs.
+pub type SharedSupport = Arc<Vec<(usize, f64)>>;
+
+/// Hit/miss/eviction counters and current occupancy of a
+/// [`SupportCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that required a fresh derivation.
+    pub misses: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evictions: u64,
+    /// Entries currently held.
+    pub len: usize,
+    /// Maximum entries held (0 disables caching).
+    pub capacity: usize,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0.0 when none were
+    /// made).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Bounded LRU cache of per-dimension query supports.
+///
+/// Recency is tracked with a monotone tick per entry and a
+/// `BTreeMap<tick, key>` index, so `get`/`insert` are O(log capacity)
+/// and eviction pops the smallest tick. A capacity of 0 disables the
+/// cache: every lookup misses and nothing is stored.
+#[derive(Debug, Clone, Default)]
+pub struct SupportCache {
+    capacity: usize,
+    entries: HashMap<SupportKey, (SharedSupport, u64)>,
+    by_tick: BTreeMap<u64, SupportKey>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl SupportCache {
+    /// An empty cache holding at most `capacity` supports.
+    pub fn new(capacity: usize) -> Self {
+        SupportCache {
+            capacity,
+            ..SupportCache::default()
+        }
+    }
+
+    /// Looks up a support, marking it most recently used on a hit.
+    pub fn get(&mut self, key: SupportKey) -> Option<SharedSupport> {
+        match self.entries.get_mut(&key) {
+            Some((support, tick)) => {
+                self.hits += 1;
+                let support = support.clone();
+                self.by_tick.remove(tick);
+                self.tick += 1;
+                *tick = self.tick;
+                self.by_tick.insert(self.tick, key);
+                Some(support)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Stores a freshly derived support, evicting the least recently
+    /// used entry if the cache is full. No-op at capacity 0.
+    pub fn insert(&mut self, key: SupportKey, support: SharedSupport) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((_, old_tick)) = self.entries.remove(&key) {
+            // Replacing an existing entry never needs an eviction.
+            self.by_tick.remove(&old_tick);
+        } else if self.entries.len() >= self.capacity {
+            if let Some((&oldest, _)) = self.by_tick.iter().next() {
+                let victim = self.by_tick.remove(&oldest).expect("tick just seen");
+                self.entries.remove(&victim);
+                self.evictions += 1;
+            }
+        }
+        self.tick += 1;
+        self.entries.insert(key, (support, self.tick));
+        self.by_tick.insert(self.tick, key);
+    }
+
+    /// Current counters and occupancy.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            len: self.entries.len(),
+            capacity: self.capacity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn support(v: usize) -> SharedSupport {
+        Arc::new(vec![(v, 1.0)])
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_counters() {
+        let mut cache = SupportCache::new(2);
+        assert!(cache.get((0, 0, 1)).is_none());
+        cache.insert((0, 0, 1), support(1));
+        cache.insert((0, 2, 3), support(2));
+        assert_eq!(cache.get((0, 0, 1)).unwrap()[0].0, 1);
+        // Inserting a third entry evicts the least recently used (0,2,3).
+        cache.insert((1, 0, 0), support(3));
+        assert!(cache.get((0, 2, 3)).is_none());
+        assert!(cache.get((0, 0, 1)).is_some());
+        assert!(cache.get((1, 0, 0)).is_some());
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 3);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.len, 2);
+        assert_eq!(stats.capacity, 2);
+        assert!((stats.hit_rate() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_eviction() {
+        let mut cache = SupportCache::new(2);
+        cache.insert((0, 0, 1), support(1));
+        cache.insert((0, 0, 1), support(9));
+        assert_eq!(cache.get((0, 0, 1)).unwrap()[0].0, 9);
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().len, 1);
+    }
+
+    #[test]
+    fn zero_capacity_disables_the_cache() {
+        let mut cache = SupportCache::new(0);
+        cache.insert((0, 0, 1), support(1));
+        assert!(cache.get((0, 0, 1)).is_none());
+        let stats = cache.stats();
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hit_rate(), 0.0);
+    }
+}

@@ -18,16 +18,25 @@
 //! huge offline workloads over small m. Both return the same answers to
 //! floating-point rounding (property-tested at the workspace root).
 
+use crate::cache::{CacheStats, SharedSupport, SupportCache};
+use crate::engine::{AnswerEngine, EngineDiagnostics};
+use crate::plan::QueryPlan;
 use crate::range_query::RangeQuery;
 use crate::{QueryError, Result};
 use privelet::mechanism::CoefficientOutput;
-use privelet::transform::{DimTransform, HnTransform};
-use privelet_data::schema::{Domain, Schema};
+use privelet::transform::HnTransform;
+use privelet_data::schema::Schema;
 use privelet_matrix::NdMatrix;
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Default bound on the online support cache: each entry holds one
+/// dimension's `O(polylog m)` weight pairs, so the default footprint is
+/// a few hundred kilobytes at most.
+pub const DEFAULT_SUPPORT_CACHE_CAPACITY: usize = 1024;
 
 /// A prepared coefficient-domain query answerer: the refined noisy
 /// coefficients plus the schema and transform they were published under.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CoefficientAnswerer {
     schema: Schema,
     transform: HnTransform,
@@ -37,6 +46,28 @@ pub struct CoefficientAnswerer {
     /// Row-major strides of `coeffs`, cached for the per-query walk.
     strides: Vec<usize>,
     total: f64,
+    /// Memoized per-dimension supports for the online path; the batch
+    /// path interns supports in its [`QueryPlan`] instead. Behind a
+    /// mutex so `answer(&self)` stays shareable across threads.
+    cache: Mutex<SupportCache>,
+}
+
+impl Clone for CoefficientAnswerer {
+    fn clone(&self) -> Self {
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        CoefficientAnswerer {
+            schema: self.schema.clone(),
+            transform: self.transform.clone(),
+            coeffs: self.coeffs.clone(),
+            strides: self.strides.clone(),
+            total: self.total,
+            cache: Mutex::new(cache),
+        }
+    }
 }
 
 impl CoefficientAnswerer {
@@ -48,29 +79,16 @@ impl CoefficientAnswerer {
     /// transform and the coefficient matrix do not describe the same
     /// release.
     pub fn new(schema: Schema, transform: HnTransform, noisy: &NdMatrix) -> Result<Self> {
-        if transform.input_dims() != schema.dims() || noisy.dims() != transform.output_dims() {
+        // Shared with the batch planner: dimension sizes plus structural
+        // equality per nominal axis (a different hierarchy with the same
+        // leaf count must not slip through).
+        crate::plan::check_release_metadata(&schema, &transform)?;
+        if noisy.dims() != transform.output_dims() {
             return Err(QueryError::ShapeMismatch);
-        }
-        // Dimension sizes alone would let a nominal transform built over a
-        // *different* hierarchy with the same leaf count slip through;
-        // node predicates would then resolve through the schema's
-        // hierarchy while weights come from the transform's. Require
-        // structural equality per nominal axis. (Haar/identity transforms
-        // carry no structure beyond their lengths, already checked above —
-        // Haar over a nominal attribute's imposed leaf order is a
-        // legitimate §V-D ablation pairing.)
-        for (attr, dim) in schema.attrs().iter().zip(transform.transforms()) {
-            if let DimTransform::Nominal(t) = dim {
-                match attr.domain() {
-                    Domain::Nominal { hierarchy }
-                        if hierarchy.as_ref() == t.hierarchy().as_ref() => {}
-                    _ => return Err(QueryError::ShapeMismatch),
-                }
-            }
         }
         let coeffs = transform
             .refine_coefficients(noisy)
-            .map_err(|_| QueryError::ShapeMismatch)?;
+            .map_err(QueryError::from)?;
         let strides = coeffs.shape().strides().to_vec();
         let mut answerer = CoefficientAnswerer {
             schema,
@@ -78,9 +96,25 @@ impl CoefficientAnswerer {
             coeffs,
             strides,
             total: 0.0,
+            cache: Mutex::new(SupportCache::new(DEFAULT_SUPPORT_CACHE_CAPACITY)),
         };
         answerer.total = answerer.answer(&RangeQuery::all(answerer.schema.arity()))?;
         Ok(answerer)
+    }
+
+    /// Replaces the online support cache with one bounded at `capacity`
+    /// entries (0 disables caching). Counters restart from zero.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache = Mutex::new(SupportCache::new(capacity));
+        self
+    }
+
+    /// Hit/miss/eviction counters of the online support cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stats()
     }
 
     /// Builds the answerer straight from a [`publish_coefficients`]
@@ -121,12 +155,31 @@ impl CoefficientAnswerer {
     pub fn answer_with_support(&self, q: &RangeQuery) -> Result<(f64, usize)> {
         let supports = self.supports(q)?;
         let value = sparse_dot(self.coeffs.as_slice(), &self.strides, &supports, 0, 0, 1.0);
-        Ok((value, supports.iter().map(Vec::len).product()))
+        Ok((value, supports.iter().map(|s| s.len()).product()))
     }
 
-    /// Answers a whole workload.
+    /// Answers a whole workload through the batch engine: compiles a
+    /// [`QueryPlan`] (one support derivation per distinct
+    /// `(dim, lo, hi)` triple across the batch) and executes it as
+    /// vectorized sparse dots over the plan's arena. Equals answering
+    /// each query individually, bit for bit, in a fraction of the
+    /// derivations; see [`plan`](Self::plan) to compile once and
+    /// execute many times.
     pub fn answer_all(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
-        queries.iter().map(|q| self.answer(q)).collect()
+        self.answer_plan(&self.plan(queries)?)
+    }
+
+    /// Compiles a workload against this answerer's schema and transform.
+    /// The plan stays valid for this answerer's lifetime (both are
+    /// pinned to the same release metadata), so a serving loop can
+    /// compile once and [`answer_plan`](Self::answer_plan) per tick.
+    pub fn plan(&self, queries: &[RangeQuery]) -> Result<QueryPlan> {
+        QueryPlan::compile(&self.schema, &self.transform, queries)
+    }
+
+    /// Executes a compiled plan against the refined coefficients.
+    pub fn answer_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
+        plan.execute(&self.coeffs)
     }
 
     /// Number of coefficients `answer` would read for this query
@@ -135,25 +188,67 @@ impl CoefficientAnswerer {
     /// [`answer_with_support`](Self::answer_with_support) when the answer
     /// is needed too.
     pub fn support_size(&self, q: &RangeQuery) -> Result<usize> {
-        Ok(self.supports(q)?.iter().map(Vec::len).product())
+        Ok(self.supports(q)?.iter().map(|s| s.len()).product())
     }
 
-    /// Resolves a query to its per-dimension sparse supports.
-    fn supports(&self, q: &RangeQuery) -> Result<Vec<Vec<(usize, f64)>>> {
+    /// Resolves a query to its per-dimension sparse supports, through
+    /// the bounded LRU cache: repeated `(dim, lo, hi)` predicates across
+    /// requests reuse the memoized support instead of re-deriving it.
+    fn supports(&self, q: &RangeQuery) -> Result<Vec<SharedSupport>> {
         let (lo, hi) = q.bounds(&self.schema)?;
-        // bounds() already validated arity and intervals against the
-        // schema, so the transform-side validation cannot fire here.
-        self.transform
-            .query_supports(&lo, &hi)
-            .map_err(|_| QueryError::ShapeMismatch)
+        let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+        (0..self.schema.arity())
+            .map(|dim| {
+                let key = (dim, lo[dim], hi[dim]);
+                if let Some(support) = cache.get(key) {
+                    return Ok(support);
+                }
+                // bounds() validated arity and intervals against the
+                // schema, so this derivation cannot fail structurally;
+                // any residual transform error converts faithfully.
+                let support: SharedSupport = Arc::new(
+                    self.transform
+                        .query_weights_for_dim(dim, lo[dim], hi[dim])
+                        .map_err(QueryError::from)?,
+                );
+                cache.insert(key, support.clone());
+                Ok(support)
+            })
+            .collect()
     }
 
     /// Selectivity of a query relative to a tuple count `n`.
+    ///
+    /// Errors with [`QueryError::ZeroPopulation`] when `n == 0`: the
+    /// ratio is undefined, and both serving paths reject it identically
+    /// rather than silently reporting 0.
     pub fn selectivity(&self, q: &RangeQuery, n: usize) -> Result<f64> {
         if n == 0 {
-            return Ok(0.0);
+            return Err(QueryError::ZeroPopulation);
         }
         Ok(self.answer(q)? / n as f64)
+    }
+}
+
+impl AnswerEngine for CoefficientAnswerer {
+    fn schema(&self) -> &Schema {
+        self.schema()
+    }
+
+    fn answer_one(&self, q: &RangeQuery) -> Result<f64> {
+        self.answer(q)
+    }
+
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        self.answer_all(queries)
+    }
+
+    fn diagnostics(&self) -> EngineDiagnostics {
+        EngineDiagnostics {
+            engine: "coefficient",
+            build_cells: self.coeffs.len(),
+            cache: Some(self.cache_stats()),
+        }
     }
 }
 
@@ -163,7 +258,7 @@ impl CoefficientAnswerer {
 fn sparse_dot(
     data: &[f64],
     strides: &[usize],
-    supports: &[Vec<(usize, f64)>],
+    supports: &[SharedSupport],
     dim: usize,
     base: usize,
     weight: f64,
@@ -253,7 +348,54 @@ mod tests {
         }
         assert!((ans.total() - 8.0).abs() < 1e-9);
         assert!((ans.selectivity(&RangeQuery::all(2), 8).unwrap() - 1.0).abs() < 1e-9);
-        assert_eq!(ans.selectivity(&RangeQuery::all(2), 0).unwrap(), 0.0);
+        assert_eq!(
+            ans.selectivity(&RangeQuery::all(2), 0).unwrap_err(),
+            QueryError::ZeroPopulation
+        );
+    }
+
+    #[test]
+    fn answer_all_matches_per_query_loop_bitwise() {
+        let (fm, out) = medical_release(31);
+        let ans = CoefficientAnswerer::from_output(&out).unwrap();
+        let queries = medical_queries(&fm);
+        let batch = ans.answer_all(&queries).unwrap();
+        for (q, got) in queries.iter().zip(&batch) {
+            // The plan walks the same supports in the same order with the
+            // same float ops, so batch == per-query exactly.
+            assert_eq!(*got, ans.answer(q).unwrap());
+        }
+        // Compile once, execute twice: identical results.
+        let plan = ans.plan(&queries).unwrap();
+        assert_eq!(ans.answer_plan(&plan).unwrap(), batch);
+        assert_eq!(plan.len(), queries.len());
+        assert!(plan.distinct_supports() <= plan.support_requests());
+    }
+
+    #[test]
+    fn online_cache_amortizes_repeated_predicates() {
+        let (fm, out) = medical_release(19);
+        let ans = CoefficientAnswerer::from_output(&out)
+            .unwrap()
+            .with_cache_capacity(64);
+        assert_eq!(ans.cache_stats().hits, 0);
+        let q = &medical_queries(&fm)[1];
+        let first = ans.answer(q).unwrap();
+        let after_first = ans.cache_stats();
+        assert_eq!(after_first.hits, 0);
+        assert_eq!(after_first.misses, 2, "both dims derived once");
+        // Same predicates again: served entirely from the cache, same
+        // answer bit for bit.
+        assert_eq!(ans.answer(q).unwrap(), first);
+        let after_second = ans.cache_stats();
+        assert_eq!(after_second.hits, 2);
+        assert_eq!(after_second.misses, 2);
+        // A disabled cache still answers correctly.
+        let uncached = CoefficientAnswerer::from_output(&out)
+            .unwrap()
+            .with_cache_capacity(0);
+        assert_eq!(uncached.answer(q).unwrap(), first);
+        assert_eq!(uncached.cache_stats().hits, 0);
     }
 
     #[test]

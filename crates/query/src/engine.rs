@@ -1,0 +1,101 @@
+//! The unified serving interface over the two answering paths.
+//!
+//! [`AnswerEngine`] is the seam a serving tier programs against: answer
+//! one query, answer a batch, report cost diagnostics — without caring
+//! whether answers come from prefix sums over a reconstructed matrix
+//! ([`Answerer`](crate::Answerer)) or from sparse dots against noisy
+//! coefficients ([`CoefficientAnswerer`](crate::CoefficientAnswerer)).
+//! The trait is object-safe, so heterogeneous engines can sit behind one
+//! `dyn AnswerEngine` in a router; later sharded/concurrent serving
+//! tiers plug in here (one trait, one plan format).
+
+use crate::cache::CacheStats;
+use crate::range_query::RangeQuery;
+use crate::Result;
+use privelet_data::schema::Schema;
+
+/// Cost diagnostics an engine reports about itself.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EngineDiagnostics {
+    /// Short engine kind label ("prefix-sum", "coefficient").
+    pub engine: &'static str,
+    /// Values the engine materialized at build time: matrix cells for
+    /// the prefix path, refined coefficients for the coefficient path.
+    pub build_cells: usize,
+    /// Support-cache counters, for engines that memoize supports on the
+    /// online path (`None` for engines without a cache).
+    pub cache: Option<CacheStats>,
+}
+
+/// A prepared query-serving engine over one published release.
+pub trait AnswerEngine {
+    /// The schema queries are validated against.
+    fn schema(&self) -> &Schema;
+
+    /// Answers one range-count query (the online path).
+    fn answer_one(&self, q: &RangeQuery) -> Result<f64>;
+
+    /// Answers a whole batch, in query order. Engines with a batch
+    /// compiler amortize shared work across the batch; the default
+    /// contract is only that the result equals answering each query
+    /// individually (to floating-point rounding).
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>>;
+
+    /// Cost diagnostics: what the engine built, and how its cache is
+    /// doing.
+    fn diagnostics(&self) -> EngineDiagnostics;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answerer::Answerer;
+    use crate::coefficients::CoefficientAnswerer;
+    use crate::predicate::Predicate;
+    use privelet::mechanism::{publish_coefficients, PriveletConfig};
+    use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+
+    /// Both engines behind one `dyn AnswerEngine` agree query for query
+    /// and batch for batch.
+    #[test]
+    fn engines_are_interchangeable_behind_the_trait() {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 21)).unwrap();
+        let coeff = CoefficientAnswerer::from_output(&release).unwrap();
+        let prefix = Answerer::new(&release.to_matrix().unwrap());
+        let engines: Vec<&dyn AnswerEngine> = vec![&prefix, &coeff];
+
+        let queries = vec![
+            RangeQuery::all(2),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+        ];
+        let batches: Vec<Vec<f64>> = engines
+            .iter()
+            .map(|e| e.answer_batch(&queries).unwrap())
+            .collect();
+        for (a, b) in batches[0].iter().zip(&batches[1]) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+        for engine in &engines {
+            assert_eq!(engine.schema().arity(), 2);
+            for (q, want) in queries.iter().zip(&batches[0]) {
+                let got = engine.answer_one(q).unwrap();
+                assert!((got - want).abs() < 1e-9);
+            }
+        }
+
+        let d_prefix = prefix.diagnostics();
+        assert_eq!(d_prefix.engine, "prefix-sum");
+        assert_eq!(d_prefix.build_cells, fm.cell_count());
+        assert!(d_prefix.cache.is_none());
+
+        let d_coeff = coeff.diagnostics();
+        assert_eq!(d_coeff.engine, "coefficient");
+        assert_eq!(d_coeff.build_cells, release.coefficient_count());
+        let stats = d_coeff.cache.expect("coefficient engine has a cache");
+        // The repeated query above hit the cache on both dimensions.
+        assert!(stats.hits >= 2, "hits {}", stats.hits);
+    }
+}

@@ -21,6 +21,12 @@
 //! - [`coefficients`] — coefficient-domain answering over a published
 //!   noisy coefficient matrix: O(log m) coefficient reads per dimension
 //!   instead of an O(m) reconstruction before the first query.
+//! - [`engine`] — the [`AnswerEngine`] trait both answerers implement:
+//!   answer one, answer a batch, cost diagnostics.
+//! - [`plan`] — [`QueryPlan`]: a batch compiled into interned supports
+//!   and CSR-style term lists over one contiguous arena.
+//! - [`cache`] — [`SupportCache`]: bounded LRU memoization of
+//!   per-dimension supports for the online path.
 //! - [`workload`] — the random workload generator of §VII-A (40 000 queries,
 //!   1–4 predicates each).
 //! - [`metrics`] — square error and relative error with the sanity bound
@@ -30,16 +36,22 @@
 
 pub mod answerer;
 pub mod buckets;
+pub mod cache;
 pub mod coefficients;
+pub mod engine;
 pub mod metrics;
+pub mod plan;
 pub mod predicate;
 pub mod range_query;
 pub mod workload;
 
 pub use answerer::Answerer;
 pub use buckets::{quantile_rows, BucketRow};
+pub use cache::{CacheStats, SupportCache};
 pub use coefficients::CoefficientAnswerer;
+pub use engine::{AnswerEngine, EngineDiagnostics};
 pub use metrics::{relative_error, sanity_bound, square_error};
+pub use plan::QueryPlan;
 pub use predicate::Predicate;
 pub use range_query::RangeQuery;
 pub use workload::{generate_workload, WorkloadConfig};
@@ -68,6 +80,13 @@ pub enum QueryError {
     },
     /// The matrix/prefix structure does not match the schema.
     ShapeMismatch,
+    /// A selectivity was requested over an empty population (`n == 0`),
+    /// for which the ratio is undefined.
+    ZeroPopulation,
+    /// A transform-layer failure that has no structural query-layer
+    /// counterpart; carries the rendered core error so the cause (the
+    /// offending dimension, bounds, or shapes) is preserved.
+    Transform(String),
     /// The workload generator was misconfigured.
     BadConfig(String),
 }
@@ -100,12 +119,40 @@ impl std::fmt::Display for QueryError {
                 )
             }
             QueryError::ShapeMismatch => write!(f, "matrix shape does not match schema"),
+            QueryError::ZeroPopulation => {
+                write!(
+                    f,
+                    "selectivity is undefined over an empty population (n = 0)"
+                )
+            }
+            QueryError::Transform(msg) => write!(f, "transform error: {msg}"),
             QueryError::BadConfig(msg) => write!(f, "bad workload config: {msg}"),
         }
     }
 }
 
 impl std::error::Error for QueryError {}
+
+/// Converts transform-side failures into faithful query-layer errors:
+/// structural variants map onto their query-layer counterparts (so
+/// messages keep naming the offending dimension and bounds), everything
+/// else is preserved verbatim inside [`QueryError::Transform`].
+impl From<privelet::CoreError> for QueryError {
+    fn from(e: privelet::CoreError) -> Self {
+        use privelet::CoreError;
+        match e {
+            CoreError::BadQueryArity { expected, got } => QueryError::WrongArity { expected, got },
+            CoreError::BadQueryBounds { axis, lo, hi, len } => QueryError::BadInterval {
+                attr: axis,
+                lo,
+                hi,
+                size: len,
+            },
+            CoreError::ShapeMismatch { .. } => QueryError::ShapeMismatch,
+            other => QueryError::Transform(other.to_string()),
+        }
+    }
+}
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, QueryError>;

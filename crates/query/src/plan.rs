@@ -1,0 +1,446 @@
+//! Compiled batch plans: intern supports once, answer as sparse dots
+//! over one contiguous arena.
+//!
+//! `answer`ing a workload query by query re-derives each dimension's
+//! sparse support even when a thousand-query OLAP batch repeats the same
+//! predicate intervals. [`QueryPlan::compile`] walks the batch once and
+//! interns at two levels: repeated **whole queries** (a dashboard
+//! refreshed every tick) collapse onto one term list and one sparse dot
+//! per execution, and across distinct queries each distinct
+//! `(dim, lo, hi)` support is derived exactly once into a shared pool
+//! (via [`HnTransform::query_weights_for_dim`]), its coefficient
+//! indices pre-multiplied by the axis stride. Executing the plan is
+//! then a pure sparse tensor-product dot per distinct query over one
+//! contiguous arena — no per-query allocation, hashing, or bounds
+//! re-validation.
+//!
+//! The plan is also the dedup ledger: [`support_requests`] counts the
+//! `(query, dim)` pairs the batch asked for, [`distinct_supports`] the
+//! derivations actually performed, and [`dedup_ratio`] the fraction
+//! avoided. The acceptance contract — at most one derivation per
+//! distinct triple — is asserted against these counters in
+//! `tests/serving_engine.rs`.
+//!
+//! [`support_requests`]: QueryPlan::support_requests
+//! [`distinct_supports`]: QueryPlan::distinct_supports
+//! [`dedup_ratio`]: QueryPlan::dedup_ratio
+
+use crate::range_query::RangeQuery;
+use crate::{QueryError, Result};
+use privelet::transform::{DimTransform, HnTransform};
+use privelet_data::schema::{Domain, Schema};
+use privelet_matrix::{NdMatrix, Shape};
+use std::collections::HashMap;
+
+/// Validates that `transform` and `schema` describe the same release:
+/// matching dimension sizes, and structurally equal hierarchies on
+/// nominal axes. Dimension sizes alone would let a nominal transform
+/// built over a *different* hierarchy with the same leaf count slip
+/// through; node predicates would then resolve through the schema's
+/// hierarchy while weights come from the transform's, silently producing
+/// wrong answers. (Haar/identity transforms carry no structure beyond
+/// their lengths — Haar over a nominal attribute's imposed leaf order is
+/// a legitimate §V-D ablation pairing.)
+pub(crate) fn check_release_metadata(schema: &Schema, transform: &HnTransform) -> Result<()> {
+    if transform.input_dims() != schema.dims() {
+        return Err(QueryError::ShapeMismatch);
+    }
+    for (attr, dim) in schema.attrs().iter().zip(transform.transforms()) {
+        if let DimTransform::Nominal(t) = dim {
+            match attr.domain() {
+                Domain::Nominal { hierarchy } if hierarchy.as_ref() == t.hierarchy().as_ref() => {}
+                _ => return Err(QueryError::ShapeMismatch),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// A batch of range-count queries compiled against one release's schema
+/// and transform, ready to execute against any coefficient matrix of the
+/// matching shape.
+///
+/// Interning happens at two levels: repeated *whole queries* share one
+/// term list and are evaluated once per execution (their answer fans
+/// out), and distinct queries that repeat a per-dimension predicate
+/// share the interned support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryPlan {
+    /// Coefficient dims the plan was compiled for (execution validates).
+    coeff_dims: Vec<usize>,
+    /// Arena of pooled supports: coefficient indices, pre-multiplied by
+    /// the axis stride so execution is a pure add.
+    arena_idx: Vec<usize>,
+    /// Arena of pooled supports: the matching weights.
+    arena_w: Vec<f64>,
+    /// Per pool entry: `(start, len)` of its slice of the arena.
+    spans: Vec<(usize, usize)>,
+    /// Fixed-width term lists: `ndim` pool ids per **distinct** query.
+    terms: Vec<u32>,
+    /// Per input query: the distinct-query id it resolves to.
+    query_ids: Vec<u32>,
+    ndim: usize,
+    /// Coefficient reads per distinct query (`∏ᵢ |supportᵢ|`), for the
+    /// cost accounting below.
+    distinct_reads: Vec<usize>,
+    /// Sum over **all** input queries of their read cost (the per-query
+    /// cost model, before whole-query dedup).
+    support_sum: usize,
+}
+
+impl QueryPlan {
+    /// Compiles a batch: validates every query against `schema`, derives
+    /// each distinct `(dim, lo, hi)` support exactly once via
+    /// [`HnTransform::query_weights_for_dim`], and flattens the batch
+    /// into pool references.
+    ///
+    /// Errors if `transform` does not fit `schema`
+    /// ([`QueryError::ShapeMismatch`], including a nominal transform
+    /// whose hierarchy differs structurally from the schema's) or any
+    /// query fails validation (the per-query error, naming the
+    /// offending attribute and bounds).
+    pub fn compile(
+        schema: &Schema,
+        transform: &HnTransform,
+        queries: &[RangeQuery],
+    ) -> Result<QueryPlan> {
+        check_release_metadata(schema, transform)?;
+        let ndim = schema.arity();
+        let coeff_dims = transform.output_dims();
+        let strides = Shape::new(&coeff_dims)
+            .map_err(|_| QueryError::ShapeMismatch)?
+            .strides()
+            .to_vec();
+
+        let mut pool: HashMap<(usize, usize, usize), u32> = HashMap::new();
+        let mut query_pool: HashMap<&RangeQuery, u32> = HashMap::new();
+        let mut arena_idx = Vec::new();
+        let mut arena_w = Vec::new();
+        let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut terms = Vec::new();
+        let mut query_ids = Vec::with_capacity(queries.len());
+        let mut distinct_reads: Vec<usize> = Vec::new();
+        let mut support_sum = 0usize;
+
+        for q in queries {
+            // First interning level: a repeated whole query maps to the
+            // already-compiled term list without touching bounds again.
+            if let Some(&qid) = query_pool.get(q) {
+                query_ids.push(qid);
+                support_sum += distinct_reads[qid as usize];
+                continue;
+            }
+            let (lo, hi) = q.bounds(schema)?;
+            let mut reads = 1usize;
+            for dim in 0..ndim {
+                // Second interning level: a repeated per-dimension
+                // predicate reuses the pooled support across queries.
+                let key = (dim, lo[dim], hi[dim]);
+                let id = match pool.get(&key) {
+                    Some(&id) => id,
+                    None => {
+                        let support = transform
+                            .query_weights_for_dim(dim, lo[dim], hi[dim])
+                            .map_err(QueryError::from)?;
+                        let start = arena_idx.len();
+                        for (k, w) in support {
+                            arena_idx.push(k * strides[dim]);
+                            arena_w.push(w);
+                        }
+                        let id = spans.len() as u32;
+                        spans.push((start, arena_idx.len() - start));
+                        pool.insert(key, id);
+                        id
+                    }
+                };
+                reads *= spans[id as usize].1;
+                terms.push(id);
+            }
+            let qid = distinct_reads.len() as u32;
+            distinct_reads.push(reads);
+            support_sum += reads;
+            query_pool.insert(q, qid);
+            query_ids.push(qid);
+        }
+
+        Ok(QueryPlan {
+            coeff_dims,
+            arena_idx,
+            arena_w,
+            spans,
+            terms,
+            query_ids,
+            ndim,
+            distinct_reads,
+            support_sum,
+        })
+    }
+
+    /// Executes the plan against a (refined) coefficient matrix,
+    /// returning one answer per compiled query. The only allocation is
+    /// the returned vector; see
+    /// [`execute_into`](Self::execute_into) for the allocation-free
+    /// variant.
+    pub fn execute(&self, coeffs: &NdMatrix) -> Result<Vec<f64>> {
+        let mut out = Vec::with_capacity(self.query_ids.len());
+        self.execute_into(coeffs, &mut out)?;
+        Ok(out)
+    }
+
+    /// [`execute`](Self::execute) appending into a caller-owned buffer,
+    /// so a serving loop reusing one buffer performs zero allocations
+    /// per query (one `O(distinct queries)` scratch vector per batch).
+    ///
+    /// Each **distinct** query's sparse dot runs once; repeated queries
+    /// fan the memoized answer out in input order.
+    pub fn execute_into(&self, coeffs: &NdMatrix, out: &mut Vec<f64>) -> Result<()> {
+        if coeffs.dims() != self.coeff_dims {
+            return Err(QueryError::ShapeMismatch);
+        }
+        let data = coeffs.as_slice();
+        let distinct: Vec<f64> = (0..self.distinct_reads.len())
+            .map(|q| {
+                let term = &self.terms[q * self.ndim..(q + 1) * self.ndim];
+                self.dot(data, term, 0, 0, 1.0)
+            })
+            .collect();
+        out.reserve(self.query_ids.len());
+        out.extend(self.query_ids.iter().map(|&qid| distinct[qid as usize]));
+        Ok(())
+    }
+
+    /// One query's sparse tensor-product dot: depth-first over its pool
+    /// spans, accumulating the (pre-multiplied) linear index and the
+    /// weight product. Mirrors the per-query path so the two produce
+    /// bit-identical sums.
+    fn dot(&self, data: &[f64], term: &[u32], depth: usize, base: usize, weight: f64) -> f64 {
+        let (start, len) = self.spans[term[depth] as usize];
+        let idx = &self.arena_idx[start..start + len];
+        let w = &self.arena_w[start..start + len];
+        if depth + 1 == term.len() {
+            return idx
+                .iter()
+                .zip(w)
+                .map(|(&k, &wk)| weight * wk * data[base + k])
+                .sum();
+        }
+        idx.iter()
+            .zip(w)
+            .map(|(&k, &wk)| self.dot(data, term, depth + 1, base + k, weight * wk))
+            .sum()
+    }
+
+    /// Number of compiled queries.
+    pub fn len(&self) -> usize {
+        self.query_ids.len()
+    }
+
+    /// Whether the plan holds no queries.
+    pub fn is_empty(&self) -> bool {
+        self.query_ids.is_empty()
+    }
+
+    /// Number of dimensions per query.
+    pub fn ndim(&self) -> usize {
+        self.ndim
+    }
+
+    /// Number of **distinct** queries after whole-query interning; each
+    /// executes one sparse dot per batch, repeats fan out the result.
+    pub fn distinct_queries(&self) -> usize {
+        self.distinct_reads.len()
+    }
+
+    /// `(query, dim)` support requests the batch made (= `len · ndim`).
+    pub fn support_requests(&self) -> usize {
+        self.query_ids.len() * self.ndim
+    }
+
+    /// Distinct `(dim, lo, hi)` supports actually derived — the pool
+    /// size, and by construction the exact number of
+    /// `query_weights` derivations compilation performed.
+    pub fn distinct_supports(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Fraction of support derivations the pool avoided:
+    /// `1 − distinct/requests` (0.0 for an empty plan — nothing was
+    /// deduplicated because nothing was requested).
+    pub fn dedup_ratio(&self) -> f64 {
+        let requests = self.support_requests();
+        if requests == 0 {
+            0.0
+        } else {
+            1.0 - self.distinct_supports() as f64 / requests as f64
+        }
+    }
+
+    /// Total coefficient reads one execution performs: `Σ ∏ᵢ |supportᵢ|`
+    /// over the **distinct** queries (repeats reuse the memoized dot).
+    pub fn total_reads(&self) -> usize {
+        self.distinct_reads.iter().sum()
+    }
+
+    /// Mean coefficient reads per query under the per-query cost model
+    /// (`∏ᵢ |supportᵢ|` averaged over **all** input queries, before
+    /// whole-query dedup; 0.0 for an empty plan).
+    pub fn mean_support(&self) -> f64 {
+        if self.query_ids.is_empty() {
+            0.0
+        } else {
+            self.support_sum as f64 / self.query_ids.len() as f64
+        }
+    }
+
+    /// Total `(index, weight)` pairs held in the arena — the plan's
+    /// resident footprint, for capacity planning.
+    pub fn arena_len(&self) -> usize {
+        self.arena_idx.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use privelet_data::medical::medical_example;
+    use privelet_data::schema::{Attribute, Schema};
+    use privelet_data::FrequencyMatrix;
+    use std::collections::BTreeSet;
+
+    fn medical() -> (FrequencyMatrix, HnTransform) {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let hn = HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        (fm, hn)
+    }
+
+    #[test]
+    fn interns_each_distinct_triple_once() {
+        let (fm, hn) = medical();
+        let q1 = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]);
+        let q2 = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]);
+        let q3 = RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 4 }, Predicate::All]);
+        let plan = QueryPlan::compile(fm.schema(), &hn, &[q1.clone(), q2, q3, q1.clone()]).unwrap();
+        assert_eq!(plan.len(), 4);
+        // q1, q2 and the trailing q1 are the same query: one term list,
+        // one dot per execution.
+        assert_eq!(plan.distinct_queries(), 2);
+        assert_eq!(plan.support_requests(), 8);
+        // Distinct triples: (0,0,2), (0,1,4), (1,0,1) — two age intervals
+        // and the shared unconstrained diabetes interval.
+        assert_eq!(plan.distinct_supports(), 3);
+        assert!((plan.dedup_ratio() - (1.0 - 3.0 / 8.0)).abs() < 1e-12);
+        // Execution reads per distinct query; the cost model averages
+        // over all of them.
+        assert!(plan.total_reads() >= plan.distinct_queries());
+        assert!(plan.mean_support() >= 1.0);
+        assert!(plan.arena_len() >= plan.distinct_supports());
+    }
+
+    #[test]
+    fn executes_to_exact_answers() {
+        let (fm, hn) = medical();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let h = fm.schema().attr(1).domain().hierarchy().unwrap().clone();
+        let queries = vec![
+            RangeQuery::all(2),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+            RangeQuery::new(vec![
+                Predicate::Range { lo: 1, hi: 4 },
+                Predicate::Node {
+                    node: h.leaf_node(1),
+                },
+            ]),
+        ];
+        let plan = QueryPlan::compile(fm.schema(), &hn, &queries).unwrap();
+        let got = plan.execute(&coeffs).unwrap();
+        for (q, a) in queries.iter().zip(&got) {
+            let want = q.evaluate(&fm).unwrap();
+            assert!((a - want).abs() < 1e-9, "{a} vs {want}");
+        }
+        // execute_into appends without clearing.
+        let mut out = vec![f64::NAN];
+        plan.execute_into(&coeffs, &mut out).unwrap();
+        assert_eq!(out.len(), 1 + queries.len());
+        assert_eq!(&out[1..], got.as_slice());
+    }
+
+    #[test]
+    fn rejects_nominal_transform_over_a_different_hierarchy() {
+        use privelet::transform::NominalTransform;
+        use privelet_hierarchy::Spec;
+        use std::sync::Arc;
+
+        // Schema hierarchy: 6 leaves in two groups of 3 (9 nodes);
+        // transform hierarchy: same leaf and node counts, grouped (2, 4).
+        let schema_h = privelet_hierarchy::builder::three_level(6, 2).unwrap();
+        let schema = Schema::new(vec![Attribute::nominal("n", schema_h)]).unwrap();
+        let other_h = Arc::new(
+            Spec::internal(
+                "r",
+                vec![
+                    Spec::internal("g1", vec![Spec::leaf("a"), Spec::leaf("b")]),
+                    Spec::internal(
+                        "g2",
+                        vec![
+                            Spec::leaf("c"),
+                            Spec::leaf("d"),
+                            Spec::leaf("e"),
+                            Spec::leaf("f"),
+                        ],
+                    ),
+                ],
+            )
+            .build()
+            .unwrap(),
+        );
+        let hn =
+            HnTransform::new(vec![DimTransform::Nominal(NominalTransform::new(other_h))]).unwrap();
+        // Dims line up (6 in, 9 out) — only the structural check can
+        // reject this; without it the plan would silently mix the two
+        // hierarchies and return wrong answers.
+        assert_eq!(hn.input_dims(), schema.dims());
+        assert_eq!(
+            QueryPlan::compile(&schema, &hn, &[RangeQuery::all(1)]).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+    }
+
+    #[test]
+    fn empty_plan_is_well_defined() {
+        let (fm, hn) = medical();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let plan = QueryPlan::compile(fm.schema(), &hn, &[]).unwrap();
+        assert!(plan.is_empty());
+        assert_eq!(plan.execute(&coeffs).unwrap(), Vec::<f64>::new());
+        assert_eq!(plan.dedup_ratio(), 0.0);
+        assert_eq!(plan.mean_support(), 0.0);
+    }
+
+    #[test]
+    fn rejects_bad_queries_and_shapes() {
+        let (fm, hn) = medical();
+        // Invalid interval: the error names the attribute and bounds.
+        let bad = RangeQuery::new(vec![Predicate::Range { lo: 9, hi: 9 }, Predicate::All]);
+        assert_eq!(
+            QueryPlan::compile(fm.schema(), &hn, &[bad]).unwrap_err(),
+            QueryError::BadInterval {
+                attr: 0,
+                lo: 9,
+                hi: 9,
+                size: 5
+            }
+        );
+        // Transform over a different schema.
+        let other = Schema::new(vec![Attribute::ordinal("x", 3)]).unwrap();
+        let other_hn = HnTransform::for_schema(&other, &BTreeSet::new()).unwrap();
+        assert_eq!(
+            QueryPlan::compile(fm.schema(), &other_hn, &[]).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+        // Executing against wrongly shaped coefficients.
+        let plan = QueryPlan::compile(fm.schema(), &hn, &[RangeQuery::all(2)]).unwrap();
+        let wrong = NdMatrix::zeros(&[4, 3]).unwrap();
+        assert_eq!(plan.execute(&wrong).unwrap_err(), QueryError::ShapeMismatch);
+    }
+}

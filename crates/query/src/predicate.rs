@@ -4,7 +4,7 @@ use crate::{QueryError, Result};
 use privelet_data::schema::{Attribute, Domain};
 
 /// A predicate on one attribute of a range-count query.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Predicate {
     /// No constraint on this attribute (the attribute does not appear in
     /// the query's WHERE clause).

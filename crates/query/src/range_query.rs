@@ -7,7 +7,8 @@ use privelet_data::schema::Schema;
 use privelet_matrix::{rect_sum_naive, PrefixSums};
 
 /// A range-count query: one [`Predicate`] per attribute, in schema order.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Hashable so batch planners can intern repeated queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct RangeQuery {
     preds: Vec<Predicate>,
 }

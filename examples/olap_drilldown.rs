@@ -1,22 +1,26 @@
-//! OLAP-style roll-up / drill-down over a published matrix.
+//! OLAP-style roll-up / drill-down served from the coefficient domain.
 //!
 //! The paper motivates range-count queries with OLAP navigation (§II-A):
 //! nominal predicates select either a hierarchy node's whole subtree
 //! (roll-up) or individual leaves (drill-down). This example publishes a
-//! 1-D Occupation-like table once and then navigates the hierarchy,
-//! showing how the nominal wavelet transform keeps *every* level of the
-//! drill-down accurate under one privacy budget.
+//! 1-D Occupation-like table once **in the coefficient domain** and then
+//! navigates the hierarchy through the unified serving engine: the whole
+//! dashboard (root, every group, every member of the largest group) is
+//! compiled into one `QueryPlan` and answered as sparse dots against the
+//! noisy coefficients — the matrix is never reconstructed — and a second
+//! "refresh" of the same dashboard runs through the online support cache
+//! to show the repeat-traffic amortization.
 //!
 //! Run with: `cargo run --release --example olap_drilldown`
 
 use privelet_repro::core::bounds::eq6_nominal_bound;
-use privelet_repro::core::mechanism::{publish_privelet, PriveletConfig};
+use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
 use privelet_repro::data::distributions::zipf_weights;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
 use privelet_repro::hierarchy::builder::three_level;
 use privelet_repro::matrix::NdMatrix;
-use privelet_repro::query::{Predicate, RangeQuery};
+use privelet_repro::query::{CoefficientAnswerer, Predicate, RangeQuery};
 
 fn main() {
     // An Occupation attribute: 60 occupations in 6 groups (height-3
@@ -36,22 +40,47 @@ fn main() {
         FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&[60], counts).unwrap()).unwrap();
 
     let epsilon = 0.5;
-    let out = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 11)).expect("publish");
+    let release = publish_coefficients(&fm, &PriveletConfig::pure(epsilon, 11)).expect("publish");
+    let answerer = CoefficientAnswerer::from_output(&release).expect("answerer");
     println!(
         "published {n} tuples over 60 occupations at ε = {epsilon} \
-         (variance bound {:.0} = Eq. 6's {:.0})",
-        out.variance_bound,
+         ({} noisy coefficients, matrix never rebuilt; variance bound {:.0} = Eq. 6's {:.0})",
+        release.coefficient_count(),
+        release.variance_bound,
         eq6_nominal_bound(hierarchy.height(), epsilon),
     );
 
-    let answer = |node: usize| -> (f64, f64) {
-        let q = RangeQuery::new(vec![Predicate::Node { node }]);
-        (q.evaluate(&fm).unwrap(), q.evaluate(&out.matrix).unwrap())
-    };
+    // The whole dashboard as one batch: root roll-up, every group total,
+    // every member of the largest group, and the group total again (the
+    // consistency check re-asks it — a repeat the planner dedups).
+    let node_query = |node: usize| RangeQuery::new(vec![Predicate::Node { node }]);
+    let groups = hierarchy.nodes_at_level(2);
+    let largest = groups[0];
+    let (leaf_lo, leaf_hi) = hierarchy.leaf_range(largest);
+    let mut dashboard = vec![node_query(hierarchy.root())];
+    dashboard.extend(groups.iter().map(|&g| node_query(g)));
+    dashboard.extend((leaf_lo..=leaf_hi).map(|p| node_query(hierarchy.leaf_node(p))));
+    dashboard.push(node_query(largest));
+
+    let plan = answerer.plan(&dashboard).expect("plan compiles");
+    let noisy = answerer.answer_plan(&plan).expect("plan executes");
+    println!(
+        "\ncompiled the {}-query dashboard into one plan: {} supports \
+         requested, {} derived (dedup ratio {:.0}%)",
+        plan.len(),
+        plan.support_requests(),
+        plan.distinct_supports(),
+        100.0 * plan.dedup_ratio()
+    );
+
+    let exact = |node: usize| node_query(node).evaluate(&fm).unwrap();
 
     // Roll-up: the root = total workforce.
-    let (exact, noisy) = answer(hierarchy.root());
-    println!("\nroll-up to ALL: exact {exact:>8.0}  noisy {noisy:>10.1}");
+    println!(
+        "\nroll-up to ALL: exact {:>8.0}  noisy {:>10.1}",
+        exact(hierarchy.root()),
+        noisy[0]
+    );
 
     // Level 2: every occupation group.
     println!("\ngroup totals (drill-down level 2):");
@@ -59,41 +88,65 @@ fn main() {
         "{:>8} {:>10} {:>12} {:>10}",
         "group", "exact", "noisy", "rel.err"
     );
-    for &g in &hierarchy.nodes_at_level(2) {
-        let (exact, noisy) = answer(g);
+    for (i, &g) in groups.iter().enumerate() {
+        let want = exact(g);
+        let got = noisy[1 + i];
         println!(
-            "{:>8} {exact:>10.0} {noisy:>12.1} {:>9.2}%",
+            "{:>8} {want:>10.0} {got:>12.1} {:>9.2}%",
             hierarchy.label(g),
-            100.0 * (noisy - exact).abs() / exact.max(1.0)
+            100.0 * (got - want).abs() / want.max(1.0)
         );
     }
 
     // Drill into the largest group's members.
-    let largest = hierarchy.nodes_at_level(2)[0];
     println!(
-        "\ndrill-down into group {} (members {}..{}):",
+        "\ndrill-down into group {} (members {leaf_lo}..{leaf_hi}):",
         hierarchy.label(largest),
-        hierarchy.leaf_range(largest).0,
-        hierarchy.leaf_range(largest).1
     );
     println!("{:>8} {:>10} {:>12}", "leaf", "exact", "noisy");
-    let (lo, hi) = hierarchy.leaf_range(largest);
-    for pos in lo..=hi {
-        let (exact, noisy) = answer(hierarchy.leaf_node(pos));
+    let member_base = 1 + groups.len();
+    for (i, pos) in (leaf_lo..=leaf_hi).enumerate() {
+        let leaf = hierarchy.leaf_node(pos);
         println!(
-            "{:>8} {exact:>10.0} {noisy:>12.1}",
-            hierarchy.label(hierarchy.leaf_node(pos))
+            "{:>8} {:>10.0} {:>12.1}",
+            hierarchy.label(leaf),
+            exact(leaf),
+            noisy[member_base + i]
         );
     }
 
     // Consistency remark: after mean subtraction the noisy group total and
     // the sum of its noisy members agree (a property of the nominal
     // transform's reconstruction).
-    let (_, group_noisy) = answer(largest);
-    let member_sum: f64 = (lo..=hi).map(|p| answer(hierarchy.leaf_node(p)).1).sum();
+    let group_noisy = noisy[noisy.len() - 1];
+    let member_sum: f64 = noisy[member_base..noisy.len() - 1].iter().sum();
     println!(
         "\ngroup total {group_noisy:.3} vs sum of members {member_sum:.3} \
          (difference {:.2e} — the release is internally consistent)",
         (group_noisy - member_sum).abs()
+    );
+
+    // Dashboard refreshes, one query at a time (the online path; the
+    // batch plan keeps its supports in its own arena). The first refresh
+    // fills the LRU support cache; from the second refresh on, every
+    // per-dimension support is served from memory.
+    let refreshed: Vec<f64> = dashboard
+        .iter()
+        .map(|q| answerer.answer(q).unwrap())
+        .collect();
+    assert_eq!(refreshed, noisy, "refresh must reproduce the batch");
+    let first = answerer.cache_stats();
+    let again: Vec<f64> = dashboard
+        .iter()
+        .map(|q| answerer.answer(q).unwrap())
+        .collect();
+    assert_eq!(again, noisy);
+    let second = answerer.cache_stats();
+    println!(
+        "\nonline refreshes: first warmed the cache ({} misses), the \
+         second hit it on all {} lookups (overall hit rate {:.0}%)",
+        first.misses,
+        second.hits - first.hits,
+        100.0 * second.hit_rate()
     );
 }

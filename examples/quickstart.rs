@@ -16,7 +16,7 @@ use privelet_repro::core::mechanism::{
 };
 use privelet_repro::data::medical::{medical_example, AGE_GROUPS, DIABETES};
 use privelet_repro::data::FrequencyMatrix;
-use privelet_repro::query::{CoefficientAnswerer, Predicate, RangeQuery};
+use privelet_repro::query::{AnswerEngine, CoefficientAnswerer, Predicate, RangeQuery};
 
 fn main() {
     // Table I: the input relation.
@@ -104,4 +104,53 @@ fn main() {
     let diff = (coeff_answer - query.evaluate(&out.matrix).unwrap()).abs();
     assert!(diff < 1e-9, "serving paths must agree; diff = {diff}");
     println!("  agrees with the inverse-transform path to {diff:.1e}");
+
+    // Batched serving: a small OLAP-style workload (the same age interval
+    // drilled across both diabetes values, plus the total) compiled into
+    // one QueryPlan. The planner interns each distinct per-dimension
+    // support once, so repeated predicate intervals cost one derivation
+    // for the whole batch.
+    let workload = vec![
+        query.clone(),
+        RangeQuery::new(vec![
+            Predicate::Range { lo: 0, hi: 2 },
+            Predicate::Node {
+                node: hierarchy.leaf_node(1),
+            },
+        ]),
+        RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+        RangeQuery::all(2),
+    ];
+    let plan = answerer.plan(&workload).expect("plan compiles");
+    let batch = answerer.answer_plan(&plan).expect("plan executes");
+    println!(
+        "\nbatched serving ({} queries compiled into one plan):",
+        plan.len()
+    );
+    println!(
+        "  supports: {} requested, {} derived (dedup ratio {:.0}%)",
+        plan.support_requests(),
+        plan.distinct_supports(),
+        100.0 * plan.dedup_ratio()
+    );
+    for (q, a) in workload.iter().zip(&batch) {
+        assert_eq!(
+            answerer.answer(q).unwrap(),
+            *a,
+            "batch must equal the per-query loop"
+        );
+    }
+    println!(
+        "  answers: {:?}",
+        batch
+            .iter()
+            .map(|a| (a * 100.0).round() / 100.0)
+            .collect::<Vec<_>>()
+    );
+    let diagnostics = answerer.diagnostics();
+    let cache = diagnostics.cache.expect("coefficient engine has a cache");
+    println!(
+        "  engine \"{}\": {} coefficients held, online cache {} hits / {} misses",
+        diagnostics.engine, diagnostics.build_cells, cache.hits, cache.misses
+    );
 }

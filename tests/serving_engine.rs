@@ -1,0 +1,236 @@
+//! Property tests for the unified serving engine: compiled batch plans
+//! equal the per-query loop on random 1–3-dimensional mixed schemas
+//! (exact and noisy coefficients), the planner derives each distinct
+//! `(dim, lo, hi)` support exactly once, and workload generation is
+//! byte-for-byte deterministic per seed.
+
+use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
+use privelet_repro::core::transform::HnTransform;
+use privelet_repro::data::schema::{Attribute, Schema};
+use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::hierarchy::builder::random as random_hierarchy;
+use privelet_repro::matrix::NdMatrix;
+use privelet_repro::query::{
+    generate_workload, AnswerEngine, Answerer, CoefficientAnswerer, QueryPlan, RangeQuery,
+    WorkloadConfig,
+};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// One random dimension: ordinal, nominal (random hierarchy), or SA.
+#[derive(Debug, Clone)]
+enum DimSpec {
+    Ordinal(usize),
+    Nominal { leaves: usize, seed: u64 },
+    Sa(usize),
+}
+
+fn dim_spec() -> impl Strategy<Value = DimSpec> {
+    prop_oneof![
+        (1usize..=12).prop_map(DimSpec::Ordinal),
+        ((1usize..=12), any::<u64>()).prop_map(|(leaves, seed)| DimSpec::Nominal { leaves, seed }),
+        (1usize..=12).prop_map(DimSpec::Sa),
+    ]
+}
+
+fn build(specs: &[DimSpec]) -> (Schema, BTreeSet<usize>) {
+    let mut sa = BTreeSet::new();
+    let attrs = specs
+        .iter()
+        .enumerate()
+        .map(|(i, spec)| match spec {
+            DimSpec::Ordinal(n) => Attribute::ordinal(format!("o{i}"), *n),
+            DimSpec::Nominal { leaves, seed } => Attribute::nominal(
+                format!("n{i}"),
+                random_hierarchy(*leaves, 4, *seed).expect("random hierarchy is valid"),
+            ),
+            DimSpec::Sa(n) => {
+                sa.insert(i);
+                Attribute::ordinal(format!("s{i}"), *n)
+            }
+        })
+        .collect();
+    (Schema::new(attrs).expect("generated schema is valid"), sa)
+}
+
+/// 1–3 dimensions, as the equivalence contract states.
+fn schema_strategy() -> impl Strategy<Value = (Schema, BTreeSet<usize>)> {
+    prop::collection::vec(dim_spec(), 1..=3).prop_map(|specs| build(&specs))
+}
+
+fn data_matrix(schema: &Schema, seed: u64) -> FrequencyMatrix {
+    let n = schema.cell_count();
+    let data: Vec<f64> = (0..n)
+        .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 40) & 0xFF) as f64)
+        .collect();
+    FrequencyMatrix::from_parts(
+        schema.clone(),
+        NdMatrix::from_vec(&schema.dims(), data).unwrap(),
+    )
+    .unwrap()
+}
+
+fn workload(schema: &Schema, seed: u64) -> Vec<RangeQuery> {
+    let mut queries = generate_workload(
+        schema,
+        &WorkloadConfig {
+            n_queries: 24,
+            min_predicates: 1,
+            max_predicates: schema.arity().min(3),
+            seed,
+        },
+    )
+    .unwrap();
+    // Repeats and the unconstrained query exercise the dedup pool.
+    let repeat = queries[0].clone();
+    queries.push(repeat);
+    queries.push(RangeQuery::all(schema.arity()));
+    queries
+}
+
+/// Distinct `(dim, lo, hi)` triples a workload resolves to — the ground
+/// truth the plan's dedup counters are checked against.
+fn distinct_triples(schema: &Schema, queries: &[RangeQuery]) -> usize {
+    let mut triples = BTreeSet::new();
+    for q in queries {
+        let (lo, hi) = q.bounds(schema).unwrap();
+        for dim in 0..schema.arity() {
+            triples.insert((dim, lo[dim], hi[dim]));
+        }
+    }
+    triples.len()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Exact coefficients: the compiled plan's batch answers equal both
+    /// the per-query coefficient loop and the prefix-sum engine to 1e-9,
+    /// and the planner performs exactly one support derivation per
+    /// distinct `(dim, lo, hi)` triple.
+    #[test]
+    fn batch_plan_matches_per_query_on_exact_coefficients(
+        (schema, sa) in schema_strategy(),
+        data_seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+    ) {
+        let fm = data_matrix(&schema, data_seed);
+        let hn = HnTransform::for_schema(&schema, &sa).unwrap();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let queries = workload(&schema, wl_seed);
+
+        let plan = QueryPlan::compile(&schema, &hn, &queries).unwrap();
+        prop_assert_eq!(plan.len(), queries.len());
+        prop_assert_eq!(plan.support_requests(), queries.len() * schema.arity());
+        // At most (here: exactly) one derivation per distinct triple.
+        prop_assert_eq!(plan.distinct_supports(), distinct_triples(&schema, &queries));
+        // The workload always repeats at least one whole query.
+        prop_assert!(plan.distinct_supports() < plan.support_requests());
+        prop_assert!(plan.dedup_ratio() > 0.0);
+
+        let batch = plan.execute(&coeffs).unwrap();
+        let coeff = CoefficientAnswerer::new(schema.clone(), hn, &coeffs).unwrap();
+        let dense = Answerer::new(&fm);
+        for (q, &got) in queries.iter().zip(&batch) {
+            let one = coeff.answer(q).unwrap();
+            let want = dense.answer(q).unwrap();
+            prop_assert!((got - one).abs() < 1e-9, "batch {got} vs per-query {one}");
+            prop_assert!((got - want).abs() < 1e-9, "batch {got} vs prefix {want}");
+        }
+    }
+
+    /// Noisy releases: `answer_all` (the plan path) equals the per-query
+    /// loop through both engine interfaces. Noisy cell values reach
+    /// O(λ·m) in magnitude, so the cross-path tolerance scales with the
+    /// summed coefficient mass.
+    #[test]
+    fn batch_plan_matches_per_query_on_noisy_releases(
+        (schema, sa) in schema_strategy(),
+        data_seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+        wl_seed in any::<u64>(),
+    ) {
+        let fm = data_matrix(&schema, data_seed);
+        let cfg = PriveletConfig::plus(1.0, sa, noise_seed);
+        let release = publish_coefficients(&fm, &cfg).unwrap();
+        let coeff = CoefficientAnswerer::from_output(&release).unwrap();
+        let queries = workload(&schema, wl_seed);
+
+        let batch = coeff.answer_all(&queries).unwrap();
+        let via_trait = AnswerEngine::answer_batch(&coeff, &queries).unwrap();
+        prop_assert_eq!(&batch, &via_trait);
+        for (q, &got) in queries.iter().zip(&batch) {
+            // Same supports, same float-op order: bitwise equality.
+            prop_assert_eq!(coeff.answer(q).unwrap(), got);
+        }
+
+        let dense = Answerer::new(&release.to_matrix().unwrap());
+        let scale: f64 = release
+            .coefficients
+            .as_slice()
+            .iter()
+            .map(|c| c.abs())
+            .sum::<f64>()
+            .max(1.0);
+        let prefix = dense.answer_all(&queries).unwrap();
+        for (&a, &b) in batch.iter().zip(&prefix) {
+            prop_assert!((a - b).abs() < 1e-9 * scale, "{a} vs {b} (scale {scale})");
+        }
+    }
+
+    /// Workload generation is deterministic: the same `WorkloadConfig`
+    /// yields byte-identical query lists across two calls.
+    #[test]
+    fn workload_generation_is_deterministic(
+        (schema, _) in schema_strategy(),
+        n_queries in 1usize..=64,
+        seed in any::<u64>(),
+    ) {
+        let cfg = WorkloadConfig {
+            n_queries,
+            min_predicates: 1,
+            max_predicates: 4,
+            seed,
+        };
+        let a = generate_workload(&schema, &cfg).unwrap();
+        let b = generate_workload(&schema, &cfg).unwrap();
+        prop_assert_eq!(&a, &b);
+        // Byte-identical, not merely equal under PartialEq.
+        prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}
+
+/// The online cache amortizes repeated predicates exactly like the plan
+/// pool: a second pass over a workload derives nothing new.
+#[test]
+fn online_cache_derives_each_triple_once() {
+    let schema = Schema::new(vec![
+        Attribute::ordinal("a", 64),
+        Attribute::ordinal("b", 16),
+    ])
+    .unwrap();
+    let fm = data_matrix(&schema, 7);
+    let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 13)).unwrap();
+    let coeff = CoefficientAnswerer::from_output(&release)
+        .unwrap()
+        .with_cache_capacity(4096);
+    let queries = workload(&schema, 99);
+    let distinct = distinct_triples(&schema, &queries);
+
+    let first: Vec<f64> = queries.iter().map(|q| coeff.answer(q).unwrap()).collect();
+    let after_first = coeff.cache_stats();
+    // One miss (= one derivation) per distinct triple, no more.
+    assert_eq!(after_first.misses as usize, distinct);
+
+    let second: Vec<f64> = queries.iter().map(|q| coeff.answer(q).unwrap()).collect();
+    let after_second = coeff.cache_stats();
+    assert_eq!(first, second);
+    assert_eq!(
+        after_second.misses, after_first.misses,
+        "second pass must be all hits"
+    );
+    assert_eq!(
+        after_second.hits - after_first.hits,
+        (queries.len() * schema.arity()) as u64
+    );
+}
