@@ -10,10 +10,12 @@
 //!   quintile buckets.
 //! - [`timing`] — runs the computation-time sweeps behind Figures 10–11.
 //! - [`serving`] — compares the serving engine's paths on one release:
-//!   coefficient-domain answering via a compiled batch plan and via the
-//!   cached online loop (O(polylog m) per query) versus reconstruct +
-//!   prefix sums (O(m) build), checking they agree and reporting the
-//!   plan's dedup ratio and the cache's hit rate.
+//!   coefficient-domain answering via a compiled batch plan, via the
+//!   cached online loop (O(polylog m) per query), and via the
+//!   concurrent tier (scoped threads sharing one plan and one sharded
+//!   cache) versus reconstruct + prefix sums (O(m) build), checking
+//!   they agree and reporting the plan's dedup ratio plus the
+//!   single-lock and per-shard cache counters.
 //! - [`report`] — fixed-width table / markdown rendering of the series so
 //!   each bench target prints the same rows the paper plots.
 
@@ -26,7 +28,7 @@ pub mod timing;
 pub use accuracy::{run_accuracy, AccuracyRun, MechanismSeries};
 pub use config::{AccuracyConfig, Scale};
 pub use report::{print_figure, print_timing};
-pub use serving::{compare_serving_paths, ServingReport};
+pub use serving::{compare_serving_paths, ServingReport, CONCURRENT_THREADS};
 pub use timing::{run_timing_m_sweep, run_timing_n_sweep, TimingPoint};
 
 /// Errors produced by the harness.

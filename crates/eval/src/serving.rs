@@ -8,17 +8,28 @@
 //! queries arrive in batches or trickle in online over a large domain,
 //! so the O(polylog m)-per-query coefficient paths of
 //! [`CoefficientAnswerer`] win.
-//! This module measures all three on the same release and checks they
-//! agree, reporting the batch plan's support-dedup ratio and the online
-//! cache's hit rate alongside the timings — the two amortization levers
-//! the serving engine adds.
+//! This module measures the serving paths on the same release and
+//! checks they agree, reporting the batch plan's support-dedup ratio
+//! and the online cache's hit rate alongside the timings — the two
+//! amortization levers the serving engine adds. A fourth pass drives
+//! the concurrent tier: scoped threads share one compiled plan and one
+//! [`ConcurrentEngine`], and the report carries the sharded cache's
+//! per-shard counters so capacity and shard count can be sized from
+//! real traffic.
 
 use crate::Result;
 use privelet::mechanism::{publish_coefficients_with, PriveletConfig};
 use privelet_data::FrequencyMatrix;
 use privelet_matrix::LaneExecutor;
-use privelet_query::{Answerer, CoefficientAnswerer, RangeQuery};
+use privelet_query::{
+    Answerer, CacheStats, CoefficientAnswerer, ConcurrentEngine, QueryError, RangeQuery,
+};
 use std::time::Instant;
+
+/// Scoped serving threads the concurrent pass spawns. Four matches the
+/// acceptance contract (≥ 4 threads against one shared plan) while
+/// staying cheap on single-CPU CI runners.
+pub const CONCURRENT_THREADS: usize = 4;
 
 /// Timings, agreement and amortization diagnostics of the serving paths
 /// on one release.
@@ -57,6 +68,20 @@ pub struct ServingReport {
     pub dedup_ratio: f64,
     /// Hit rate of the online support cache over the one-at-a-time pass.
     pub cache_hit_rate: f64,
+    /// Wall-clock seconds for [`CONCURRENT_THREADS`] scoped threads to
+    /// each execute the shared compiled plan and answer the workload
+    /// online through one shared [`ConcurrentEngine`].
+    pub concurrent_answer_secs: f64,
+    /// Threads the concurrent pass spawned (= [`CONCURRENT_THREADS`]).
+    pub concurrent_threads: usize,
+    /// Shards of the concurrent engine's support cache.
+    pub shard_count: usize,
+    /// Per-shard hit/miss/eviction counters after the concurrent pass,
+    /// in shard order; fold them for the aggregate (its hit rate is
+    /// [`sharded_hit_rate`](Self::sharded_hit_rate)).
+    pub shard_stats: Vec<CacheStats>,
+    /// Aggregate hit rate of the sharded cache over the concurrent pass.
+    pub sharded_hit_rate: f64,
 }
 
 impl ServingReport {
@@ -106,6 +131,38 @@ pub fn compare_serving_paths(
     let online_answer_secs = start.elapsed().as_secs_f64();
     let cache_hit_rate = coeff.cache_stats().hit_rate();
 
+    // Concurrent path: scoped threads share the release core (no copy)
+    // and the compiled plan; each also replays the workload online
+    // through the sharded cache so its counters see real contention.
+    let engine = ConcurrentEngine::from_answerer(&coeff);
+    let start = Instant::now();
+    let thread_results: Vec<std::result::Result<Vec<f64>, QueryError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CONCURRENT_THREADS)
+            .map(|_| {
+                let engine = engine.clone();
+                let plan = &plan;
+                s.spawn(move || {
+                    let batch = engine.answer_plan(plan)?;
+                    for q in queries {
+                        engine.answer(q)?;
+                    }
+                    Ok(batch)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("serving thread panicked"))
+            .collect()
+    });
+    let concurrent_answer_secs = start.elapsed().as_secs_f64();
+    let mut concurrent_batches = Vec::with_capacity(CONCURRENT_THREADS);
+    for result in thread_results {
+        concurrent_batches.push(result?);
+    }
+    let shard_stats = engine.shard_stats();
+    let sharded_hit_rate = engine.cache_stats().hit_rate();
+
     let start = Instant::now();
     let dense = Answerer::new(&release.to_matrix_with(&mut exec)?);
     let prefix_build_secs = start.elapsed().as_secs_f64();
@@ -124,6 +181,11 @@ pub fn compare_serving_paths(
                 .zip(&online_answers)
                 .map(|(a, b)| (a - b).abs()),
         )
+        .chain(
+            concurrent_batches
+                .iter()
+                .flat_map(|batch| batch_answers.iter().zip(batch).map(|(a, b)| (a - b).abs())),
+        )
         .fold(0.0f64, f64::max);
 
     Ok(ServingReport {
@@ -141,6 +203,11 @@ pub fn compare_serving_paths(
         distinct_supports: plan.distinct_supports(),
         dedup_ratio: plan.dedup_ratio(),
         cache_hit_rate,
+        concurrent_answer_secs,
+        concurrent_threads: CONCURRENT_THREADS,
+        shard_count: engine.shard_count(),
+        shard_stats,
+        sharded_hit_rate,
     })
 }
 
@@ -190,6 +257,52 @@ mod tests {
             "cache hit rate {}",
             report.cache_hit_rate
         );
+        // Concurrent pass: ran, agreed (folded into max_abs_diff above),
+        // and its shard counters conserve across the whole run.
+        assert!(report.concurrent_answer_secs > 0.0);
+        assert_eq!(report.concurrent_threads, CONCURRENT_THREADS);
+        assert_eq!(report.shard_stats.len(), report.shard_count);
+        let (hits, misses) = report
+            .shard_stats
+            .iter()
+            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+        assert_eq!(
+            hits + misses,
+            (CONCURRENT_THREADS * report.queries * fm.schema().arity()) as u64
+        );
+        assert!(
+            report.sharded_hit_rate > 0.0 && report.sharded_hit_rate <= 1.0,
+            "sharded hit rate {}",
+            report.sharded_hit_rate
+        );
+    }
+
+    #[test]
+    fn empty_workload_yields_a_well_defined_report() {
+        // Regression: the ratio diagnostics (dedup ratio, mean support,
+        // hit rates) must come back as finite 0-values on an empty
+        // workload, not NaN from a 0/0.
+        let schema = Schema::new(vec![Attribute::ordinal("v", 32)]).unwrap();
+        let fm = FrequencyMatrix::from_parts(
+            schema.clone(),
+            privelet_matrix::NdMatrix::zeros(&schema.dims()).unwrap(),
+        )
+        .unwrap();
+        let report = compare_serving_paths(&fm, &PriveletConfig::pure(1.0, 2), &[]).unwrap();
+        assert_eq!(report.queries, 0);
+        assert_eq!(report.max_abs_diff, 0.0);
+        assert_eq!(report.mean_support, 0.0);
+        assert!(report.mean_support.is_finite());
+        assert_eq!(report.dedup_ratio, 0.0);
+        assert!(report.dedup_ratio.is_finite());
+        assert_eq!(report.distinct_supports, 0);
+        assert_eq!(report.cache_hit_rate, 0.0);
+        assert_eq!(report.sharded_hit_rate, 0.0);
+        let stats = report
+            .shard_stats
+            .iter()
+            .fold((0u64, 0u64), |(h, m), s| (h + s.hits, m + s.misses));
+        assert_eq!(stats, (0, 0), "no queries, no cache traffic");
     }
 
     #[test]

@@ -83,6 +83,7 @@ impl AnswerEngine for Answerer {
             engine: "prefix-sum",
             build_cells: self.schema.cell_count(),
             cache: None,
+            shards: 0,
         }
     }
 }

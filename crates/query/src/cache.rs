@@ -10,11 +10,25 @@
 //!
 //! The cache is bounded (least-recently-used eviction) and counts hits,
 //! misses and evictions, so serving tiers can report hit rates and size
-//! the capacity. Each entry holds `O(polylog m)` weight pairs behind an
-//! [`Arc`], so a hit is one clone of a pointer, never of the support.
+//! the capacity. Each entry holds one dimension's weight pairs behind
+//! an [`Arc`] — `O(polylog m)` of them on Haar/nominal dimensions, but
+//! up to O(interval length) on identity-transformed (SA) dimensions,
+//! whose supports are the covered cells — so a hit is one clone of a
+//! pointer, never of the support.
+//!
+//! For multi-threaded serving, [`ShardedSupportCache`] spreads the keys
+//! across N independently locked [`SupportCache`] shards: concurrent
+//! lookups of different supports hash to different shards and never
+//! contend, while each shard keeps the exact LRU semantics and counters
+//! above. [`ShardedSupportCache::get_or_derive`] holds the one shard's
+//! lock across the derivation, so each distinct `(dim, lo, hi)` key is
+//! derived at most once per residency in its shard — the same
+//! derive-once contract the single-lock cache gives a single thread.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap};
-use std::sync::Arc;
+use std::hash::{Hash, Hasher};
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cache key: `(dimension index, inclusive lo, inclusive hi)` over the
 /// *domain* of that dimension.
@@ -130,6 +144,149 @@ impl SupportCache {
     }
 }
 
+/// Default shard count of a [`ShardedSupportCache`]: enough lanes that a
+/// handful of serving threads rarely collide, few enough that per-shard
+/// capacity stays useful at the default total capacity.
+pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// A hash-sharded [`SupportCache`] for concurrent serving: N
+/// independently locked shards, keys routed by a fixed (process-stable)
+/// hash of `(dim, lo, hi)`.
+///
+/// Every operation takes `&self` — locking is per shard and internal —
+/// so one `ShardedSupportCache` can sit behind an `Arc` and be hammered
+/// from any number of threads. Lookups of supports in different shards
+/// proceed fully in parallel; only same-shard lookups serialize, and
+/// they hold the lock for the O(log capacity) LRU touch (plus the
+/// O(polylog m) derivation on a miss — see
+/// [`get_or_derive`](Self::get_or_derive) for why that is deliberate).
+///
+/// The total `capacity` is split evenly across shards (rounded up, so
+/// the bound per shard is `ceil(capacity / shards)`); capacity 0
+/// disables every shard. Counters are kept per shard and aggregate in
+/// [`stats`](Self::stats); [`shard_stats`](Self::shard_stats) exposes
+/// the per-shard breakdown for diagnostics.
+#[derive(Debug)]
+pub struct ShardedSupportCache {
+    shards: Vec<Mutex<SupportCache>>,
+}
+
+impl ShardedSupportCache {
+    /// A cache of `shards` independently locked shards (at least 1)
+    /// holding at most `capacity` supports in total (0 disables caching).
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let per_shard = if capacity == 0 {
+            0
+        } else {
+            capacity.div_ceil(shards)
+        };
+        ShardedSupportCache {
+            shards: (0..shards)
+                .map(|_| Mutex::new(SupportCache::new(per_shard)))
+                .collect(),
+        }
+    }
+
+    /// Number of shards (≥ 1).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard a key routes to. The hash is `DefaultHasher::new()`
+    /// (fixed keys), so routing is stable within and across processes —
+    /// required for the derive-once-per-shard contract to be testable.
+    fn shard_for(&self, key: SupportKey) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() as usize) % self.shards.len()
+    }
+
+    fn lock_shard(&self, idx: usize) -> std::sync::MutexGuard<'_, SupportCache> {
+        self.shards[idx]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Looks up a support in its shard, marking it most recently used on
+    /// a hit. Exactly one shard counter (hit or miss) moves per call.
+    pub fn get(&self, key: SupportKey) -> Option<SharedSupport> {
+        self.lock_shard(self.shard_for(key)).get(key)
+    }
+
+    /// Stores a freshly derived support in its shard, evicting that
+    /// shard's least recently used entry if it is full.
+    pub fn insert(&self, key: SupportKey, support: SharedSupport) {
+        self.lock_shard(self.shard_for(key)).insert(key, support)
+    }
+
+    /// Looks up `key`, deriving and inserting it via `derive` on a miss
+    /// — all under the key's shard lock, so concurrent requests for the
+    /// same key perform exactly one derivation (the losers of the lock
+    /// race hit the freshly inserted entry). Requests hashing to other
+    /// shards are unaffected either way. On Haar/nominal dimensions a
+    /// derivation is O(polylog m) — comparable to the LRU touch itself —
+    /// so the derive-once guarantee costs next to nothing; on
+    /// identity-transformed (SA) dimensions a wide predicate derives
+    /// O(interval length) pairs while the shard is locked, which is
+    /// exactly when derive-once matters most (redundant O(m) derivations
+    /// would hurt far more than the wait), but SA-heavy deployments
+    /// should size the shard count with that tail in mind.
+    ///
+    /// Errors from `derive` propagate untouched and insert nothing; the
+    /// miss is still counted (every call moves exactly one hit or miss
+    /// counter, so `hits + misses` always equals the number of calls).
+    pub fn get_or_derive<E>(
+        &self,
+        key: SupportKey,
+        derive: impl FnOnce() -> std::result::Result<SharedSupport, E>,
+    ) -> std::result::Result<SharedSupport, E> {
+        let mut shard = self.lock_shard(self.shard_for(key));
+        if let Some(support) = shard.get(key) {
+            return Ok(support);
+        }
+        let support = derive()?;
+        shard.insert(key, support.clone());
+        Ok(support)
+    }
+
+    /// Aggregated counters and occupancy across all shards. `capacity`
+    /// is the sum of per-shard bounds (≥ the constructor's `capacity`
+    /// due to the even split rounding up).
+    pub fn stats(&self) -> CacheStats {
+        self.shard_stats()
+            .into_iter()
+            .fold(CacheStats::default(), |acc, s| CacheStats {
+                hits: acc.hits + s.hits,
+                misses: acc.misses + s.misses,
+                evictions: acc.evictions + s.evictions,
+                len: acc.len + s.len,
+                capacity: acc.capacity + s.capacity,
+            })
+    }
+
+    /// Per-shard counters, in shard order — the breakdown serving-tier
+    /// diagnostics report next to the aggregate.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).stats())
+            .collect()
+    }
+}
+
+impl Clone for ShardedSupportCache {
+    /// Deep-copies every shard's entries and counters (locking each
+    /// shard in turn; the clone observes each shard at a single point in
+    /// time, not the whole cache atomically).
+    fn clone(&self) -> Self {
+        ShardedSupportCache {
+            shards: (0..self.shards.len())
+                .map(|i| Mutex::new(self.lock_shard(i).clone()))
+                .collect(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +335,146 @@ mod tests {
         assert_eq!(stats.len, 0);
         assert_eq!(stats.misses, 1);
         assert_eq!(stats.hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn zero_capacity_counters_do_not_drift() {
+        // Hammering a disabled cache must leave every counter consistent:
+        // no entries, no evictions, one miss per lookup, nothing stored.
+        let mut cache = SupportCache::new(0);
+        for round in 0..10u64 {
+            cache.insert((0, 0, 1), support(round as usize));
+            assert!(cache.get((0, 0, 1)).is_none());
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.hits, 0);
+        assert_eq!(stats.misses, 10);
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn capacity_one_evicts_on_every_distinct_insert() {
+        let mut cache = SupportCache::new(1);
+        cache.insert((0, 0, 0), support(0));
+        assert_eq!(cache.stats().evictions, 0);
+        for i in 1..=5usize {
+            // Each distinct key displaces the single resident entry.
+            cache.insert((0, i, i), support(i));
+            let stats = cache.stats();
+            assert_eq!(stats.len, 1);
+            assert_eq!(stats.evictions, i as u64);
+            assert!(cache.get((0, i - 1, i - 1)).is_none(), "old entry gone");
+            assert_eq!(cache.get((0, i, i)).unwrap()[0].0, i);
+        }
+        // Re-inserting the resident key replaces in place, no eviction.
+        cache.insert((0, 5, 5), support(99));
+        assert_eq!(cache.stats().evictions, 5);
+        assert_eq!(cache.get((0, 5, 5)).unwrap()[0].0, 99);
+    }
+
+    #[test]
+    fn reinsert_after_evict_rederives_exactly_once() {
+        // A key evicted and requested again costs exactly one fresh
+        // derivation — modeled here by counting the get-miss → insert
+        // cycles a caller would perform.
+        let mut cache = SupportCache::new(1);
+        let mut derivations = 0;
+        let mut lookup = |cache: &mut SupportCache, key: SupportKey| {
+            if cache.get(key).is_none() {
+                derivations += 1;
+                cache.insert(key, support(key.1));
+            }
+        };
+        lookup(&mut cache, (0, 1, 1)); // derive #1
+        lookup(&mut cache, (0, 2, 2)); // derive #2, evicts (0,1,1)
+        lookup(&mut cache, (0, 1, 1)); // derive #3: exactly one re-derivation
+        lookup(&mut cache, (0, 1, 1)); // hit: no further derivation
+        assert_eq!(derivations, 3);
+        let stats = cache.stats();
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.evictions, 2);
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn sharded_cache_routes_and_aggregates() {
+        let cache = ShardedSupportCache::new(64, 4);
+        assert_eq!(cache.shard_count(), 4);
+        let keys: Vec<SupportKey> = (0..16).map(|i| (i % 3, i, i + 1)).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            assert!(cache.get(key).is_none());
+            cache.insert(key, support(i));
+        }
+        for (i, &key) in keys.iter().enumerate() {
+            assert_eq!(cache.get(key).unwrap()[0].0, i, "routing must be stable");
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 16);
+        assert_eq!(stats.misses, 16);
+        assert_eq!(stats.len, 16);
+        assert_eq!(stats.capacity, 64);
+        let per_shard = cache.shard_stats();
+        assert_eq!(per_shard.len(), 4);
+        assert_eq!(per_shard.iter().map(|s| s.len).sum::<usize>(), 16);
+        assert_eq!(per_shard.iter().map(|s| s.hits).sum::<u64>(), 16);
+    }
+
+    #[test]
+    fn sharded_get_or_derive_derives_once_and_counts_errors() {
+        let cache = ShardedSupportCache::new(64, 4);
+        let mut derivations = 0;
+        for _ in 0..3 {
+            let s = cache
+                .get_or_derive((1, 2, 3), || {
+                    derivations += 1;
+                    Ok::<_, ()>(support(7))
+                })
+                .unwrap();
+            assert_eq!(s[0].0, 7);
+        }
+        assert_eq!(derivations, 1, "first call derives, the rest hit");
+        // A failing derivation propagates, stores nothing, counts a miss.
+        assert_eq!(
+            cache.get_or_derive((9, 9, 9), || Err::<SharedSupport, &str>("boom")),
+            Err("boom")
+        );
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits + stats.misses, 4, "one counter per call");
+        assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn sharded_zero_capacity_disables_every_shard() {
+        let cache = ShardedSupportCache::new(0, 4);
+        let mut derivations = 0;
+        for _ in 0..2 {
+            cache
+                .get_or_derive((0, 0, 1), || {
+                    derivations += 1;
+                    Ok::<_, ()>(support(1))
+                })
+                .unwrap();
+        }
+        // Nothing is retained, so every call re-derives.
+        assert_eq!(derivations, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.capacity, 0);
+        assert_eq!(stats.len, 0);
+        assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn sharded_clone_copies_entries_and_counters() {
+        let cache = ShardedSupportCache::new(8, 2);
+        cache.insert((0, 0, 1), support(1));
+        cache.get((0, 0, 1));
+        let copy = cache.clone();
+        assert_eq!(copy.stats(), cache.stats());
+        assert_eq!(copy.get((0, 0, 1)).unwrap()[0].0, 1);
     }
 }

@@ -22,6 +22,7 @@ use crate::cache::{CacheStats, SharedSupport, SupportCache};
 use crate::engine::{AnswerEngine, EngineDiagnostics};
 use crate::plan::QueryPlan;
 use crate::range_query::RangeQuery;
+use crate::release::ReleaseCore;
 use crate::{QueryError, Result};
 use privelet::mechanism::CoefficientOutput;
 use privelet::transform::HnTransform;
@@ -34,18 +35,19 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// a few hundred kilobytes at most.
 pub const DEFAULT_SUPPORT_CACHE_CAPACITY: usize = 1024;
 
-/// A prepared coefficient-domain query answerer: the refined noisy
-/// coefficients plus the schema and transform they were published under.
+/// A prepared coefficient-domain query answerer: an immutable, shareable
+/// [`ReleaseCore`] (schema + transform + refined coefficients) behind an
+/// [`Arc`], plus a single-lock [`SupportCache`] memoizing the online
+/// path.
+///
+/// This is the single-threaded shell; a multi-threaded serving tier
+/// shares the same core through
+/// [`ConcurrentEngine`](crate::ConcurrentEngine) (see
+/// [`core`](Self::core)), whose sharded cache avoids making one lock the
+/// hot-path bottleneck.
 #[derive(Debug)]
 pub struct CoefficientAnswerer {
-    schema: Schema,
-    transform: HnTransform,
-    /// Refined coefficients (mean subtraction already applied on nominal
-    /// axes), so `answer` is a pure dot product.
-    coeffs: NdMatrix,
-    /// Row-major strides of `coeffs`, cached for the per-query walk.
-    strides: Vec<usize>,
-    total: f64,
+    core: Arc<ReleaseCore>,
     /// Memoized per-dimension supports for the online path; the batch
     /// path interns supports in its [`QueryPlan`] instead. Behind a
     /// mutex so `answer(&self)` stays shareable across threads.
@@ -53,6 +55,8 @@ pub struct CoefficientAnswerer {
 }
 
 impl Clone for CoefficientAnswerer {
+    /// Shares the immutable release core (an `Arc` bump, not a
+    /// coefficient copy) and deep-copies the cache state and counters.
     fn clone(&self) -> Self {
         let cache = self
             .cache
@@ -60,11 +64,7 @@ impl Clone for CoefficientAnswerer {
             .unwrap_or_else(PoisonError::into_inner)
             .clone();
         CoefficientAnswerer {
-            schema: self.schema.clone(),
-            transform: self.transform.clone(),
-            coeffs: self.coeffs.clone(),
-            strides: self.strides.clone(),
-            total: self.total,
+            core: Arc::clone(&self.core),
             cache: Mutex::new(cache),
         }
     }
@@ -79,27 +79,27 @@ impl CoefficientAnswerer {
     /// transform and the coefficient matrix do not describe the same
     /// release.
     pub fn new(schema: Schema, transform: HnTransform, noisy: &NdMatrix) -> Result<Self> {
-        // Shared with the batch planner: dimension sizes plus structural
-        // equality per nominal axis (a different hierarchy with the same
-        // leaf count must not slip through).
-        crate::plan::check_release_metadata(&schema, &transform)?;
-        if noisy.dims() != transform.output_dims() {
-            return Err(QueryError::ShapeMismatch);
-        }
-        let coeffs = transform
-            .refine_coefficients(noisy)
-            .map_err(QueryError::from)?;
-        let strides = coeffs.shape().strides().to_vec();
-        let mut answerer = CoefficientAnswerer {
-            schema,
-            transform,
-            coeffs,
-            strides,
-            total: 0.0,
+        Ok(Self::from_core(Arc::new(ReleaseCore::new(
+            schema, transform, noisy,
+        )?)))
+    }
+
+    /// Wraps an already-built (possibly shared) release core with a
+    /// fresh default-capacity cache. The core's one-time work
+    /// (validation, refinement, total) is not repeated.
+    pub fn from_core(core: Arc<ReleaseCore>) -> Self {
+        CoefficientAnswerer {
+            core,
             cache: Mutex::new(SupportCache::new(DEFAULT_SUPPORT_CACHE_CAPACITY)),
-        };
-        answerer.total = answerer.answer(&RangeQuery::all(answerer.schema.arity()))?;
-        Ok(answerer)
+        }
+    }
+
+    /// The immutable release core this answerer serves from. Clone the
+    /// `Arc` to share the same refined coefficients with other shells —
+    /// e.g. a [`ConcurrentEngine`](crate::ConcurrentEngine) serving the
+    /// same release from many threads.
+    pub fn core(&self) -> &Arc<ReleaseCore> {
+        &self.core
     }
 
     /// Replaces the online support cache with one bounded at `capacity`
@@ -122,22 +122,22 @@ impl CoefficientAnswerer {
     ///
     /// [`publish_coefficients`]: privelet::mechanism::publish_coefficients
     pub fn from_output(out: &CoefficientOutput) -> Result<Self> {
-        Self::new(out.schema.clone(), out.transform.clone(), &out.coefficients)
+        Ok(Self::from_core(Arc::new(ReleaseCore::from_output(out)?)))
     }
 
     /// The schema queries are validated against.
     pub fn schema(&self) -> &Schema {
-        &self.schema
+        self.core.schema()
     }
 
     /// The transform the release was published under.
     pub fn transform(&self) -> &HnTransform {
-        &self.transform
+        self.core.transform()
     }
 
     /// The (noisy) total count — the unconstrained query's answer.
     pub fn total(&self) -> f64 {
-        self.total
+        self.core.total()
     }
 
     /// Answers one range-count query as a sparse tensor-product dot
@@ -154,7 +154,7 @@ impl CoefficientAnswerer {
     /// for callers that report the per-query cost alongside the value.
     pub fn answer_with_support(&self, q: &RangeQuery) -> Result<(f64, usize)> {
         let supports = self.supports(q)?;
-        let value = sparse_dot(self.coeffs.as_slice(), &self.strides, &supports, 0, 0, 1.0);
+        let value = self.core.dot(&supports);
         Ok((value, supports.iter().map(|s| s.len()).product()))
     }
 
@@ -174,12 +174,12 @@ impl CoefficientAnswerer {
     /// pinned to the same release metadata), so a serving loop can
     /// compile once and [`answer_plan`](Self::answer_plan) per tick.
     pub fn plan(&self, queries: &[RangeQuery]) -> Result<QueryPlan> {
-        QueryPlan::compile(&self.schema, &self.transform, queries)
+        self.core.plan(queries)
     }
 
     /// Executes a compiled plan against the refined coefficients.
     pub fn answer_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
-        plan.execute(&self.coeffs)
+        self.core.execute_plan(plan)
     }
 
     /// Number of coefficients `answer` would read for this query
@@ -195,9 +195,9 @@ impl CoefficientAnswerer {
     /// the bounded LRU cache: repeated `(dim, lo, hi)` predicates across
     /// requests reuse the memoized support instead of re-deriving it.
     fn supports(&self, q: &RangeQuery) -> Result<Vec<SharedSupport>> {
-        let (lo, hi) = q.bounds(&self.schema)?;
+        let (lo, hi) = q.bounds(self.core.schema())?;
         let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
-        (0..self.schema.arity())
+        (0..self.core.schema().arity())
             .map(|dim| {
                 let key = (dim, lo[dim], hi[dim]);
                 if let Some(support) = cache.get(key) {
@@ -206,11 +206,7 @@ impl CoefficientAnswerer {
                 // bounds() validated arity and intervals against the
                 // schema, so this derivation cannot fail structurally;
                 // any residual transform error converts faithfully.
-                let support: SharedSupport = Arc::new(
-                    self.transform
-                        .query_weights_for_dim(dim, lo[dim], hi[dim])
-                        .map_err(QueryError::from)?,
-                );
+                let support = self.core.derive_support(dim, lo[dim], hi[dim])?;
                 cache.insert(key, support.clone());
                 Ok(support)
             })
@@ -246,43 +242,11 @@ impl AnswerEngine for CoefficientAnswerer {
     fn diagnostics(&self) -> EngineDiagnostics {
         EngineDiagnostics {
             engine: "coefficient",
-            build_cells: self.coeffs.len(),
+            build_cells: self.core.coefficients().len(),
             cache: Some(self.cache_stats()),
+            shards: 1,
         }
     }
-}
-
-/// Folds the tensor product of the per-dimension sparse supports against
-/// the flat coefficient data: depth-first over dimensions, accumulating
-/// the linear index and the weight product.
-fn sparse_dot(
-    data: &[f64],
-    strides: &[usize],
-    supports: &[SharedSupport],
-    dim: usize,
-    base: usize,
-    weight: f64,
-) -> f64 {
-    if dim + 1 == supports.len() {
-        // Innermost dimension: contiguous-ish reads, no recursion.
-        return supports[dim]
-            .iter()
-            .map(|&(k, w)| weight * w * data[base + k * strides[dim]])
-            .sum();
-    }
-    supports[dim]
-        .iter()
-        .map(|&(k, w)| {
-            sparse_dot(
-                data,
-                strides,
-                supports,
-                dim + 1,
-                base + k * strides[dim],
-                weight * w,
-            )
-        })
-        .sum()
 }
 
 #[cfg(test)]

@@ -1,0 +1,279 @@
+//! The concurrent serving tier: one shared release core, many threads.
+//!
+//! A Privelet release is write-once, read-many — published once, then
+//! queried by every serving thread — so the concurrent tier is an
+//! [`Arc`]-shared immutable [`ReleaseCore`] plus a hash-sharded
+//! [`ShardedSupportCache`]: no lock guards the coefficients (nothing
+//! mutates them), and online lookups of different supports hash to
+//! different shards and never contend. Cloning a [`ConcurrentEngine`] is
+//! two `Arc` bumps, so the natural deployment is one clone per serving
+//! thread over one core.
+//!
+//! **Bitwise-equality guarantee.** Every arithmetic path (support
+//! derivation, sparse dot, plan execution) lives in the shared
+//! [`ReleaseCore`] and is pure, so any thread's answer — online or via a
+//! shared compiled [`QueryPlan`] — is bit-identical to the serial
+//! [`CoefficientAnswerer`] over the same release. `tests/concurrent_serving.rs` asserts this from scoped
+//! threads on random mixed schemas, along with the sharded cache's
+//! counter conservation under contention and compile-time `Send + Sync`
+//! for the plan, the core and the engine.
+
+use crate::cache::{CacheStats, ShardedSupportCache, SharedSupport, DEFAULT_SHARD_COUNT};
+use crate::coefficients::{CoefficientAnswerer, DEFAULT_SUPPORT_CACHE_CAPACITY};
+use crate::engine::{AnswerEngine, EngineDiagnostics};
+use crate::plan::QueryPlan;
+use crate::range_query::RangeQuery;
+use crate::release::ReleaseCore;
+use crate::{QueryError, Result};
+use privelet::mechanism::CoefficientOutput;
+use privelet_data::schema::Schema;
+use std::sync::Arc;
+
+/// A multi-thread coefficient-domain answering engine: an `Arc`-shared
+/// immutable [`ReleaseCore`] plus an `Arc`-shared [`ShardedSupportCache`].
+///
+/// All methods take `&self`; the engine is `Send + Sync` and `Clone`
+/// (two pointer bumps — clones serve the same release through the same
+/// cache). See the [module docs](self) for the design and guarantees.
+#[derive(Debug, Clone)]
+pub struct ConcurrentEngine {
+    core: Arc<ReleaseCore>,
+    cache: Arc<ShardedSupportCache>,
+}
+
+impl ConcurrentEngine {
+    /// Wraps a (possibly already shared) release core with a fresh
+    /// sharded cache at the default capacity
+    /// ([`DEFAULT_SUPPORT_CACHE_CAPACITY`]) and shard count
+    /// ([`DEFAULT_SHARD_COUNT`]).
+    pub fn new(core: Arc<ReleaseCore>) -> Self {
+        Self::with_cache(core, DEFAULT_SUPPORT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT)
+    }
+
+    /// Wraps a release core with a fresh sharded cache holding at most
+    /// `capacity` supports in total across `shards` shards (capacity 0
+    /// disables caching; shard count is clamped to ≥ 1).
+    pub fn with_cache(core: Arc<ReleaseCore>, capacity: usize, shards: usize) -> Self {
+        ConcurrentEngine {
+            core,
+            cache: Arc::new(ShardedSupportCache::new(capacity, shards)),
+        }
+    }
+
+    /// Builds core and engine straight from a [`publish_coefficients`]
+    /// release.
+    ///
+    /// [`publish_coefficients`]: privelet::mechanism::publish_coefficients
+    pub fn from_output(out: &CoefficientOutput) -> Result<Self> {
+        Ok(Self::new(Arc::new(ReleaseCore::from_output(out)?)))
+    }
+
+    /// Shares an existing answerer's release core (no re-validation or
+    /// re-refinement) under a fresh sharded cache with zeroed counters.
+    pub fn from_answerer(answerer: &CoefficientAnswerer) -> Self {
+        Self::new(Arc::clone(answerer.core()))
+    }
+
+    /// The shared release core. Clone the `Arc` to hand the same release
+    /// to further shells.
+    pub fn core(&self) -> &Arc<ReleaseCore> {
+        &self.core
+    }
+
+    /// The schema queries are validated against.
+    pub fn schema(&self) -> &Schema {
+        self.core.schema()
+    }
+
+    /// The (noisy) total count — the unconstrained query's answer.
+    pub fn total(&self) -> f64 {
+        self.core.total()
+    }
+
+    /// Answers one range-count query through the sharded support cache.
+    /// Safe and lock-cheap to call from many threads at once: each
+    /// dimension's lookup locks only the shard its `(dim, lo, hi)` key
+    /// hashes to, and a concurrent miss on the same key derives exactly
+    /// once per shard residency. Bit-identical to
+    /// [`CoefficientAnswerer::answer`] on the same release.
+    pub fn answer(&self, q: &RangeQuery) -> Result<f64> {
+        Ok(self.core.dot(&self.supports(q)?))
+    }
+
+    /// Answers a whole workload by compiling a [`QueryPlan`] and
+    /// executing it against the shared core — no cache (and so no lock)
+    /// involved at all. For a workload served repeatedly, compile once
+    /// with [`plan`](Self::plan) and let every thread call
+    /// [`answer_plan`](Self::answer_plan) on the shared plan.
+    pub fn answer_all(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        self.answer_plan(&self.plan(queries)?)
+    }
+
+    /// Compiles a workload against the shared release. The plan is
+    /// immutable and `Send + Sync`: compile once, share by reference (or
+    /// `Arc`), execute from any number of threads.
+    pub fn plan(&self, queries: &[RangeQuery]) -> Result<QueryPlan> {
+        self.core.plan(queries)
+    }
+
+    /// Executes a compiled plan against the shared refined coefficients.
+    /// Allocates only the output vector; any number of threads may
+    /// execute the same plan concurrently, each getting a bit-identical
+    /// result.
+    pub fn answer_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
+        self.core.execute_plan(plan)
+    }
+
+    /// Aggregated hit/miss/eviction counters across all cache shards.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Per-shard cache counters, in shard order.
+    pub fn shard_stats(&self) -> Vec<CacheStats> {
+        self.cache.shard_stats()
+    }
+
+    /// Number of cache shards.
+    pub fn shard_count(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Selectivity of a query relative to a tuple count `n`.
+    ///
+    /// Errors with [`QueryError::ZeroPopulation`] when `n == 0`, like
+    /// both single-threaded answerers.
+    pub fn selectivity(&self, q: &RangeQuery, n: usize) -> Result<f64> {
+        if n == 0 {
+            return Err(QueryError::ZeroPopulation);
+        }
+        Ok(self.answer(q)? / n as f64)
+    }
+
+    /// Resolves a query to its per-dimension sparse supports through the
+    /// sharded cache.
+    fn supports(&self, q: &RangeQuery) -> Result<Vec<SharedSupport>> {
+        let (lo, hi) = q.bounds(self.core.schema())?;
+        (0..self.core.schema().arity())
+            .map(|dim| {
+                let key = (dim, lo[dim], hi[dim]);
+                self.cache
+                    .get_or_derive(key, || self.core.derive_support(dim, lo[dim], hi[dim]))
+            })
+            .collect()
+    }
+}
+
+impl AnswerEngine for ConcurrentEngine {
+    fn schema(&self) -> &Schema {
+        self.schema()
+    }
+
+    fn answer_one(&self, q: &RangeQuery) -> Result<f64> {
+        self.answer(q)
+    }
+
+    fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
+        self.answer_all(queries)
+    }
+
+    fn diagnostics(&self) -> EngineDiagnostics {
+        EngineDiagnostics {
+            engine: "concurrent",
+            build_cells: self.core.coefficients().len(),
+            cache: Some(self.cache_stats()),
+            shards: self.shard_count(),
+        }
+    }
+}
+
+// The whole point of this engine: provable shareability. A regression
+// here (e.g. an `Rc` or `RefCell` slipping into the core) must fail to
+// compile, not fail in a stress test.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<ConcurrentEngine>();
+    assert_send_sync::<ReleaseCore>();
+    assert_send_sync::<ShardedSupportCache>();
+    assert_send_sync::<QueryPlan>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::Predicate;
+    use privelet::mechanism::{publish_coefficients, PriveletConfig};
+    use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+
+    fn medical_release() -> CoefficientOutput {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        publish_coefficients(&fm, &PriveletConfig::pure(1.0, 37)).unwrap()
+    }
+
+    fn queries() -> Vec<RangeQuery> {
+        vec![
+            RangeQuery::all(2),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+            RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 4 }, Predicate::All]),
+            RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]),
+        ]
+    }
+
+    #[test]
+    fn matches_serial_answerer_bitwise() {
+        let out = medical_release();
+        let serial = CoefficientAnswerer::from_output(&out).unwrap();
+        let engine = ConcurrentEngine::from_answerer(&serial);
+        assert!(Arc::ptr_eq(serial.core(), engine.core()));
+        let qs = queries();
+        let batch = serial.answer_all(&qs).unwrap();
+        assert_eq!(engine.answer_all(&qs).unwrap(), batch);
+        for (q, &want) in qs.iter().zip(&batch) {
+            assert_eq!(engine.answer(q).unwrap(), want);
+        }
+        assert_eq!(engine.total(), serial.total());
+        assert_eq!(
+            engine.selectivity(&qs[0], 0).unwrap_err(),
+            QueryError::ZeroPopulation
+        );
+    }
+
+    #[test]
+    fn shared_plan_executes_identically_from_clones() {
+        let out = medical_release();
+        let engine = ConcurrentEngine::from_output(&out).unwrap();
+        let plan = engine.plan(&queries()).unwrap();
+        let want = engine.answer_plan(&plan).unwrap();
+        let clone = engine.clone();
+        assert_eq!(clone.answer_plan(&plan).unwrap(), want);
+        // Clones share the cache, so online traffic on the clone shows
+        // up in the original's counters.
+        clone.answer(&queries()[1]).unwrap();
+        assert!(engine.cache_stats().misses > 0);
+    }
+
+    #[test]
+    fn diagnostics_report_the_shards() {
+        let out = medical_release();
+        let engine =
+            ConcurrentEngine::with_cache(Arc::new(ReleaseCore::from_output(&out).unwrap()), 64, 4);
+        let qs = queries();
+        for q in &qs {
+            engine.answer(q).unwrap();
+        }
+        let d = engine.diagnostics();
+        assert_eq!(d.engine, "concurrent");
+        assert_eq!(d.shards, 4);
+        assert_eq!(d.build_cells, out.coefficient_count());
+        let stats = d.cache.expect("sharded cache present");
+        // Query 4 repeats query 2: both dims hit; counters conserve.
+        assert!(stats.hits >= 2);
+        assert_eq!(stats.hits + stats.misses, (qs.len() * 2) as u64);
+        assert_eq!(
+            engine.shard_stats().iter().map(|s| s.len).sum::<usize>(),
+            stats.len
+        );
+        assert_eq!(engine.shard_count(), 4);
+    }
+}

@@ -6,8 +6,9 @@
 //! ([`Answerer`](crate::Answerer)) or from sparse dots against noisy
 //! coefficients ([`CoefficientAnswerer`](crate::CoefficientAnswerer)).
 //! The trait is object-safe, so heterogeneous engines can sit behind one
-//! `dyn AnswerEngine` in a router; later sharded/concurrent serving
-//! tiers plug in here (one trait, one plan format).
+//! `dyn AnswerEngine` in a router; the multi-threaded
+//! [`ConcurrentEngine`](crate::ConcurrentEngine) plugs in here too (one
+//! trait, one plan format).
 
 use crate::cache::CacheStats;
 use crate::range_query::RangeQuery;
@@ -17,14 +18,20 @@ use privelet_data::schema::Schema;
 /// Cost diagnostics an engine reports about itself.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineDiagnostics {
-    /// Short engine kind label ("prefix-sum", "coefficient").
+    /// Short engine kind label ("prefix-sum", "coefficient",
+    /// "concurrent").
     pub engine: &'static str,
     /// Values the engine materialized at build time: matrix cells for
     /// the prefix path, refined coefficients for the coefficient path.
     pub build_cells: usize,
     /// Support-cache counters, for engines that memoize supports on the
-    /// online path (`None` for engines without a cache).
+    /// online path (`None` for engines without a cache); aggregated
+    /// across shards for sharded caches.
     pub cache: Option<CacheStats>,
+    /// Number of independently locked cache shards: 0 for engines
+    /// without a cache, 1 for a single-lock cache, N for the sharded
+    /// concurrent tier.
+    pub shards: usize,
 }
 
 /// A prepared query-serving engine over one published release.
@@ -90,10 +97,12 @@ mod tests {
         assert_eq!(d_prefix.engine, "prefix-sum");
         assert_eq!(d_prefix.build_cells, fm.cell_count());
         assert!(d_prefix.cache.is_none());
+        assert_eq!(d_prefix.shards, 0);
 
         let d_coeff = coeff.diagnostics();
         assert_eq!(d_coeff.engine, "coefficient");
         assert_eq!(d_coeff.build_cells, release.coefficient_count());
+        assert_eq!(d_coeff.shards, 1);
         let stats = d_coeff.cache.expect("coefficient engine has a cache");
         // The repeated query above hit the cache on both dimensions.
         assert!(stats.hits >= 2, "hits {}", stats.hits);

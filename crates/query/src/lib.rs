@@ -21,12 +21,17 @@
 //! - [`coefficients`] — coefficient-domain answering over a published
 //!   noisy coefficient matrix: O(log m) coefficient reads per dimension
 //!   instead of an O(m) reconstruction before the first query.
-//! - [`engine`] — the [`AnswerEngine`] trait both answerers implement:
+//! - [`engine`] — the [`AnswerEngine`] trait all answerers implement:
 //!   answer one, answer a batch, cost diagnostics.
 //! - [`plan`] — [`QueryPlan`]: a batch compiled into interned supports
 //!   and CSR-style term lists over one contiguous arena.
 //! - [`cache`] — [`SupportCache`]: bounded LRU memoization of
-//!   per-dimension supports for the online path.
+//!   per-dimension supports for the online path, and its hash-sharded
+//!   concurrent counterpart [`ShardedSupportCache`].
+//! - [`release`] — [`ReleaseCore`]: the immutable `Send + Sync` core of
+//!   one coefficient-domain release, shared across threads via `Arc`.
+//! - [`concurrent`] — [`ConcurrentEngine`]: the multi-threaded serving
+//!   tier over a shared core and sharded cache.
 //! - [`workload`] — the random workload generator of §VII-A (40 000 queries,
 //!   1–4 predicates each).
 //! - [`metrics`] — square error and relative error with the sanity bound
@@ -38,22 +43,26 @@ pub mod answerer;
 pub mod buckets;
 pub mod cache;
 pub mod coefficients;
+pub mod concurrent;
 pub mod engine;
 pub mod metrics;
 pub mod plan;
 pub mod predicate;
 pub mod range_query;
+pub mod release;
 pub mod workload;
 
 pub use answerer::Answerer;
 pub use buckets::{quantile_rows, BucketRow};
-pub use cache::{CacheStats, SupportCache};
+pub use cache::{CacheStats, ShardedSupportCache, SupportCache, DEFAULT_SHARD_COUNT};
 pub use coefficients::CoefficientAnswerer;
+pub use concurrent::ConcurrentEngine;
 pub use engine::{AnswerEngine, EngineDiagnostics};
 pub use metrics::{relative_error, sanity_bound, square_error};
 pub use plan::QueryPlan;
 pub use predicate::Predicate;
 pub use range_query::RangeQuery;
+pub use release::ReleaseCore;
 pub use workload::{generate_workload, WorkloadConfig};
 
 /// Errors produced by query construction and evaluation.

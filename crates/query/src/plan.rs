@@ -408,13 +408,33 @@ mod tests {
 
     #[test]
     fn empty_plan_is_well_defined() {
+        // Regression: every diagnostic that divides by the query or
+        // request count must return a well-defined 0-value on an empty
+        // workload instead of NaN/∞ — serving tiers feed these straight
+        // into reports.
         let (fm, hn) = medical();
         let coeffs = hn.forward(fm.matrix()).unwrap();
         let plan = QueryPlan::compile(fm.schema(), &hn, &[]).unwrap();
         assert!(plan.is_empty());
+        assert_eq!(plan.len(), 0);
         assert_eq!(plan.execute(&coeffs).unwrap(), Vec::<f64>::new());
+        assert_eq!(plan.support_requests(), 0);
+        assert_eq!(plan.distinct_supports(), 0);
+        assert_eq!(plan.distinct_queries(), 0);
+        assert_eq!(plan.total_reads(), 0);
+        assert_eq!(plan.arena_len(), 0);
+        // The two ratio diagnostics are the division hazards.
         assert_eq!(plan.dedup_ratio(), 0.0);
+        assert!(plan.dedup_ratio().is_finite());
         assert_eq!(plan.mean_support(), 0.0);
+        assert!(plan.mean_support().is_finite());
+        // execute_into on an empty plan appends nothing and still
+        // validates the coefficient shape.
+        let mut out = vec![1.5];
+        plan.execute_into(&coeffs, &mut out).unwrap();
+        assert_eq!(out, vec![1.5]);
+        let wrong = NdMatrix::zeros(&[2, 2]).unwrap();
+        assert_eq!(plan.execute(&wrong).unwrap_err(), QueryError::ShapeMismatch);
     }
 
     #[test]

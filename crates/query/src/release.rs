@@ -1,0 +1,235 @@
+//! The immutable core of a coefficient-domain release: everything a
+//! serving thread needs to answer queries, and nothing that mutates.
+//!
+//! [`ReleaseCore`] holds the schema, the transform and the **refined**
+//! noisy coefficients of one published release. Construction performs
+//! the one-time work (metadata validation, the §V-B refinement pass, the
+//! total-count query); after that every method takes `&self` and touches
+//! only immutable state, so the core is `Send + Sync` by construction
+//! and is meant to live inside an [`Arc`] shared across serving threads.
+//!
+//! The caching shells layer on top: [`CoefficientAnswerer`] pairs one
+//! core with a single-lock [`SupportCache`] for single-threaded online
+//! traffic, and [`ConcurrentEngine`] pairs the *same* `Arc`'d core with
+//! a hash-sharded cache for multi-threaded traffic. Both produce
+//! bit-identical answers because every arithmetic path — support
+//! derivation, sparse dot, plan execution — lives here and is pure.
+//!
+//! [`CoefficientAnswerer`]: crate::CoefficientAnswerer
+//! [`ConcurrentEngine`]: crate::ConcurrentEngine
+//! [`SupportCache`]: crate::SupportCache
+
+use crate::cache::SharedSupport;
+use crate::plan::QueryPlan;
+use crate::range_query::RangeQuery;
+use crate::{QueryError, Result};
+use privelet::mechanism::CoefficientOutput;
+use privelet::transform::HnTransform;
+use privelet_data::schema::Schema;
+use privelet_matrix::NdMatrix;
+use std::sync::Arc;
+
+/// The immutable, shareable core of one coefficient-domain release:
+/// schema + transform + refined coefficients (+ cached strides and the
+/// noisy total). See the [module docs](self) for how the caching shells
+/// layer on top.
+#[derive(Debug, Clone)]
+pub struct ReleaseCore {
+    schema: Schema,
+    transform: HnTransform,
+    /// Refined coefficients (mean subtraction already applied on nominal
+    /// axes), so every answer is a pure dot product.
+    coeffs: NdMatrix,
+    /// Row-major strides of `coeffs`, cached for the per-query walk.
+    strides: Vec<usize>,
+    /// The (noisy) total count — the unconstrained query's answer,
+    /// computed once at construction.
+    total: f64,
+}
+
+impl ReleaseCore {
+    /// Builds the core from a published coefficient matrix and its
+    /// metadata. Applies the refinement once (O(m'); idempotent, so exact
+    /// or already-refined coefficients pass through unchanged) and
+    /// answers the unconstrained query once for [`total`](Self::total).
+    ///
+    /// Errors with [`QueryError::ShapeMismatch`] when the schema, the
+    /// transform and the coefficient matrix do not describe the same
+    /// release (including a nominal transform whose hierarchy differs
+    /// structurally from the schema's).
+    pub fn new(schema: Schema, transform: HnTransform, noisy: &NdMatrix) -> Result<Self> {
+        crate::plan::check_release_metadata(&schema, &transform)?;
+        if noisy.dims() != transform.output_dims() {
+            return Err(QueryError::ShapeMismatch);
+        }
+        let coeffs = transform
+            .refine_coefficients(noisy)
+            .map_err(QueryError::from)?;
+        let strides = coeffs.shape().strides().to_vec();
+        let mut core = ReleaseCore {
+            schema,
+            transform,
+            coeffs,
+            strides,
+            total: 0.0,
+        };
+        core.total = core.answer_uncached(&RangeQuery::all(core.schema.arity()))?;
+        Ok(core)
+    }
+
+    /// Builds the core straight from a [`publish_coefficients`] release.
+    ///
+    /// [`publish_coefficients`]: privelet::mechanism::publish_coefficients
+    pub fn from_output(out: &CoefficientOutput) -> Result<Self> {
+        let (schema, transform, coefficients) = out.release_parts();
+        Self::new(schema.clone(), transform.clone(), coefficients)
+    }
+
+    /// The schema queries are validated against.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The transform the release was published under.
+    pub fn transform(&self) -> &HnTransform {
+        &self.transform
+    }
+
+    /// The refined coefficient matrix answers are dotted against.
+    pub fn coefficients(&self) -> &NdMatrix {
+        &self.coeffs
+    }
+
+    /// The (noisy) total count — the unconstrained query's answer.
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
+    /// Derives one dimension's sparse support, uncached: the
+    /// `(coefficient index, weight)` pairs of the interval-sum functional
+    /// over `[lo, hi]` on dimension `dim`. This is the derivation every
+    /// cache memoizes; it is pure, so two threads deriving the same
+    /// triple produce identical supports.
+    pub fn derive_support(&self, dim: usize, lo: usize, hi: usize) -> Result<SharedSupport> {
+        Ok(Arc::new(
+            self.transform
+                .query_weights_for_dim(dim, lo, hi)
+                .map_err(QueryError::from)?,
+        ))
+    }
+
+    /// Resolves a query to its per-dimension bounds and derives every
+    /// support uncached — the cache-free answering path the shells fall
+    /// back on, and the reference the cached paths must equal bitwise.
+    pub fn supports_uncached(&self, q: &RangeQuery) -> Result<Vec<SharedSupport>> {
+        let (lo, hi) = q.bounds(&self.schema)?;
+        (0..self.schema.arity())
+            .map(|dim| self.derive_support(dim, lo[dim], hi[dim]))
+            .collect()
+    }
+
+    /// Answers one query with no cache involved: derive supports, sparse
+    /// dot. The cached paths reuse [`dot`](Self::dot), so they equal this
+    /// bit for bit.
+    pub fn answer_uncached(&self, q: &RangeQuery) -> Result<f64> {
+        Ok(self.dot(&self.supports_uncached(q)?))
+    }
+
+    /// The sparse tensor-product dot of already-derived per-dimension
+    /// supports against the refined coefficients:
+    /// `Σ ∏ᵢ wᵢ[kᵢ] · C[k₁,…,k_d]`, reading `∏ᵢ |supportᵢ|` coefficients.
+    pub fn dot(&self, supports: &[SharedSupport]) -> f64 {
+        sparse_dot(self.coeffs.as_slice(), &self.strides, supports, 0, 0, 1.0)
+    }
+
+    /// Compiles a workload against this release's schema and transform.
+    /// The returned plan is immutable and `Send + Sync`; it stays valid
+    /// for the core's lifetime, so one compiled plan can be executed from
+    /// many threads against one shared core.
+    pub fn plan(&self, queries: &[RangeQuery]) -> Result<QueryPlan> {
+        QueryPlan::compile(&self.schema, &self.transform, queries)
+    }
+
+    /// Executes a compiled plan against the refined coefficients. Takes
+    /// `&self` and allocates only the output vector, so any number of
+    /// threads can execute the same plan against the same core
+    /// concurrently.
+    pub fn execute_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
+        plan.execute(&self.coeffs)
+    }
+}
+
+/// Folds the tensor product of the per-dimension sparse supports against
+/// the flat coefficient data: depth-first over dimensions, accumulating
+/// the linear index and the weight product.
+fn sparse_dot(
+    data: &[f64],
+    strides: &[usize],
+    supports: &[SharedSupport],
+    dim: usize,
+    base: usize,
+    weight: f64,
+) -> f64 {
+    if dim + 1 == supports.len() {
+        // Innermost dimension: contiguous-ish reads, no recursion.
+        return supports[dim]
+            .iter()
+            .map(|&(k, w)| weight * w * data[base + k * strides[dim]])
+            .sum();
+    }
+    supports[dim]
+        .iter()
+        .map(|&(k, w)| {
+            sparse_dot(
+                data,
+                strides,
+                supports,
+                dim + 1,
+                base + k * strides[dim],
+                weight * w,
+            )
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet::mechanism::{publish_coefficients, PriveletConfig};
+    use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+
+    fn medical_core() -> ReleaseCore {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let out = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 23)).unwrap();
+        ReleaseCore::from_output(&out).unwrap()
+    }
+
+    #[test]
+    fn core_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ReleaseCore>();
+        assert_send_sync::<Arc<ReleaseCore>>();
+    }
+
+    #[test]
+    fn uncached_path_matches_plan_execution() {
+        let core = medical_core();
+        let queries = vec![RangeQuery::all(2)];
+        let plan = core.plan(&queries).unwrap();
+        let batch = core.execute_plan(&plan).unwrap();
+        assert_eq!(batch[0], core.answer_uncached(&queries[0]).unwrap());
+        assert_eq!(batch[0], core.total());
+    }
+
+    #[test]
+    fn rejects_mismatched_release_metadata() {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let out = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 7)).unwrap();
+        let wrong = NdMatrix::zeros(&[4, 3]).unwrap();
+        assert_eq!(
+            ReleaseCore::new(out.schema.clone(), out.transform.clone(), &wrong).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+    }
+}

@@ -4,102 +4,16 @@
 //! `(dim, lo, hi)` support exactly once, and workload generation is
 //! byte-for-byte deterministic per seed.
 
+mod common;
+
+use common::{data_matrix, distinct_triples, schema_strategy, workload};
 use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
 use privelet_repro::core::transform::HnTransform;
 use privelet_repro::data::schema::{Attribute, Schema};
-use privelet_repro::data::FrequencyMatrix;
-use privelet_repro::hierarchy::builder::random as random_hierarchy;
-use privelet_repro::matrix::NdMatrix;
 use privelet_repro::query::{
-    generate_workload, AnswerEngine, Answerer, CoefficientAnswerer, QueryPlan, RangeQuery,
-    WorkloadConfig,
+    generate_workload, AnswerEngine, Answerer, CoefficientAnswerer, QueryPlan, WorkloadConfig,
 };
 use proptest::prelude::*;
-use std::collections::BTreeSet;
-
-/// One random dimension: ordinal, nominal (random hierarchy), or SA.
-#[derive(Debug, Clone)]
-enum DimSpec {
-    Ordinal(usize),
-    Nominal { leaves: usize, seed: u64 },
-    Sa(usize),
-}
-
-fn dim_spec() -> impl Strategy<Value = DimSpec> {
-    prop_oneof![
-        (1usize..=12).prop_map(DimSpec::Ordinal),
-        ((1usize..=12), any::<u64>()).prop_map(|(leaves, seed)| DimSpec::Nominal { leaves, seed }),
-        (1usize..=12).prop_map(DimSpec::Sa),
-    ]
-}
-
-fn build(specs: &[DimSpec]) -> (Schema, BTreeSet<usize>) {
-    let mut sa = BTreeSet::new();
-    let attrs = specs
-        .iter()
-        .enumerate()
-        .map(|(i, spec)| match spec {
-            DimSpec::Ordinal(n) => Attribute::ordinal(format!("o{i}"), *n),
-            DimSpec::Nominal { leaves, seed } => Attribute::nominal(
-                format!("n{i}"),
-                random_hierarchy(*leaves, 4, *seed).expect("random hierarchy is valid"),
-            ),
-            DimSpec::Sa(n) => {
-                sa.insert(i);
-                Attribute::ordinal(format!("s{i}"), *n)
-            }
-        })
-        .collect();
-    (Schema::new(attrs).expect("generated schema is valid"), sa)
-}
-
-/// 1–3 dimensions, as the equivalence contract states.
-fn schema_strategy() -> impl Strategy<Value = (Schema, BTreeSet<usize>)> {
-    prop::collection::vec(dim_spec(), 1..=3).prop_map(|specs| build(&specs))
-}
-
-fn data_matrix(schema: &Schema, seed: u64) -> FrequencyMatrix {
-    let n = schema.cell_count();
-    let data: Vec<f64> = (0..n)
-        .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 40) & 0xFF) as f64)
-        .collect();
-    FrequencyMatrix::from_parts(
-        schema.clone(),
-        NdMatrix::from_vec(&schema.dims(), data).unwrap(),
-    )
-    .unwrap()
-}
-
-fn workload(schema: &Schema, seed: u64) -> Vec<RangeQuery> {
-    let mut queries = generate_workload(
-        schema,
-        &WorkloadConfig {
-            n_queries: 24,
-            min_predicates: 1,
-            max_predicates: schema.arity().min(3),
-            seed,
-        },
-    )
-    .unwrap();
-    // Repeats and the unconstrained query exercise the dedup pool.
-    let repeat = queries[0].clone();
-    queries.push(repeat);
-    queries.push(RangeQuery::all(schema.arity()));
-    queries
-}
-
-/// Distinct `(dim, lo, hi)` triples a workload resolves to — the ground
-/// truth the plan's dedup counters are checked against.
-fn distinct_triples(schema: &Schema, queries: &[RangeQuery]) -> usize {
-    let mut triples = BTreeSet::new();
-    for q in queries {
-        let (lo, hi) = q.bounds(schema).unwrap();
-        for dim in 0..schema.arity() {
-            triples.insert((dim, lo[dim], hi[dim]));
-        }
-    }
-    triples.len()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
