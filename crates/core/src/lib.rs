@@ -47,8 +47,9 @@
 //!   `Privelet⁺`, and a Hay et al.-style hierarchical baseline (§VIII).
 //! - [`sensitivity`] — empirical generalized-sensitivity probes used by
 //!   tests and ablations.
-//! - [`variance`] — exact per-query noise variance (closed form; turns the
-//!   paper's worst-case bounds into per-query error bars).
+//! - [`variance`] — exact per-query noise variance, computed sparsely from
+//!   the same supports the serving stack derives (turns the paper's
+//!   worst-case bounds into per-query error bars).
 
 pub mod bounds;
 pub mod mechanism;
@@ -60,6 +61,7 @@ pub mod variance;
 pub use mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig, PriveletOutput,
 };
+pub use privacy::PrivacyMeta;
 pub use transform::{DimTransform, HnTransform, Transform1d};
 
 /// Errors produced by the Privelet core.

@@ -10,19 +10,31 @@
 use crate::privacy::lambda_for_epsilon;
 use crate::Result;
 use privelet_data::FrequencyMatrix;
-use privelet_noise::{derive_rng, Laplace, TwoSidedGeometric};
+use privelet_noise::{derive_rng, Laplace, NoiseDistribution, TwoSidedGeometric};
+
+/// The shared Basic pipeline: adds one `dist` sample to every cell of the
+/// frequency matrix. Both cell-wise publishers and any future noise-law
+/// ablation route through this seam; the noise stream per seed is a pure
+/// function of `dist`'s sampler, so swapping distributions never touches
+/// the pipeline.
+pub fn publish_basic_with_noise(
+    fm: &FrequencyMatrix,
+    dist: &dyn NoiseDistribution,
+    seed: u64,
+) -> Result<FrequencyMatrix> {
+    let mut rng = derive_rng(seed, super::NOISE_STREAM);
+    let mut noisy = fm.matrix().clone();
+    for v in noisy.as_mut_slice() {
+        *v += dist.sample(&mut rng);
+    }
+    Ok(FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?)
+}
 
 /// Publishes a noisy frequency matrix under ε-DP by adding `Lap(2/ε)` to
 /// every cell.
 pub fn publish_basic(fm: &FrequencyMatrix, epsilon: f64, seed: u64) -> Result<FrequencyMatrix> {
     let lambda = lambda_for_epsilon(epsilon, 1.0)?;
-    let lap = Laplace::new(lambda)?;
-    let mut rng = derive_rng(seed, super::NOISE_STREAM);
-    let mut noisy = fm.matrix().clone();
-    for v in noisy.as_mut_slice() {
-        *v += lap.sample(&mut rng);
-    }
-    Ok(FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?)
+    publish_basic_with_noise(fm, &Laplace::new(lambda)?, seed)
 }
 
 /// Publishes a noisy frequency matrix under ε-DP with **integer** cells by
@@ -42,13 +54,7 @@ pub fn publish_basic_geometric(
     seed: u64,
 ) -> Result<FrequencyMatrix> {
     let lambda = lambda_for_epsilon(epsilon, 1.0)?;
-    let geom = TwoSidedGeometric::with_scale(lambda)?;
-    let mut rng = derive_rng(seed, super::NOISE_STREAM);
-    let mut noisy = fm.matrix().clone();
-    for v in noisy.as_mut_slice() {
-        *v += geom.sample(&mut rng) as f64;
-    }
-    Ok(FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?)
+    publish_basic_with_noise(fm, &TwoSidedGeometric::with_scale(lambda)?, seed)
 }
 
 #[cfg(test)]

@@ -29,7 +29,7 @@
 use crate::privacy::lambda_for_epsilon;
 use crate::{CoreError, Result};
 use privelet_data::FrequencyMatrix;
-use privelet_noise::{derive_rng, Laplace};
+use privelet_noise::{derive_rng, Laplace, NoiseDistribution};
 
 /// Publishes a one-dimensional noisy frequency matrix under ε-DP using the
 /// binary hierarchical mechanism with consistency.
@@ -71,7 +71,7 @@ pub fn publish_hierarchical_1d_kary(
     }
 
     let lambda = lambda_for_epsilon(epsilon, (levels + 1) as f64)?;
-    let lap = Laplace::new(lambda)?;
+    let lap: &dyn NoiseDistribution = &Laplace::new(lambda)?;
     let mut rng = derive_rng(seed, super::NOISE_STREAM);
 
     // Level-by-level storage: level 0 = root (1 node), level `levels` =

@@ -23,7 +23,7 @@ pub mod hierarchical;
 pub mod marginals;
 pub mod privelet;
 
-pub use basic::{publish_basic, publish_basic_geometric};
+pub use basic::{publish_basic, publish_basic_geometric, publish_basic_with_noise};
 pub use hierarchical::{publish_hierarchical_1d, publish_hierarchical_1d_kary};
 pub use marginals::{marginal_cell_variance_bound, marginal_of};
 pub use privelet::{

@@ -1,13 +1,13 @@
 //! The Privelet and Privelet⁺ publishers (§III–§VI).
 
-use crate::bounds::{hn_variance_bound, recommend_sa};
-use crate::privacy::lambda_for_epsilon;
+use crate::bounds::recommend_sa;
+use crate::privacy::PrivacyMeta;
 use crate::transform::HnTransform;
 use crate::Result;
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
 use privelet_matrix::{LaneExecutor, NdMatrix};
-use privelet_noise::{derive_rng, Laplace};
+use privelet_noise::{derive_rng, Laplace, NoiseDistribution};
 use std::collections::BTreeSet;
 
 /// Configuration of a Privelet / Privelet⁺ run.
@@ -54,14 +54,9 @@ impl PriveletConfig {
 pub struct PriveletOutput {
     /// The noisy frequency matrix `M*` (same schema as the input).
     pub matrix: FrequencyMatrix,
-    /// The privacy budget the run satisfies.
-    pub epsilon: f64,
-    /// Generalized sensitivity `ρ = ∏ P(Aᵢ)` of the transform used.
-    pub rho: f64,
-    /// The Laplace magnitude parameter `λ = 2ρ/ε`.
-    pub lambda: f64,
-    /// The analytic per-query noise-variance bound (Corollary 1).
-    pub variance_bound: f64,
+    /// The privacy / utility accounting (ε, ρ, λ, variance bound) shared
+    /// with [`CoefficientOutput`].
+    pub meta: PrivacyMeta,
     /// Number of wavelet coefficients that received noise (`m'`; exceeds
     /// `m` when nominal transforms are over-complete).
     pub coefficient_count: usize,
@@ -113,17 +108,14 @@ pub fn publish_with_transform_on(
     epsilon: f64,
     seed: u64,
 ) -> Result<PriveletOutput> {
-    let (coeffs, rho, lambda) = noisy_coefficient_matrix(exec, fm, hn, epsilon, seed)?;
+    let (coeffs, meta) = noisy_coefficient_matrix(exec, fm, hn, epsilon, seed)?;
 
     // Step 3: refinement + inverse transform.
     let noisy = hn.inverse_refined_with(exec, &coeffs)?;
 
     Ok(PriveletOutput {
         matrix: FrequencyMatrix::from_parts(fm.schema().clone(), noisy)?,
-        epsilon,
-        rho,
-        lambda,
-        variance_bound: hn_variance_bound(hn, epsilon),
+        meta,
         coefficient_count: hn.output_cells(),
     })
 }
@@ -131,29 +123,28 @@ pub fn publish_with_transform_on(
 /// Steps 1–2 of a Privelet publish, shared by the matrix-publishing and
 /// coefficient-publishing paths so both draw the identical noise stream
 /// for a given seed: forward HN transform, then `Lap(λ/W_HN(c))` on every
-/// coefficient.
+/// coefficient, drawn through the [`NoiseDistribution`] seam.
 fn noisy_coefficient_matrix(
     exec: &mut LaneExecutor,
     fm: &FrequencyMatrix,
     hn: &HnTransform,
     epsilon: f64,
     seed: u64,
-) -> Result<(NdMatrix, f64, f64)> {
-    let rho = hn.rho();
-    let lambda = lambda_for_epsilon(epsilon, rho)?;
-    let std_lap = Laplace::new(1.0)?;
+) -> Result<(NdMatrix, PrivacyMeta)> {
+    let meta = PrivacyMeta::for_transform(hn, epsilon)?;
+    let unit: &dyn NoiseDistribution = &Laplace::new(1.0)?;
     let mut rng = derive_rng(seed, super::NOISE_STREAM);
 
     // Step 1: wavelet transform.
     let mut coeffs = hn.forward_with(exec, fm.matrix())?;
 
     // Step 2: weighted Laplace noise. Lap(λ/W) == (λ/W) · Lap(1), so one
-    // standard sampler serves every coefficient.
+    // unit-scale sampler serves every coefficient.
     let data = coeffs.as_mut_slice();
     hn.for_each_weight(|lin, w| {
-        data[lin] += lambda / w * std_lap.sample(&mut rng);
+        data[lin] += meta.lambda / w * unit.sample(&mut rng);
     });
-    Ok((coeffs, rho, lambda))
+    Ok((coeffs, meta))
 }
 
 /// A Privelet release kept in the *coefficient domain*: the noisy
@@ -182,14 +173,10 @@ pub struct CoefficientOutput {
     /// The noisy, unrefined coefficient matrix (dims =
     /// `transform.output_dims()`).
     pub coefficients: NdMatrix,
-    /// The privacy budget the release satisfies.
-    pub epsilon: f64,
-    /// Generalized sensitivity `ρ = ∏ P(Aᵢ)` of the transform used.
-    pub rho: f64,
-    /// The Laplace magnitude parameter `λ = 2ρ/ε`.
-    pub lambda: f64,
-    /// The analytic per-query noise-variance bound (Corollary 1).
-    pub variance_bound: f64,
+    /// The privacy / utility accounting (ε, ρ, λ, variance bound) shared
+    /// with [`PriveletOutput`]. Serving tiers carry this into their
+    /// release cores so every answer can report its exact noise std-dev.
+    pub meta: PrivacyMeta,
 }
 
 impl CoefficientOutput {
@@ -241,16 +228,12 @@ pub fn publish_coefficients_with(
     cfg: &PriveletConfig,
 ) -> Result<CoefficientOutput> {
     let hn = HnTransform::for_schema(fm.schema(), &cfg.sa)?;
-    let (coefficients, rho, lambda) =
-        noisy_coefficient_matrix(exec, fm, &hn, cfg.epsilon, cfg.seed)?;
+    let (coefficients, meta) = noisy_coefficient_matrix(exec, fm, &hn, cfg.epsilon, cfg.seed)?;
     Ok(CoefficientOutput {
         schema: fm.schema().clone(),
-        variance_bound: hn_variance_bound(&hn, cfg.epsilon),
         transform: hn,
         coefficients,
-        epsilon: cfg.epsilon,
-        rho,
-        lambda,
+        meta,
     })
 }
 
@@ -271,11 +254,12 @@ mod tests {
         let out = publish_privelet(&fm, &PriveletConfig::pure(1.0, 3)).unwrap();
         assert_eq!(out.matrix.schema().dims(), fm.schema().dims());
         // Age 5 -> Haar P = 1+3 = 4; diabetes flat(2) -> nominal P = 2.
-        assert_eq!(out.rho, 8.0);
-        assert_eq!(out.lambda, 16.0);
+        assert_eq!(out.meta.rho, 8.0);
+        assert_eq!(out.meta.lambda, 16.0);
+        assert_eq!(out.meta.epsilon, 1.0);
         // Coefficients: padded 8 (Haar) x 3 nodes (flat-2 hierarchy).
         assert_eq!(out.coefficient_count, 24);
-        assert!(out.variance_bound > 0.0);
+        assert!(out.meta.variance_bound > 0.0);
     }
 
     #[test]
@@ -307,9 +291,7 @@ mod tests {
             let dense = publish_privelet(&fm, &cfg).unwrap();
             let coeff = publish_coefficients(&fm, &cfg).unwrap();
             assert_eq!(coeff.coefficient_count(), dense.coefficient_count);
-            assert_eq!(coeff.rho, dense.rho);
-            assert_eq!(coeff.lambda, dense.lambda);
-            assert_eq!(coeff.variance_bound, dense.variance_bound);
+            assert_eq!(coeff.meta, dense.meta);
             let back = coeff.to_matrix().unwrap();
             assert_eq!(
                 back.matrix().as_slice(),
@@ -354,7 +336,7 @@ mod tests {
         let sa = BTreeSet::from([0usize, 1]);
         let plus = publish_privelet(&fm, &PriveletConfig::plus(eps, sa, seed)).unwrap();
         let basic = publish_basic(&fm, eps, seed).unwrap();
-        assert_eq!(plus.rho, 1.0);
+        assert_eq!(plus.meta.rho, 1.0);
         assert_eq!(plus.matrix.matrix().as_slice(), basic.matrix().as_slice());
     }
 

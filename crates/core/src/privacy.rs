@@ -12,7 +12,53 @@
 //! - Basic (§II-B): `ρ = 1` per cell with unit weights → `λ = 2/ε`.
 //! - Privelet with the HN transform: `ρ = ∏ P(Aᵢ)` (Theorem 2).
 
+use crate::bounds::hn_variance_bound;
+use crate::transform::HnTransform;
 use crate::{CoreError, Result};
+
+/// The privacy / utility accounting of one published release: the
+/// `epsilon / rho / lambda / variance_bound` quartet every publisher
+/// derives and every serving tier consumes.
+///
+/// Previously duplicated field-for-field on `PriveletOutput` and
+/// `CoefficientOutput`; extracted so releases, answerers and error
+/// accounting share one type. `lambda` is the quantity exact per-query
+/// variance needs (`Var = 2λ²·∏ᵢ factorᵢ`, see [`variance`]); the other
+/// three are reporting context.
+///
+/// [`variance`]: crate::variance
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PrivacyMeta {
+    /// The differential-privacy budget ε the release satisfies.
+    pub epsilon: f64,
+    /// Generalized sensitivity `ρ = ∏ P(Aᵢ)` of the transform used.
+    pub rho: f64,
+    /// The Laplace magnitude parameter `λ = 2ρ/ε`.
+    pub lambda: f64,
+    /// The analytic per-query noise-variance bound (Corollary 1).
+    pub variance_bound: f64,
+}
+
+impl PrivacyMeta {
+    /// Derives the quartet for publishing with `hn` at budget `epsilon` —
+    /// the one place `ρ`, `λ` and the Corollary-1 bound are computed.
+    pub fn for_transform(hn: &HnTransform, epsilon: f64) -> Result<Self> {
+        let rho = hn.rho();
+        Ok(PrivacyMeta {
+            epsilon,
+            rho,
+            lambda: lambda_for_epsilon(epsilon, rho)?,
+            variance_bound: hn_variance_bound(hn, epsilon),
+        })
+    }
+
+    /// The exact noise variance of a query whose per-dimension sparse
+    /// variance factors multiply to `factor_product`:
+    /// `2λ²·factor_product` (see [`variance`](crate::variance)).
+    pub fn query_variance(&self, factor_product: f64) -> f64 {
+        2.0 * self.lambda * self.lambda * factor_product
+    }
+}
 
 /// Validates that ε is finite and strictly positive.
 pub fn check_epsilon(epsilon: f64) -> Result<f64> {

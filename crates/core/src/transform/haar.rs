@@ -177,6 +177,26 @@ impl Transform1d for HaarTransform {
         out
     }
 
+    /// Sparse variance factor `Σ_j (u(j)/W(j))²`: Haar has no refinement,
+    /// so `u` is the support itself, and each entry's weight is computed
+    /// in O(1) from its heap index (base → `m`, level-`i` node →
+    /// `2^(l−i+1)`) — no O(m) weight vector is materialized.
+    fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64 {
+        support
+            .iter()
+            .map(|&(j, v)| {
+                let w = if j == 0 {
+                    self.padded_len as f64
+                } else {
+                    let level_minus_1 = usize::BITS - 1 - j.leading_zeros();
+                    (1u64 << (self.levels - level_minus_1)) as f64
+                };
+                let scaled = v / w;
+                scaled * scaled
+            })
+            .sum()
+    }
+
     /// Generalized sensitivity `P(A) = 1 + log₂ m` of the transform w.r.t.
     /// its weights (Lemma 2, exact — property-tested below).
     fn p_value(&self) -> f64 {

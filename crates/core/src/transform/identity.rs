@@ -74,6 +74,13 @@ impl Transform1d for IdentityTransform {
         (lo..=hi).map(|i| (i, 1.0)).collect()
     }
 
+    /// Sparse variance factor: unit weights and no refinement, so the
+    /// factor is the plain sum of squared support weights — the covered
+    /// cell count for an interval support (Basic's per-query formula).
+    fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64 {
+        support.iter().map(|&(_, v)| v * v).sum()
+    }
+
     /// Generalized sensitivity factor `P(A) = 1`.
     fn p_value(&self) -> f64 {
         1.0

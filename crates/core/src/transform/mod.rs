@@ -117,6 +117,10 @@ impl Transform1d for DimTransform {
         self.as_transform().query_weights(lo, hi)
     }
 
+    fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64 {
+        self.as_transform().support_variance_factor(support)
+    }
+
     fn p_value(&self) -> f64 {
         self.as_transform().p_value()
     }

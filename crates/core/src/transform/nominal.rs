@@ -191,6 +191,50 @@ impl Transform1d for NominalTransform {
         out
     }
 
+    /// Sparse variance factor `Σ_j (u(j)/W(j))²` where `u` is the support
+    /// pushed through the adjoint of the mean-subtraction refinement.
+    ///
+    /// The refinement subtracts each sibling group's mean, which is a
+    /// symmetric projection, so its adjoint is the same group-mean
+    /// subtraction applied to the support weights: for a group of fanout
+    /// `f` whose members carry support weights `v_j` (zero off the
+    /// support) and mean `μ = Σ v_j / f`, the refined weights are
+    /// `v_j − μ` on the support members and `−μ` on the `f − s` silent
+    /// siblings. All siblings share one coefficient weight
+    /// (`W = f/(2f−2)`, a function of the parent's fanout), so the
+    /// group's contribution collapses to the closed form
+    /// `(Σ v_j² − 2μ·Σ v_j + f·μ²)/W²` — O(s) per touched group, never
+    /// O(f). The base coefficient has no siblings and passes through
+    /// unrefined.
+    fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64 {
+        let h = &self.hierarchy;
+        let mut factor = 0.0f64;
+        // Per touched sibling group: (Σv, Σv², members in support).
+        let mut groups: std::collections::BTreeMap<usize, (f64, f64)> =
+            std::collections::BTreeMap::new();
+        for &(pos, v) in support {
+            let id = h.level_order()[pos];
+            match h.parent(id) {
+                None => factor += v * v, // base: weight 1, no siblings
+                Some(p) => {
+                    let entry = groups.entry(p).or_insert((0.0, 0.0));
+                    entry.0 += v;
+                    entry.1 += v * v;
+                }
+            }
+        }
+        for (parent, (sum, sum_sq)) in groups {
+            let f = h.fanout(parent) as f64;
+            let w = f / (2.0 * f - 2.0);
+            let mu = sum / f;
+            // Σ_{j∈S}(v_j−μ)² + (f−s)·μ², with the silent-sibling term
+            // folded in: Σv² − 2μ·Σv + f·μ².
+            let refined_sq = sum_sq - 2.0 * mu * sum + f * mu * mu;
+            factor += refined_sq / (w * w);
+        }
+        factor
+    }
+
     /// Generalized sensitivity `P(A) = h` (Lemma 4; for non-uniform-depth
     /// hierarchies this is the maximum leaf depth, which the sensitivity
     /// achieves at the deepest leaves).

@@ -85,6 +85,40 @@ pub trait Transform1d: Sync {
     /// coefficients is harmless).
     fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)>;
 
+    /// The per-dimension noise-variance factor `Σ_j u(j)²/W(j)²` of an
+    /// already-derived interval-sum support (as returned by
+    /// [`query_weights`](Self::query_weights)), where `u` is the image of
+    /// the support under the adjoint of [`refine`](Self::refine).
+    ///
+    /// With independent `Lap(λ/W(c))` noise on every coefficient and the
+    /// refinement applied before serving, the noise in a range-count
+    /// answer along this dimension contributes exactly this factor to the
+    /// tensor-product variance `2λ²·∏ᵢ factorᵢ` (see
+    /// [`variance`](crate::variance)). For transforms without a
+    /// refinement the adjoint is the identity and the factor is the plain
+    /// fold `Σ (entry/weight)²`; the nominal transform's mean subtraction
+    /// couples sibling coefficients, so its implementation folds per
+    /// sibling group.
+    ///
+    /// Deliberately **not** defaulted (like
+    /// [`has_refinement`](Self::has_refinement)): a default fold ignoring
+    /// the refinement adjoint would silently mispredict the variance of
+    /// every refining transform.
+    ///
+    /// Cost: O(support) — the caller already paid the derivation, so
+    /// computing the factor alongside a freshly derived support is free of
+    /// additional derivations.
+    fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64;
+
+    /// [`support_variance_factor`](Self::support_variance_factor) of the
+    /// interval `[lo, hi]`, deriving the support internally — the one-shot
+    /// entry point (O(polylog m) for Haar/nominal). Serving tiers that
+    /// already hold the support should call `support_variance_factor`
+    /// directly to avoid the second derivation.
+    fn query_variance_factor(&self, lo: usize, hi: usize) -> f64 {
+        self.support_variance_factor(&self.query_weights(lo, hi))
+    }
+
     /// Generalized-sensitivity factor `P(A)` (§VI-C).
     fn p_value(&self) -> f64;
 

@@ -21,30 +21,54 @@
 //! Var[y] = 2λ² · ∏ᵢ Σ_j uᵢ(j)² / wᵢ(j)² ,
 //! ```
 //!
-//! where `uᵢ(j)` is the sum over the query's interval on dimension `i` of
-//! the refined-inverse image of the `j`-th coefficient basis vector —
-//! computable in O(tᵢ²) per dimension, independent of the other
-//! dimensions. This turns the paper's worst-case bounds into exact error
-//! bars for any given query, at no privacy cost (it uses only public
-//! transform parameters).
+//! where `uᵢ` is dimension `i`'s interval-sum support
+//! ([`Transform1d::query_weights`] — the adjoint of the inverse applied to
+//! the interval indicator) pushed through the adjoint of the refinement.
+//! The support has O(polylog m) entries on Haar/nominal dimensions, so the
+//! per-dimension factor is a **sparse fold**
+//! ([`Transform1d::support_variance_factor`]) — the same derivation the
+//! serving stack already performs and caches per distinct `(dim, lo, hi)`
+//! triple, which is why error bars at serving time are nearly free. This
+//! turns the paper's worst-case bounds into exact error bars for any given
+//! query, at no privacy cost (it uses only public transform parameters).
+//!
+//! [`dense_dim_variance_factor`] retains the original dense O(m'·(m+m'))
+//! basis-vector loop purely as a test oracle for the sparse path.
 
-use crate::transform::{DimTransform, HnTransform, Transform1d};
+use crate::transform::{HnTransform, Transform1d};
 use crate::{CoreError, Result};
 
 /// The per-dimension factor `Σ_j uᵢ(j)²/wᵢ(j)²` for an inclusive interval
-/// `[lo, hi]` on the dimension's domain.
-pub fn dim_variance_factor(t: &DimTransform, lo: usize, hi: usize) -> Result<f64> {
+/// `[lo, hi]` on dimension `axis` of `hn`, computed sparsely in
+/// O(polylog m) via [`Transform1d::query_variance_factor`].
+///
+/// Errors with [`CoreError::BadAxis`] on an out-of-range axis and
+/// [`CoreError::BadQueryBounds`] on an invalid interval (`Err`, never a
+/// panic, so untrusted query bounds can be fed here directly — the same
+/// contract as [`HnTransform::query_weights_for_dim`]).
+pub fn dim_variance_factor(hn: &HnTransform, axis: usize, lo: usize, hi: usize) -> Result<f64> {
+    let t = checked_transform(hn, axis, lo, hi)?;
+    Ok(t.query_variance_factor(lo, hi))
+}
+
+/// The dense basis-vector oracle for [`dim_variance_factor`]: pushes every
+/// coefficient basis vector through refine-then-invert and folds
+/// `(interval sum / weight)²`. O(m'·(m + m')) per call — retained only so
+/// tests can pin the sparse path against an implementation that makes no
+/// structural assumptions about supports or refinement adjoints.
+pub fn dense_dim_variance_factor(
+    hn: &HnTransform,
+    axis: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<f64> {
+    let t = checked_transform(hn, axis, lo, hi)?;
     let in_len = t.input_len();
-    if lo > hi || hi >= in_len {
-        return Err(CoreError::Unsupported(format!(
-            "interval [{lo},{hi}] invalid for domain of size {in_len}"
-        )));
-    }
     let out_len = t.output_len();
     let weights = t.weights();
     let mut basis = vec![0.0f64; out_len];
     let mut image = vec![0.0f64; in_len];
-    let mut scratch = vec![0.0f64; out_len];
+    let mut scratch = vec![0.0f64; out_len.max(t.scratch_len())];
     let mut factor = 0.0f64;
     for j in 0..out_len {
         basis.fill(0.0);
@@ -63,7 +87,12 @@ pub fn dim_variance_factor(t: &DimTransform, lo: usize, hi: usize) -> Result<f64
 
 /// The exact noise variance of the range-count query with per-dimension
 /// inclusive bounds `[lo, hi]`, answered on a Privelet release built from
-/// `hn` with Laplace parameter `lambda` (`= 2ρ/ε`).
+/// `hn` with Laplace parameter `lambda` (`= 2ρ/ε`): `2λ²·∏ᵢ factorᵢ` over
+/// the sparse per-dimension factors.
+///
+/// Errors with [`CoreError::BadQueryArity`] on an arity mismatch and
+/// [`CoreError::BadQueryBounds`] (naming the offending axis) on an
+/// invalid interval.
 pub fn exact_query_variance(
     hn: &HnTransform,
     lambda: f64,
@@ -72,16 +101,38 @@ pub fn exact_query_variance(
 ) -> Result<f64> {
     let d = hn.ndim();
     if lo.len() != d || hi.len() != d {
-        return Err(CoreError::Unsupported(format!(
-            "bounds arity {} does not match {d} dimensions",
-            lo.len().min(hi.len())
-        )));
+        let got = if lo.len() != d { lo.len() } else { hi.len() };
+        return Err(CoreError::BadQueryArity { expected: d, got });
     }
     let mut product = 2.0 * lambda * lambda;
-    for (i, t) in hn.transforms().iter().enumerate() {
-        product *= dim_variance_factor(t, lo[i], hi[i])?;
+    for axis in 0..d {
+        product *= dim_variance_factor(hn, axis, lo[axis], hi[axis])?;
     }
     Ok(product)
+}
+
+/// Shared validation of `(axis, lo, hi)` against the transform — the same
+/// checks [`HnTransform::query_weights_for_dim`] performs, so the
+/// variance and serving paths reject bad input identically.
+fn checked_transform(
+    hn: &HnTransform,
+    axis: usize,
+    lo: usize,
+    hi: usize,
+) -> Result<&crate::transform::DimTransform> {
+    let t = hn.transforms().get(axis).ok_or(CoreError::BadAxis {
+        axis,
+        ndim: hn.ndim(),
+    })?;
+    if lo > hi || hi >= t.input_len() {
+        return Err(CoreError::BadQueryBounds {
+            axis,
+            lo,
+            hi,
+            len: t.input_len(),
+        });
+    }
+    Ok(t)
 }
 
 #[cfg(test)]
@@ -95,6 +146,38 @@ mod tests {
     use privelet_matrix::NdMatrix;
     use privelet_noise::RunningStats;
     use std::collections::BTreeSet;
+
+    fn mixed_hn() -> HnTransform {
+        let schema = Schema::new(vec![
+            Attribute::ordinal("a", 13),
+            Attribute::nominal("b", three_level(8, 2).unwrap()),
+            Attribute::nominal("g", flat(2).unwrap()),
+            Attribute::ordinal("s", 6),
+        ])
+        .unwrap();
+        HnTransform::for_schema(&schema, &BTreeSet::from([3])).unwrap()
+    }
+
+    #[test]
+    fn sparse_factor_matches_dense_oracle_on_every_interval() {
+        // Exhaustive over every interval of every dimension of a mixed
+        // Haar/nominal/flat-nominal/identity transform; the workspace-root
+        // proptest widens this to random schemas.
+        let hn = mixed_hn();
+        for axis in 0..hn.ndim() {
+            let len = hn.transforms()[axis].input_len();
+            for lo in 0..len {
+                for hi in lo..len {
+                    let sparse = dim_variance_factor(&hn, axis, lo, hi).unwrap();
+                    let dense = dense_dim_variance_factor(&hn, axis, lo, hi).unwrap();
+                    assert!(
+                        (sparse - dense).abs() <= 1e-9 * dense.abs().max(1.0),
+                        "axis {axis} [{lo},{hi}]: sparse {sparse} vs dense {dense}"
+                    );
+                }
+            }
+        }
+    }
 
     #[test]
     fn identity_dims_give_covered_cell_count() {
@@ -163,8 +246,8 @@ mod tests {
     #[test]
     fn prediction_matches_empirical_variance_nominal_with_refinement() {
         // The mean-subtraction refinement correlates the published cells;
-        // the predictor accounts for it because it pushes the basis
-        // vectors through refine-then-invert.
+        // the sparse predictor accounts for it through the refinement
+        // adjoint in `support_variance_factor`.
         let h = three_level(9, 3).unwrap();
         let schema = Schema::new(vec![Attribute::nominal("occ", h.clone())]).unwrap();
         let fm = FrequencyMatrix::from_parts(
@@ -230,11 +313,49 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bad_intervals() {
+    fn rejects_bad_bounds_with_structured_errors() {
         let schema = Schema::new(vec![Attribute::ordinal("a", 4)]).unwrap();
         let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
-        assert!(exact_query_variance(&hn, 1.0, &[2], &[1]).is_err());
-        assert!(exact_query_variance(&hn, 1.0, &[0], &[4]).is_err());
-        assert!(exact_query_variance(&hn, 1.0, &[0, 0], &[1, 1]).is_err());
+        // lo > hi and hi out of the domain: BadQueryBounds naming the axis.
+        assert!(matches!(
+            exact_query_variance(&hn, 1.0, &[2], &[1]).unwrap_err(),
+            CoreError::BadQueryBounds {
+                axis: 0,
+                lo: 2,
+                hi: 1,
+                len: 4
+            }
+        ));
+        assert!(matches!(
+            exact_query_variance(&hn, 1.0, &[0], &[4]).unwrap_err(),
+            CoreError::BadQueryBounds {
+                axis: 0,
+                hi: 4,
+                len: 4,
+                ..
+            }
+        ));
+        // Arity mismatch: BadQueryArity, mirroring `query_supports`.
+        assert!(matches!(
+            exact_query_variance(&hn, 1.0, &[0, 0], &[1, 1]).unwrap_err(),
+            CoreError::BadQueryArity {
+                expected: 1,
+                got: 2
+            }
+        ));
+        // Per-dimension entry points validate the axis like
+        // `query_weights_for_dim` does.
+        assert!(matches!(
+            dim_variance_factor(&hn, 1, 0, 0).unwrap_err(),
+            CoreError::BadAxis { axis: 1, ndim: 1 }
+        ));
+        assert!(matches!(
+            dense_dim_variance_factor(&hn, 1, 0, 0).unwrap_err(),
+            CoreError::BadAxis { axis: 1, ndim: 1 }
+        ));
+        assert!(matches!(
+            dense_dim_variance_factor(&hn, 0, 3, 2).unwrap_err(),
+            CoreError::BadQueryBounds { axis: 0, .. }
+        ));
     }
 }

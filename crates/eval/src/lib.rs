@@ -15,7 +15,10 @@
 //!   concurrent tier (scoped threads sharing one plan and one sharded
 //!   cache) versus reconstruct + prefix sums (O(m) build), checking
 //!   they agree and reporting the plan's dedup ratio plus the
-//!   single-lock and per-shard cache counters.
+//!   single-lock and per-shard cache counters — and, for error
+//!   accounting, the workload's mean predicted std-dev, the
+//!   sparse-vs-dense exact-variance timing, and an across-seed
+//!   z-score calibration check ([`serving::calibration_check`]).
 //! - [`report`] — fixed-width table / markdown rendering of the series so
 //!   each bench target prints the same rows the paper plots.
 
@@ -28,7 +31,10 @@ pub mod timing;
 pub use accuracy::{run_accuracy, AccuracyRun, MechanismSeries};
 pub use config::{AccuracyConfig, Scale};
 pub use report::{print_figure, print_timing};
-pub use serving::{compare_serving_paths, ServingReport, CONCURRENT_THREADS};
+pub use serving::{
+    calibration_check, compare_serving_paths, CalibrationReport, ServingReport, CONCURRENT_THREADS,
+    VARIANCE_TIMING_QUERIES,
+};
 pub use timing::{run_timing_m_sweep, run_timing_n_sweep, TimingPoint};
 
 /// Errors produced by the harness.

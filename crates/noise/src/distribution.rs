@@ -1,0 +1,126 @@
+//! The [`NoiseDistribution`] trait: the common interface of the
+//! zero-mean noise laws mechanisms inject.
+//!
+//! Every publisher in `privelet::mechanism` follows the same shape —
+//! derive a scale from the privacy budget, then add one independent
+//! sample to every released value. This trait is that seam: [`Laplace`]
+//! (Equation 1, the paper's mechanism) and [`TwoSidedGeometric`] (the
+//! discrete, integer-valued analogue of Ghosh–Roughgarden–Sundararajan)
+//! implement it, so a mechanism written against the trait can swap the
+//! noise law without touching its pipeline. The trait is object-safe
+//! (sampling takes the workspace's concrete seeded [`StdRng`]), so
+//! mechanisms can hold a `&dyn NoiseDistribution`.
+//!
+//! Determinism contract: implementations must consume the RNG exactly as
+//! their inherent samplers do, so routing a mechanism through the trait
+//! never changes the noise stream a seed produces — the
+//! `Privelet⁺(SA = all) == Basic` bit-equivalence test pins this.
+
+use crate::{Laplace, TwoSidedGeometric};
+use rand::rngs::StdRng;
+
+/// A zero-mean noise distribution a mechanism draws from.
+pub trait NoiseDistribution {
+    /// The scale parameter λ: the Laplace magnitude, or the continuous
+    /// scale a discrete law was matched to (`α = e^(−1/λ)` for the
+    /// two-sided geometric).
+    fn scale(&self) -> f64;
+
+    /// The variance of one sample.
+    fn variance(&self) -> f64;
+
+    /// Draws one sample (integer-valued distributions return whole
+    /// `f64`s).
+    fn sample(&self, rng: &mut StdRng) -> f64;
+
+    /// Fills `out` with independent samples.
+    fn sample_into(&self, rng: &mut StdRng, out: &mut [f64]) {
+        for slot in out {
+            *slot = self.sample(rng);
+        }
+    }
+}
+
+impl NoiseDistribution for Laplace {
+    fn scale(&self) -> f64 {
+        Laplace::scale(self)
+    }
+
+    fn variance(&self) -> f64 {
+        Laplace::variance(self)
+    }
+
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        Laplace::sample(self, rng)
+    }
+}
+
+impl NoiseDistribution for TwoSidedGeometric {
+    fn scale(&self) -> f64 {
+        TwoSidedGeometric::scale(self)
+    }
+
+    fn variance(&self) -> f64 {
+        TwoSidedGeometric::variance(self)
+    }
+
+    /// Integer samples, widened to `f64` (always whole numbers).
+    fn sample(&self, rng: &mut StdRng) -> f64 {
+        TwoSidedGeometric::sample(self, rng) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn trait_sampling_matches_inherent_sampling_bitwise() {
+        // Routing through the trait must not perturb the noise stream.
+        let lap = Laplace::new(2.5).unwrap();
+        let mut a = seeded_rng(11);
+        let mut b = seeded_rng(11);
+        for _ in 0..64 {
+            let inherent = lap.sample(&mut a);
+            let via_trait = NoiseDistribution::sample(&lap, &mut b);
+            assert_eq!(inherent.to_bits(), via_trait.to_bits());
+        }
+
+        let geom = TwoSidedGeometric::with_scale(3.0).unwrap();
+        let mut a = seeded_rng(23);
+        let mut b = seeded_rng(23);
+        for _ in 0..64 {
+            let inherent = geom.sample(&mut a) as f64;
+            let via_trait = NoiseDistribution::sample(&geom, &mut b);
+            assert_eq!(inherent, via_trait);
+            assert_eq!(via_trait, via_trait.round(), "geometric samples are whole");
+        }
+    }
+
+    #[test]
+    fn scales_and_variances_agree_with_inherent_accessors() {
+        let lap = Laplace::new(4.0).unwrap();
+        let d: &dyn NoiseDistribution = &lap;
+        assert_eq!(d.scale(), 4.0);
+        assert_eq!(d.variance(), 32.0);
+
+        let geom = TwoSidedGeometric::with_scale(4.0).unwrap();
+        let d: &dyn NoiseDistribution = &geom;
+        assert!((d.scale() - 4.0).abs() < 1e-12);
+        assert_eq!(d.variance(), TwoSidedGeometric::variance(&geom));
+        // The discrete law's variance approaches 2λ² from above.
+        assert!(d.variance() > 0.0);
+    }
+
+    #[test]
+    fn sample_into_fills_through_the_trait() {
+        let lap = Laplace::new(1.0).unwrap();
+        let d: &dyn NoiseDistribution = &lap;
+        let mut rng = seeded_rng(7);
+        let mut buf = [0.0f64; 16];
+        d.sample_into(&mut rng, &mut buf);
+        assert!(buf.iter().all(|v| v.is_finite()));
+        assert!(buf.iter().any(|&v| v != 0.0));
+    }
+}

@@ -44,6 +44,13 @@ impl TwoSidedGeometric {
         self.alpha
     }
 
+    /// The continuous scale λ this ratio corresponds to
+    /// (`α = e^(−1/λ)` ⇒ `λ = −1/ln α`; the inverse of
+    /// [`with_scale`](Self::with_scale)).
+    pub fn scale(&self) -> f64 {
+        -1.0 / self.alpha.ln()
+    }
+
     /// The variance `2α/(1−α)²`.
     pub fn variance(&self) -> f64 {
         let one_minus = 1.0 - self.alpha;

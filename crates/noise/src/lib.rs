@@ -4,15 +4,19 @@
 //! `Lap(λ)` to every frequency-matrix cell (§II-B), Privelet adds
 //! `Lap(λ/W(c))` to every wavelet coefficient (§III-B). This crate provides
 //! the [`Laplace`] distribution (sampling via inverse CDF, plus pdf / cdf /
-//! variance used by tests), deterministic RNG plumbing ([`rng`]), and
-//! streaming statistics ([`stats`]) used by the statistical tests and the
-//! experiment harness.
+//! variance used by tests), its discrete analogue
+//! ([`TwoSidedGeometric`]), the [`NoiseDistribution`] trait the
+//! mechanisms inject noise through, deterministic RNG plumbing ([`rng`]),
+//! and streaming statistics ([`stats`]) used by the statistical tests and
+//! the experiment harness.
 
+pub mod distribution;
 pub mod geometric;
 pub mod laplace;
 pub mod rng;
 pub mod stats;
 
+pub use distribution::NoiseDistribution;
 pub use geometric::TwoSidedGeometric;
 pub use laplace::Laplace;
 pub use rng::{derive_rng, seeded_rng};

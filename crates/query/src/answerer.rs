@@ -4,30 +4,56 @@
 //! O(2^d) is how the experiment harness evaluates 40 000 queries per
 //! published matrix; [`Answerer`] packages that pattern for library users.
 
-use crate::engine::{AnswerEngine, EngineDiagnostics};
+use crate::engine::{AnnotatedAnswer, AnswerEngine, EngineDiagnostics};
 use crate::range_query::RangeQuery;
 use crate::{QueryError, Result};
+use privelet::transform::HnTransform;
+use privelet::variance::exact_query_variance;
+use privelet::PrivacyMeta;
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
 use privelet_matrix::PrefixSums;
 
 /// A prepared query answerer: prefix sums plus the schema they were built
-/// over.
+/// over, and optionally the release's error model (transform + privacy
+/// accounting) so even the reconstruct-then-prefix-sum path can annotate
+/// answers.
 #[derive(Debug, Clone)]
 pub struct Answerer {
     schema: Schema,
     prefix: PrefixSums,
     total: f64,
+    /// The transform and accounting the matrix was published under, when
+    /// known. The prefix path discards the coefficient domain, so error
+    /// accounting re-derives each query's per-dimension variance factors
+    /// from the transform (O(polylog m) per query, uncached — this is the
+    /// offline path; the coefficient engines annotate from their caches).
+    error_model: Option<(HnTransform, PrivacyMeta)>,
 }
 
 impl Answerer {
-    /// Builds the answerer from a frequency matrix in O(m).
+    /// Builds the answerer from a frequency matrix in O(m), without an
+    /// error model ([`answer_with_error`](Self::answer_with_error) will
+    /// return [`QueryError::MissingPrivacyMeta`]).
     pub fn new(fm: &FrequencyMatrix) -> Self {
         Answerer {
             schema: fm.schema().clone(),
             prefix: PrefixSums::build(fm.matrix()),
             total: fm.total(),
+            error_model: None,
         }
+    }
+
+    /// Attaches the release's error model: the transform the matrix was
+    /// published under and its privacy accounting. Errors with
+    /// [`QueryError::ShapeMismatch`] when the transform does not fit the
+    /// answerer's schema (including a nominal transform whose hierarchy
+    /// differs structurally — the same check the coefficient engines
+    /// perform at construction).
+    pub fn with_error_model(mut self, transform: HnTransform, meta: PrivacyMeta) -> Result<Self> {
+        crate::plan::check_release_metadata(&self.schema, &transform)?;
+        self.error_model = Some((transform, meta));
+        Ok(self)
     }
 
     /// The schema queries are validated against.
@@ -43,6 +69,31 @@ impl Answerer {
     /// Answers one range-count query in O(2^d).
     pub fn answer(&self, q: &RangeQuery) -> Result<f64> {
         q.evaluate_prefix(&self.schema, &self.prefix)
+    }
+
+    /// [`answer`](Self::answer) with its exact noise std-dev, derived
+    /// from the attached error model: the value is the identical prefix
+    /// sum, the std-dev is `√(2λ²·∏ᵢ factorᵢ)` with each dimension's
+    /// sparse variance factor derived on the spot (O(polylog m)).
+    ///
+    /// Errors with [`QueryError::MissingPrivacyMeta`] when no error model
+    /// was attached ([`with_error_model`](Self::with_error_model)).
+    pub fn answer_with_error(&self, q: &RangeQuery) -> Result<AnnotatedAnswer> {
+        let (transform, meta) = self
+            .error_model
+            .as_ref()
+            .ok_or(QueryError::MissingPrivacyMeta)?;
+        let value = self.answer(q)?;
+        let (lo, hi) = q.bounds(&self.schema)?;
+        // One authoritative implementation of 2λ²·∏ᵢ factorᵢ (with the
+        // core's structured bounds validation, should a future caller
+        // bypass `bounds`).
+        let variance =
+            exact_query_variance(transform, meta.lambda, &lo, &hi).map_err(QueryError::from)?;
+        Ok(AnnotatedAnswer {
+            value,
+            std_dev: variance.sqrt(),
+        })
     }
 
     /// Answers a whole workload. Each query is already O(2^d) on the
@@ -72,6 +123,10 @@ impl AnswerEngine for Answerer {
 
     fn answer_one(&self, q: &RangeQuery) -> Result<f64> {
         self.answer(q)
+    }
+
+    fn answer_with_error(&self, q: &RangeQuery) -> Result<AnnotatedAnswer> {
+        self.answer_with_error(q)
     }
 
     fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
@@ -130,6 +185,50 @@ mod tests {
             ans.selectivity(&q, 0).unwrap_err(),
             QueryError::ZeroPopulation
         );
+    }
+
+    #[test]
+    fn error_model_annotates_like_the_coefficient_engine() {
+        use crate::coefficients::CoefficientAnswerer;
+        use privelet::mechanism::{publish_coefficients, PriveletConfig};
+
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 61)).unwrap();
+        let coeff = CoefficientAnswerer::from_output(&release).unwrap();
+        let bare = Answerer::new(&release.to_matrix().unwrap());
+        let q = RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 3 }, Predicate::All]);
+        assert_eq!(
+            bare.answer_with_error(&q).unwrap_err(),
+            QueryError::MissingPrivacyMeta
+        );
+
+        let prefix = bare
+            .with_error_model(release.transform.clone(), release.meta)
+            .unwrap();
+        let a = prefix.answer_with_error(&q).unwrap();
+        let b = coeff.answer_with_error(&q).unwrap();
+        // Identical formula over the same release: std-devs agree to
+        // rounding; values agree to cross-path rounding.
+        assert!((a.std_dev - b.std_dev).abs() < 1e-9);
+        assert!((a.value - b.value).abs() < 1e-9);
+        assert_eq!(a.value, prefix.answer(&q).unwrap());
+    }
+
+    #[test]
+    fn error_model_rejects_a_mismatched_transform() {
+        use privelet::transform::HnTransform;
+        use privelet_data::schema::{Attribute, Schema};
+        use std::collections::BTreeSet;
+
+        let (fm, ans) = medical_answerer();
+        let other = Schema::new(vec![Attribute::ordinal("x", 3)]).unwrap();
+        let other_hn = HnTransform::for_schema(&other, &BTreeSet::new()).unwrap();
+        let meta = privelet::PrivacyMeta::for_transform(&other_hn, 1.0).unwrap();
+        assert_eq!(
+            ans.with_error_model(other_hn, meta).unwrap_err(),
+            QueryError::ShapeMismatch
+        );
+        drop(fm);
     }
 
     #[test]

@@ -34,8 +34,37 @@ use std::sync::{Arc, Mutex, PoisonError};
 /// *domain* of that dimension.
 pub type SupportKey = (usize, usize, usize);
 
-/// A memoized per-dimension support: `(coefficient index, weight)` pairs.
-pub type SharedSupport = Arc<Vec<(usize, f64)>>;
+/// One dimension's derived query support plus its precomputed noise
+/// accounting: the sparse `(coefficient index, weight)` pairs of the
+/// interval-sum functional, and the per-dimension variance factor
+/// `Σ_j u(j)²/W(j)²` the exact-variance formula consumes
+/// (`Transform1d::support_variance_factor` — an O(|support|) fold done
+/// once at derivation time, so every cached or interned support carries
+/// its error accounting for free).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DimSupport {
+    /// `(coefficient index, weight)` pairs with strictly nonzero weights.
+    pub weights: Vec<(usize, f64)>,
+    /// The per-dimension variance factor of this support.
+    pub variance_factor: f64,
+}
+
+impl DimSupport {
+    /// Number of support entries (= coefficients one dot along this
+    /// dimension reads).
+    pub fn len(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Whether the support is empty (never true for a valid interval).
+    pub fn is_empty(&self) -> bool {
+        self.weights.is_empty()
+    }
+}
+
+/// A memoized per-dimension support behind an [`Arc`]: a cache hit clones
+/// a pointer, never the support.
+pub type SharedSupport = Arc<DimSupport>;
 
 /// Hit/miss/eviction counters and current occupancy of a
 /// [`SupportCache`].
@@ -292,7 +321,10 @@ mod tests {
     use super::*;
 
     fn support(v: usize) -> SharedSupport {
-        Arc::new(vec![(v, 1.0)])
+        Arc::new(DimSupport {
+            weights: vec![(v, 1.0)],
+            variance_factor: 1.0,
+        })
     }
 
     #[test]
@@ -301,7 +333,7 @@ mod tests {
         assert!(cache.get((0, 0, 1)).is_none());
         cache.insert((0, 0, 1), support(1));
         cache.insert((0, 2, 3), support(2));
-        assert_eq!(cache.get((0, 0, 1)).unwrap()[0].0, 1);
+        assert_eq!(cache.get((0, 0, 1)).unwrap().weights[0].0, 1);
         // Inserting a third entry evicts the least recently used (0,2,3).
         cache.insert((1, 0, 0), support(3));
         assert!(cache.get((0, 2, 3)).is_none());
@@ -321,7 +353,7 @@ mod tests {
         let mut cache = SupportCache::new(2);
         cache.insert((0, 0, 1), support(1));
         cache.insert((0, 0, 1), support(9));
-        assert_eq!(cache.get((0, 0, 1)).unwrap()[0].0, 9);
+        assert_eq!(cache.get((0, 0, 1)).unwrap().weights[0].0, 9);
         assert_eq!(cache.stats().evictions, 0);
         assert_eq!(cache.stats().len, 1);
     }
@@ -366,12 +398,12 @@ mod tests {
             assert_eq!(stats.len, 1);
             assert_eq!(stats.evictions, i as u64);
             assert!(cache.get((0, i - 1, i - 1)).is_none(), "old entry gone");
-            assert_eq!(cache.get((0, i, i)).unwrap()[0].0, i);
+            assert_eq!(cache.get((0, i, i)).unwrap().weights[0].0, i);
         }
         // Re-inserting the resident key replaces in place, no eviction.
         cache.insert((0, 5, 5), support(99));
         assert_eq!(cache.stats().evictions, 5);
-        assert_eq!(cache.get((0, 5, 5)).unwrap()[0].0, 99);
+        assert_eq!(cache.get((0, 5, 5)).unwrap().weights[0].0, 99);
     }
 
     #[test]
@@ -409,7 +441,11 @@ mod tests {
             cache.insert(key, support(i));
         }
         for (i, &key) in keys.iter().enumerate() {
-            assert_eq!(cache.get(key).unwrap()[0].0, i, "routing must be stable");
+            assert_eq!(
+                cache.get(key).unwrap().weights[0].0,
+                i,
+                "routing must be stable"
+            );
         }
         let stats = cache.stats();
         assert_eq!(stats.hits, 16);
@@ -433,7 +469,7 @@ mod tests {
                     Ok::<_, ()>(support(7))
                 })
                 .unwrap();
-            assert_eq!(s[0].0, 7);
+            assert_eq!(s.weights[0].0, 7);
         }
         assert_eq!(derivations, 1, "first call derives, the rest hit");
         // A failing derivation propagates, stores nothing, counts a miss.
@@ -475,6 +511,6 @@ mod tests {
         cache.get((0, 0, 1));
         let copy = cache.clone();
         assert_eq!(copy.stats(), cache.stats());
-        assert_eq!(copy.get((0, 0, 1)).unwrap()[0].0, 1);
+        assert_eq!(copy.get((0, 0, 1)).unwrap().weights[0].0, 1);
     }
 }

@@ -19,7 +19,7 @@
 //! floating-point rounding (property-tested at the workspace root).
 
 use crate::cache::{CacheStats, SharedSupport, SupportCache};
-use crate::engine::{AnswerEngine, EngineDiagnostics};
+use crate::engine::{AnnotatedAnswer, AnswerEngine, EngineDiagnostics};
 use crate::plan::QueryPlan;
 use crate::range_query::RangeQuery;
 use crate::release::ReleaseCore;
@@ -158,6 +158,18 @@ impl CoefficientAnswerer {
         Ok((value, supports.iter().map(|s| s.len()).product()))
     }
 
+    /// [`answer`](Self::answer) with its exact noise std-dev: the same
+    /// cached supports and the same dot (bit-identical value), annotated
+    /// from the supports' precomputed variance factors — on a warm cache
+    /// this is all hits and **zero** derivations.
+    ///
+    /// Errors with [`QueryError::MissingPrivacyMeta`] when the release
+    /// was built from a bare coefficient matrix.
+    pub fn answer_with_error(&self, q: &RangeQuery) -> Result<AnnotatedAnswer> {
+        let supports = self.supports(q)?;
+        self.core.annotate(self.core.dot(&supports), &supports)
+    }
+
     /// Answers a whole workload through the batch engine: compiles a
     /// [`QueryPlan`] (one support derivation per distinct
     /// `(dim, lo, hi)` triple across the batch) and executes it as
@@ -180,6 +192,15 @@ impl CoefficientAnswerer {
     /// Executes a compiled plan against the refined coefficients.
     pub fn answer_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
         self.core.execute_plan(plan)
+    }
+
+    /// [`answer_plan`](Self::answer_plan) with error accounting: the
+    /// variance factors were interned at compile time, so the annotated
+    /// batch performs the identical sparse dots plus one
+    /// multiply-and-sqrt per distinct query — no cache traffic, no
+    /// derivations.
+    pub fn answer_plan_with_error(&self, plan: &QueryPlan) -> Result<Vec<AnnotatedAnswer>> {
+        self.core.execute_plan_with_error(plan)
     }
 
     /// Number of coefficients `answer` would read for this query
@@ -233,6 +254,10 @@ impl AnswerEngine for CoefficientAnswerer {
 
     fn answer_one(&self, q: &RangeQuery) -> Result<f64> {
         self.answer(q)
+    }
+
+    fn answer_with_error(&self, q: &RangeQuery) -> Result<AnnotatedAnswer> {
+        self.answer_with_error(q)
     }
 
     fn answer_batch(&self, queries: &[RangeQuery]) -> Result<Vec<f64>> {
@@ -360,6 +385,56 @@ mod tests {
             .with_cache_capacity(0);
         assert_eq!(uncached.answer(q).unwrap(), first);
         assert_eq!(uncached.cache_stats().hits, 0);
+    }
+
+    #[test]
+    fn answer_with_error_rides_the_cache_for_free() {
+        let (fm, out) = medical_release(41);
+        let ans = CoefficientAnswerer::from_output(&out).unwrap();
+        let queries = medical_queries(&fm);
+
+        // Warm the cache with the plain answers.
+        let plain: Vec<f64> = queries.iter().map(|q| ans.answer(q).unwrap()).collect();
+        let warm = ans.cache_stats();
+
+        for (q, &v) in queries.iter().zip(&plain) {
+            let annotated = ans.answer_with_error(q).unwrap();
+            // Same cached supports, same dot: bit-identical value.
+            assert_eq!(annotated.value, v);
+            assert!(annotated.std_dev > 0.0);
+            // Never louder than the analytic worst case.
+            assert!(annotated.variance() <= out.meta.variance_bound * (1.0 + 1e-9));
+        }
+        let after = ans.cache_stats();
+        // Error accounting derived nothing: every lookup hit.
+        assert_eq!(after.misses, warm.misses);
+        assert_eq!(
+            after.hits - warm.hits,
+            (queries.len() * fm.schema().arity()) as u64
+        );
+
+        // The plan path annotates from compile-time factors and agrees.
+        let plan = ans.plan(&queries).unwrap();
+        let annotated_batch = ans.answer_plan_with_error(&plan).unwrap();
+        for (q, a) in queries.iter().zip(&annotated_batch) {
+            let online = ans.answer_with_error(q).unwrap();
+            assert_eq!(a.value, online.value);
+            assert!((a.std_dev - online.std_dev).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn exact_releases_refuse_error_annotation() {
+        // Built from bare coefficients: no λ, no error model.
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let hn =
+            privelet::transform::HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let ans = CoefficientAnswerer::new(fm.schema().clone(), hn, &coeffs).unwrap();
+        assert_eq!(
+            ans.answer_with_error(&RangeQuery::all(2)).unwrap_err(),
+            QueryError::MissingPrivacyMeta
+        );
     }
 
     #[test]

@@ -15,6 +15,56 @@ use crate::range_query::RangeQuery;
 use crate::Result;
 use privelet_data::schema::Schema;
 
+/// A query answer annotated with its exact noise standard deviation.
+///
+/// The std-dev comes from the closed-form variance
+/// `Var = 2λ²·∏ᵢ factorᵢ` (see `privelet::variance`): it is a pure
+/// function of public transform parameters and the release's λ, so
+/// reporting it costs no privacy budget and — because the per-dimension
+/// factors ride along with every derived support — no additional
+/// derivations at serving time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnnotatedAnswer {
+    /// The noisy answer.
+    pub value: f64,
+    /// The exact standard deviation of the answer's noise.
+    pub std_dev: f64,
+}
+
+impl AnnotatedAnswer {
+    /// The exact noise variance (`std_dev²`).
+    pub fn variance(&self) -> f64 {
+        self.std_dev * self.std_dev
+    }
+
+    /// A two-sided confidence interval at level `beta ∈ (0, 1)`:
+    /// `value ± std_dev/√(1−beta)`.
+    ///
+    /// The bound is Chebyshev's, which is **distribution-free**: the
+    /// noise in an answer is a weighted sum of independent Laplace
+    /// variables whose law varies per query (from a single Laplace up to
+    /// a near-Gaussian mixture), and Chebyshev covers every case with
+    /// only the exact variance — at the price of being conservative
+    /// (actual coverage is well above `beta`; the calibration harness in
+    /// `privelet-eval` measures how much).
+    pub fn interval(&self, beta: f64) -> (f64, f64) {
+        assert!(
+            beta > 0.0 && beta < 1.0,
+            "confidence level must be in (0, 1), got {beta}"
+        );
+        let k = (1.0 / (1.0 - beta)).sqrt();
+        (self.value - k * self.std_dev, self.value + k * self.std_dev)
+    }
+
+    /// The z-score of `reference` under this answer's error model:
+    /// `(value − reference)/std_dev`. Calibration harnesses feed the
+    /// exact answer here; across seeds the scores must have mean ≈ 0 and
+    /// variance ≈ 1 if the predicted std-dev is honest.
+    pub fn z_score(&self, reference: f64) -> f64 {
+        (self.value - reference) / self.std_dev
+    }
+}
+
 /// Cost diagnostics an engine reports about itself.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EngineDiagnostics {
@@ -41,6 +91,16 @@ pub trait AnswerEngine {
 
     /// Answers one range-count query (the online path).
     fn answer_one(&self, q: &RangeQuery) -> Result<f64>;
+
+    /// Answers one range-count query with its exact noise std-dev.
+    ///
+    /// The value equals [`answer_one`](Self::answer_one) bit for bit
+    /// (same supports, same float-op order); the annotation is read off
+    /// the supports' precomputed variance factors, so on a warm cache or
+    /// compiled plan it adds **zero** support derivations. Engines whose
+    /// release carries no [`PrivacyMeta`](privelet::PrivacyMeta) error
+    /// with [`QueryError::MissingPrivacyMeta`](crate::QueryError).
+    fn answer_with_error(&self, q: &RangeQuery) -> Result<AnnotatedAnswer>;
 
     /// Answers a whole batch, in query order. Engines with a batch
     /// compiler amortize shared work across the batch; the default
@@ -106,5 +166,64 @@ mod tests {
         let stats = d_coeff.cache.expect("coefficient engine has a cache");
         // The repeated query above hit the cache on both dimensions.
         assert!(stats.hits >= 2, "hits {}", stats.hits);
+    }
+
+    #[test]
+    fn annotated_answers_agree_across_engines_behind_the_trait() {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 33)).unwrap();
+        let coeff = CoefficientAnswerer::from_output(&release).unwrap();
+        // The prefix engine needs the error model attached explicitly —
+        // the reconstructed matrix alone cannot know λ.
+        let bare = Answerer::new(&release.to_matrix().unwrap());
+        let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]);
+        assert_eq!(
+            AnswerEngine::answer_with_error(&bare, &q).unwrap_err(),
+            crate::QueryError::MissingPrivacyMeta
+        );
+        let prefix = bare
+            .with_error_model(release.transform.clone(), release.meta)
+            .unwrap();
+
+        let engines: Vec<&dyn AnswerEngine> = vec![&prefix, &coeff];
+        let annotated: Vec<AnnotatedAnswer> = engines
+            .iter()
+            .map(|e| e.answer_with_error(&q).unwrap())
+            .collect();
+        // Same release, same formula: the std-devs agree to rounding and
+        // each engine's annotated value equals its plain answer bitwise.
+        assert!((annotated[0].std_dev - annotated[1].std_dev).abs() < 1e-9);
+        assert!(annotated[1].std_dev > 0.0);
+        for (engine, a) in engines.iter().zip(&annotated) {
+            assert_eq!(a.value, engine.answer_one(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn interval_and_z_score_arithmetic() {
+        let a = AnnotatedAnswer {
+            value: 10.0,
+            std_dev: 2.0,
+        };
+        assert_eq!(a.variance(), 4.0);
+        // Chebyshev at 75%: k = 1/√0.25 = 2.
+        let (lo, hi) = a.interval(0.75);
+        assert!((lo - 6.0).abs() < 1e-12);
+        assert!((hi - 14.0).abs() < 1e-12);
+        // Wider level ⇒ wider interval, always containing the value.
+        let (lo95, hi95) = a.interval(0.95);
+        assert!(lo95 < lo && hi < hi95);
+        assert_eq!(a.z_score(10.0), 0.0);
+        assert_eq!(a.z_score(6.0), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence level")]
+    fn interval_rejects_bad_levels() {
+        AnnotatedAnswer {
+            value: 0.0,
+            std_dev: 1.0,
+        }
+        .interval(1.0);
     }
 }

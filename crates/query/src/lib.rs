@@ -54,10 +54,10 @@ pub mod workload;
 
 pub use answerer::Answerer;
 pub use buckets::{quantile_rows, BucketRow};
-pub use cache::{CacheStats, ShardedSupportCache, SupportCache, DEFAULT_SHARD_COUNT};
+pub use cache::{CacheStats, DimSupport, ShardedSupportCache, SupportCache, DEFAULT_SHARD_COUNT};
 pub use coefficients::CoefficientAnswerer;
 pub use concurrent::ConcurrentEngine;
-pub use engine::{AnswerEngine, EngineDiagnostics};
+pub use engine::{AnnotatedAnswer, AnswerEngine, EngineDiagnostics};
 pub use metrics::{relative_error, sanity_bound, square_error};
 pub use plan::QueryPlan;
 pub use predicate::Predicate;
@@ -92,6 +92,12 @@ pub enum QueryError {
     /// A selectivity was requested over an empty population (`n == 0`),
     /// for which the ratio is undefined.
     ZeroPopulation,
+    /// Error-annotated answering was requested on a release that carries
+    /// no privacy accounting (a core built from a bare coefficient
+    /// matrix): without λ the noise std-dev is unknowable. Build the
+    /// release from a publisher output (`from_output` /
+    /// `ReleaseCore::with_meta`) to get error accounting.
+    MissingPrivacyMeta,
     /// A transform-layer failure that has no structural query-layer
     /// counterpart; carries the rendered core error so the cause (the
     /// offending dimension, bounds, or shapes) is preserved.
@@ -132,6 +138,13 @@ impl std::fmt::Display for QueryError {
                 write!(
                     f,
                     "selectivity is undefined over an empty population (n = 0)"
+                )
+            }
+            QueryError::MissingPrivacyMeta => {
+                write!(
+                    f,
+                    "release carries no privacy metadata (λ); build it from a \
+                     publisher output to get error-annotated answers"
                 )
             }
             QueryError::Transform(msg) => write!(f, "transform error: {msg}"),

@@ -25,9 +25,11 @@
 //! [`distinct_supports`]: QueryPlan::distinct_supports
 //! [`dedup_ratio`]: QueryPlan::dedup_ratio
 
+use crate::engine::AnnotatedAnswer;
 use crate::range_query::RangeQuery;
 use crate::{QueryError, Result};
-use privelet::transform::{DimTransform, HnTransform};
+use privelet::transform::{DimTransform, HnTransform, Transform1d};
+use privelet::PrivacyMeta;
 use privelet_data::schema::{Domain, Schema};
 use privelet_matrix::{NdMatrix, Shape};
 use std::collections::HashMap;
@@ -75,6 +77,11 @@ pub struct QueryPlan {
     arena_w: Vec<f64>,
     /// Per pool entry: `(start, len)` of its slice of the arena.
     spans: Vec<(usize, usize)>,
+    /// Per pool entry: the per-dimension variance factor
+    /// `Σ_j u(j)²/W(j)²` of that support, folded once at compile time
+    /// (one extra f64 per distinct `(dim, lo, hi)` — this is what makes
+    /// error-annotated execution derivation-free).
+    span_factors: Vec<f64>,
     /// Fixed-width term lists: `ndim` pool ids per **distinct** query.
     terms: Vec<u32>,
     /// Per input query: the distinct-query id it resolves to.
@@ -83,6 +90,9 @@ pub struct QueryPlan {
     /// Coefficient reads per distinct query (`∏ᵢ |supportᵢ|`), for the
     /// cost accounting below.
     distinct_reads: Vec<usize>,
+    /// Per distinct query: the product of its dimensions' variance
+    /// factors, so `Var = 2λ²·product` needs no walk at execution time.
+    distinct_factors: Vec<f64>,
     /// Sum over **all** input queries of their read cost (the per-query
     /// cost model, before whole-query dedup).
     support_sum: usize,
@@ -117,9 +127,11 @@ impl QueryPlan {
         let mut arena_idx = Vec::new();
         let mut arena_w = Vec::new();
         let mut spans: Vec<(usize, usize)> = Vec::new();
+        let mut span_factors: Vec<f64> = Vec::new();
         let mut terms = Vec::new();
         let mut query_ids = Vec::with_capacity(queries.len());
         let mut distinct_reads: Vec<usize> = Vec::new();
+        let mut distinct_factors: Vec<f64> = Vec::new();
         let mut support_sum = 0usize;
 
         for q in queries {
@@ -132,6 +144,7 @@ impl QueryPlan {
             }
             let (lo, hi) = q.bounds(schema)?;
             let mut reads = 1usize;
+            let mut factor_product = 1.0f64;
             for dim in 0..ndim {
                 // Second interning level: a repeated per-dimension
                 // predicate reuses the pooled support across queries.
@@ -142,6 +155,11 @@ impl QueryPlan {
                         let support = transform
                             .query_weights_for_dim(dim, lo[dim], hi[dim])
                             .map_err(QueryError::from)?;
+                        // The variance factor rides on the one derivation
+                        // (folded before the stride premultiply, which
+                        // only reshapes indices).
+                        span_factors
+                            .push(transform.transforms()[dim].support_variance_factor(&support));
                         let start = arena_idx.len();
                         for (k, w) in support {
                             arena_idx.push(k * strides[dim]);
@@ -154,10 +172,12 @@ impl QueryPlan {
                     }
                 };
                 reads *= spans[id as usize].1;
+                factor_product *= span_factors[id as usize];
                 terms.push(id);
             }
             let qid = distinct_reads.len() as u32;
             distinct_reads.push(reads);
+            distinct_factors.push(factor_product);
             support_sum += reads;
             query_pool.insert(q, qid);
             query_ids.push(qid);
@@ -168,10 +188,12 @@ impl QueryPlan {
             arena_idx,
             arena_w,
             spans,
+            span_factors,
             terms,
             query_ids,
             ndim,
             distinct_reads,
+            distinct_factors,
             support_sum,
         })
     }
@@ -207,6 +229,42 @@ impl QueryPlan {
         out.reserve(self.query_ids.len());
         out.extend(self.query_ids.iter().map(|&qid| distinct[qid as usize]));
         Ok(())
+    }
+
+    /// [`execute`](Self::execute) with error accounting: one
+    /// [`AnnotatedAnswer`] per compiled query, its std-dev read off the
+    /// variance factors interned at compile time
+    /// (`Var = 2λ²·∏ᵢ factorᵢ` with `λ` from `meta`). Performs the same
+    /// sparse dots as `execute` (bit-identical values) plus one
+    /// multiply-and-sqrt per **distinct** query — zero additional support
+    /// derivations, by construction.
+    pub fn execute_annotated(
+        &self,
+        coeffs: &NdMatrix,
+        meta: &PrivacyMeta,
+    ) -> Result<Vec<AnnotatedAnswer>> {
+        let mut values = Vec::with_capacity(self.query_ids.len());
+        self.execute_into(coeffs, &mut values)?;
+        let distinct_stds: Vec<f64> = self
+            .distinct_factors
+            .iter()
+            .map(|&product| meta.query_variance(product).sqrt())
+            .collect();
+        Ok(values
+            .into_iter()
+            .zip(&self.query_ids)
+            .map(|(value, &qid)| AnnotatedAnswer {
+                value,
+                std_dev: distinct_stds[qid as usize],
+            })
+            .collect())
+    }
+
+    /// The product of per-dimension variance factors of input query `i`
+    /// (`Var = 2λ²·` this), read from the compile-time interned factors.
+    /// Panics if `i >= len()`.
+    pub fn variance_factor(&self, i: usize) -> f64 {
+        self.distinct_factors[self.query_ids[i] as usize]
     }
 
     /// One query's sparse tensor-product dot: depth-first over its pool
@@ -363,6 +421,44 @@ mod tests {
         plan.execute_into(&coeffs, &mut out).unwrap();
         assert_eq!(out.len(), 1 + queries.len());
         assert_eq!(&out[1..], got.as_slice());
+    }
+
+    #[test]
+    fn annotated_execution_matches_plain_execution_bitwise() {
+        use privelet::variance::exact_query_variance;
+
+        let (fm, hn) = medical();
+        let coeffs = hn.forward(fm.matrix()).unwrap();
+        let meta = PrivacyMeta::for_transform(&hn, 1.0).unwrap();
+        let q1 = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]);
+        let queries = vec![RangeQuery::all(2), q1.clone(), q1.clone()];
+        let plan = QueryPlan::compile(fm.schema(), &hn, &queries).unwrap();
+
+        let plain = plan.execute(&coeffs).unwrap();
+        let annotated = plan.execute_annotated(&coeffs, &meta).unwrap();
+        assert_eq!(annotated.len(), plain.len());
+        for (i, (a, &v)) in annotated.iter().zip(&plain).enumerate() {
+            // Identical dots: the annotation never perturbs the value.
+            assert_eq!(a.value, v);
+            assert!(a.std_dev > 0.0);
+            // The interned factors reproduce the variance module exactly.
+            let (lo, hi) = queries[i].bounds(fm.schema()).unwrap();
+            let want = exact_query_variance(&hn, meta.lambda, &lo, &hi).unwrap();
+            assert!(
+                (a.variance() - want).abs() <= 1e-9 * want,
+                "query {i}: {} vs {want}",
+                a.variance()
+            );
+            assert!(
+                (plan.variance_factor(i) - want / (2.0 * meta.lambda * meta.lambda)).abs() < 1e-9
+            );
+        }
+        // Repeated whole queries share one interned std-dev.
+        assert_eq!(annotated[1], annotated[2]);
+
+        // Empty plans annotate to an empty batch.
+        let empty = QueryPlan::compile(fm.schema(), &hn, &[]).unwrap();
+        assert_eq!(empty.execute_annotated(&coeffs, &meta).unwrap(), vec![]);
     }
 
     #[test]

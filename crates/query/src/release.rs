@@ -19,19 +19,22 @@
 //! [`ConcurrentEngine`]: crate::ConcurrentEngine
 //! [`SupportCache`]: crate::SupportCache
 
-use crate::cache::SharedSupport;
+use crate::cache::{DimSupport, SharedSupport};
+use crate::engine::AnnotatedAnswer;
 use crate::plan::QueryPlan;
 use crate::range_query::RangeQuery;
 use crate::{QueryError, Result};
 use privelet::mechanism::CoefficientOutput;
-use privelet::transform::HnTransform;
+use privelet::transform::{HnTransform, Transform1d};
+use privelet::PrivacyMeta;
 use privelet_data::schema::Schema;
 use privelet_matrix::NdMatrix;
 use std::sync::Arc;
 
 /// The immutable, shareable core of one coefficient-domain release:
-/// schema + transform + refined coefficients (+ cached strides and the
-/// noisy total). See the [module docs](self) for how the caching shells
+/// schema + transform + refined coefficients (+ cached strides, the
+/// noisy total, and the release's [`PrivacyMeta`] when it came from a
+/// publisher). See the [module docs](self) for how the caching shells
 /// layer on top.
 #[derive(Debug, Clone)]
 pub struct ReleaseCore {
@@ -45,19 +48,49 @@ pub struct ReleaseCore {
     /// The (noisy) total count — the unconstrained query's answer,
     /// computed once at construction.
     total: f64,
+    /// The privacy accounting of the release, when known — `λ` is what
+    /// error accounting needs (`Var = 2λ²·∏ᵢ factorᵢ`). `None` for cores
+    /// built from bare coefficient matrices (e.g. exact-coefficient test
+    /// fixtures), whose noise scale is unknowable; those cores answer
+    /// queries but refuse to annotate them.
+    meta: Option<PrivacyMeta>,
 }
 
 impl ReleaseCore {
     /// Builds the core from a published coefficient matrix and its
-    /// metadata. Applies the refinement once (O(m'); idempotent, so exact
-    /// or already-refined coefficients pass through unchanged) and
-    /// answers the unconstrained query once for [`total`](Self::total).
+    /// metadata, without privacy accounting (error-annotated answering
+    /// will return [`QueryError::MissingPrivacyMeta`]; use
+    /// [`with_meta`](Self::with_meta) or
+    /// [`from_output`](Self::from_output) to carry it). Applies the
+    /// refinement once (O(m'); idempotent, so exact or already-refined
+    /// coefficients pass through unchanged) and answers the unconstrained
+    /// query once for [`total`](Self::total).
     ///
     /// Errors with [`QueryError::ShapeMismatch`] when the schema, the
     /// transform and the coefficient matrix do not describe the same
     /// release (including a nominal transform whose hierarchy differs
     /// structurally from the schema's).
     pub fn new(schema: Schema, transform: HnTransform, noisy: &NdMatrix) -> Result<Self> {
+        Self::build(schema, transform, noisy, None)
+    }
+
+    /// [`new`](Self::new) carrying the release's privacy accounting, so
+    /// every answer can be annotated with its exact noise std-dev.
+    pub fn with_meta(
+        schema: Schema,
+        transform: HnTransform,
+        noisy: &NdMatrix,
+        meta: PrivacyMeta,
+    ) -> Result<Self> {
+        Self::build(schema, transform, noisy, Some(meta))
+    }
+
+    fn build(
+        schema: Schema,
+        transform: HnTransform,
+        noisy: &NdMatrix,
+        meta: Option<PrivacyMeta>,
+    ) -> Result<Self> {
         crate::plan::check_release_metadata(&schema, &transform)?;
         if noisy.dims() != transform.output_dims() {
             return Err(QueryError::ShapeMismatch);
@@ -72,17 +105,19 @@ impl ReleaseCore {
             coeffs,
             strides,
             total: 0.0,
+            meta,
         };
         core.total = core.answer_uncached(&RangeQuery::all(core.schema.arity()))?;
         Ok(core)
     }
 
-    /// Builds the core straight from a [`publish_coefficients`] release.
+    /// Builds the core straight from a [`publish_coefficients`] release,
+    /// carrying its [`PrivacyMeta`].
     ///
     /// [`publish_coefficients`]: privelet::mechanism::publish_coefficients
     pub fn from_output(out: &CoefficientOutput) -> Result<Self> {
         let (schema, transform, coefficients) = out.release_parts();
-        Self::new(schema.clone(), transform.clone(), coefficients)
+        Self::with_meta(schema.clone(), transform.clone(), coefficients, out.meta)
     }
 
     /// The schema queries are validated against.
@@ -105,17 +140,29 @@ impl ReleaseCore {
         self.total
     }
 
+    /// The release's privacy accounting, when it carries one.
+    pub fn meta(&self) -> Option<&PrivacyMeta> {
+        self.meta.as_ref()
+    }
+
     /// Derives one dimension's sparse support, uncached: the
     /// `(coefficient index, weight)` pairs of the interval-sum functional
-    /// over `[lo, hi]` on dimension `dim`. This is the derivation every
-    /// cache memoizes; it is pure, so two threads deriving the same
-    /// triple produce identical supports.
+    /// over `[lo, hi]` on dimension `dim`, plus the per-dimension
+    /// variance factor (an O(|support|) fold piggybacking on the
+    /// derivation — no second derivation, so cached supports carry their
+    /// error accounting for free). This is the derivation every cache
+    /// memoizes; it is pure, so two threads deriving the same triple
+    /// produce identical supports.
     pub fn derive_support(&self, dim: usize, lo: usize, hi: usize) -> Result<SharedSupport> {
-        Ok(Arc::new(
-            self.transform
-                .query_weights_for_dim(dim, lo, hi)
-                .map_err(QueryError::from)?,
-        ))
+        let weights = self
+            .transform
+            .query_weights_for_dim(dim, lo, hi)
+            .map_err(QueryError::from)?;
+        let variance_factor = self.transform.transforms()[dim].support_variance_factor(&weights);
+        Ok(Arc::new(DimSupport {
+            weights,
+            variance_factor,
+        }))
     }
 
     /// Resolves a query to its per-dimension bounds and derives every
@@ -135,11 +182,35 @@ impl ReleaseCore {
         Ok(self.dot(&self.supports_uncached(q)?))
     }
 
+    /// [`answer_uncached`](Self::answer_uncached) with error accounting:
+    /// the same derive-supports-then-dot, annotated via
+    /// [`annotate`](Self::annotate).
+    pub fn answer_with_error_uncached(&self, q: &RangeQuery) -> Result<AnnotatedAnswer> {
+        let supports = self.supports_uncached(q)?;
+        self.annotate(self.dot(&supports), &supports)
+    }
+
     /// The sparse tensor-product dot of already-derived per-dimension
     /// supports against the refined coefficients:
     /// `Σ ∏ᵢ wᵢ[kᵢ] · C[k₁,…,k_d]`, reading `∏ᵢ |supportᵢ|` coefficients.
     pub fn dot(&self, supports: &[SharedSupport]) -> f64 {
         sparse_dot(self.coeffs.as_slice(), &self.strides, supports, 0, 0, 1.0)
+    }
+
+    /// Annotates an already-computed answer with its exact noise std-dev,
+    /// read off the supports' precomputed per-dimension variance factors:
+    /// `Var = 2λ²·∏ᵢ factorᵢ` (see `privelet::variance`). Pure arithmetic
+    /// over d floats — no derivation, no coefficient reads.
+    ///
+    /// Errors with [`QueryError::MissingPrivacyMeta`] when the core was
+    /// built without accounting ([`new`](Self::new)).
+    pub fn annotate(&self, value: f64, supports: &[SharedSupport]) -> Result<AnnotatedAnswer> {
+        let meta = self.meta.as_ref().ok_or(QueryError::MissingPrivacyMeta)?;
+        let product: f64 = supports.iter().map(|s| s.variance_factor).product();
+        Ok(AnnotatedAnswer {
+            value,
+            std_dev: meta.query_variance(product).sqrt(),
+        })
     }
 
     /// Compiles a workload against this release's schema and transform.
@@ -157,6 +228,20 @@ impl ReleaseCore {
     pub fn execute_plan(&self, plan: &QueryPlan) -> Result<Vec<f64>> {
         plan.execute(&self.coeffs)
     }
+
+    /// [`execute_plan`](Self::execute_plan) with error accounting: one
+    /// [`AnnotatedAnswer`] per compiled query. The variance factors were
+    /// interned into the plan at compile time (one per distinct
+    /// `(dim, lo, hi)` support), so annotation performs **zero**
+    /// additional support derivations — it is the same sparse dots plus
+    /// one multiply-and-sqrt per distinct query.
+    ///
+    /// Errors with [`QueryError::MissingPrivacyMeta`] when the core was
+    /// built without accounting.
+    pub fn execute_plan_with_error(&self, plan: &QueryPlan) -> Result<Vec<AnnotatedAnswer>> {
+        let meta = self.meta.as_ref().ok_or(QueryError::MissingPrivacyMeta)?;
+        plan.execute_annotated(&self.coeffs, meta)
+    }
 }
 
 /// Folds the tensor product of the per-dimension sparse supports against
@@ -173,11 +258,13 @@ fn sparse_dot(
     if dim + 1 == supports.len() {
         // Innermost dimension: contiguous-ish reads, no recursion.
         return supports[dim]
+            .weights
             .iter()
             .map(|&(k, w)| weight * w * data[base + k * strides[dim]])
             .sum();
     }
     supports[dim]
+        .weights
         .iter()
         .map(|&(k, w)| {
             sparse_dot(
@@ -231,5 +318,45 @@ mod tests {
             ReleaseCore::new(out.schema.clone(), out.transform.clone(), &wrong).unwrap_err(),
             QueryError::ShapeMismatch
         );
+    }
+
+    #[test]
+    fn meta_gates_error_accounting() {
+        let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
+        let out = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 5)).unwrap();
+        let q = RangeQuery::all(2);
+
+        // A bare core answers but refuses to annotate.
+        let bare =
+            ReleaseCore::new(out.schema.clone(), out.transform.clone(), &out.coefficients).unwrap();
+        assert!(bare.meta().is_none());
+        assert_eq!(
+            bare.answer_with_error_uncached(&q).unwrap_err(),
+            QueryError::MissingPrivacyMeta
+        );
+        let plan = bare.plan(std::slice::from_ref(&q)).unwrap();
+        assert_eq!(
+            bare.execute_plan_with_error(&plan).unwrap_err(),
+            QueryError::MissingPrivacyMeta
+        );
+
+        // The publisher-built core annotates; the value is the identical
+        // dot and the std-dev matches the variance module.
+        let core = ReleaseCore::from_output(&out).unwrap();
+        assert_eq!(core.meta(), Some(&out.meta));
+        let annotated = core.answer_with_error_uncached(&q).unwrap();
+        assert_eq!(annotated.value, core.answer_uncached(&q).unwrap());
+        let want = privelet::variance::exact_query_variance(
+            core.transform(),
+            out.meta.lambda,
+            &[0, 0],
+            &[4, 1],
+        )
+        .unwrap();
+        assert!((annotated.variance() - want).abs() <= 1e-9 * want);
+        // Plan-path annotation agrees with the uncached path.
+        let batch = core.execute_plan_with_error(&plan).unwrap();
+        assert_eq!(batch[0].value, annotated.value);
+        assert!((batch[0].std_dev - annotated.std_dev).abs() < 1e-12);
     }
 }

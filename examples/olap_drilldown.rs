@@ -46,7 +46,7 @@ fn main() {
         "published {n} tuples over 60 occupations at ε = {epsilon} \
          ({} noisy coefficients, matrix never rebuilt; variance bound {:.0} = Eq. 6's {:.0})",
         release.coefficient_count(),
-        release.variance_bound,
+        release.meta.variance_bound,
         eq6_nominal_bound(hierarchy.height(), epsilon),
     );
 

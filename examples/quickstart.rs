@@ -66,13 +66,13 @@ fn main() {
     println!(
         "  Privelet:  answer = {:+.2}   (ρ = {}, λ = {}, {} coefficients)",
         query.evaluate(&out.matrix).unwrap(),
-        out.rho,
-        out.lambda,
+        out.meta.rho,
+        out.meta.lambda,
         out.coefficient_count
     );
     println!(
         "  Privelet per-query variance bound: {:.1}",
-        out.variance_bound
+        out.meta.variance_bound
     );
 
     // Optional count post-processing (pure function of the release).
@@ -104,6 +104,22 @@ fn main() {
     let diff = (coeff_answer - query.evaluate(&out.matrix).unwrap()).abs();
     assert!(diff < 1e-9, "serving paths must agree; diff = {diff}");
     println!("  agrees with the inverse-transform path to {diff:.1e}");
+
+    // Error-accounted serving: every answer knows its own exact noise
+    // std-dev (Var = 2λ²·∏ factors, a pure function of public transform
+    // parameters — no privacy cost), so the release can report a
+    // confidence interval next to each count.
+    let annotated = answerer.answer_with_error(&query).unwrap();
+    assert_eq!(annotated.value, coeff_answer, "same supports, same dot");
+    let (lo95, hi95) = annotated.interval(0.95);
+    println!(
+        "  error bars: {:+.2} ± {:.2} std dev; 95% interval [{lo95:+.2}, {hi95:+.2}]",
+        annotated.value, annotated.std_dev
+    );
+    assert!(
+        lo95 <= exact && exact <= hi95,
+        "this demo's interval happens to cover the exact answer"
+    );
 
     // Batched serving: a small OLAP-style workload (the same age interval
     // drilled across both diabetes values, plus the total) compiled into

@@ -26,8 +26,8 @@ use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::query::cache::SupportKey;
 use privelet_repro::query::{
-    AnswerEngine, Answerer, CoefficientAnswerer, ConcurrentEngine, QueryPlan, RangeQuery,
-    ReleaseCore, ShardedSupportCache, SupportCache,
+    AnswerEngine, Answerer, CoefficientAnswerer, ConcurrentEngine, DimSupport, QueryPlan,
+    RangeQuery, ReleaseCore, ShardedSupportCache, SupportCache,
 };
 use proptest::prelude::*;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -151,10 +151,13 @@ fn contended_sharded_cache_conserves_counters_and_derives_once() {
                         let support = cache
                             .get_or_derive(keys[k], || {
                                 derivations[k].fetch_add(1, Ordering::SeqCst);
-                                Ok::<_, ()>(Arc::new(vec![(k, 1.0)]))
+                                Ok::<_, ()>(Arc::new(DimSupport {
+                                    weights: vec![(k, 1.0)],
+                                    variance_factor: 1.0,
+                                }))
                             })
                             .unwrap();
-                        assert_eq!(support[0].0, k, "supports must never cross keys");
+                        assert_eq!(support.weights[0].0, k, "supports must never cross keys");
                     }
                 }
             });
@@ -209,10 +212,13 @@ fn contended_sharded_cache_conserves_counters_under_eviction_pressure() {
                         let support = cache
                             .get_or_derive(keys[k], || {
                                 derivations[k].fetch_add(1, Ordering::SeqCst);
-                                Ok::<_, ()>(Arc::new(vec![(k, 1.0)]))
+                                Ok::<_, ()>(Arc::new(DimSupport {
+                                    weights: vec![(k, 1.0)],
+                                    variance_factor: 1.0,
+                                }))
                             })
                             .unwrap();
-                        assert_eq!(support[0].0, k);
+                        assert_eq!(support.weights[0].0, k);
                     }
                 }
             });

@@ -40,8 +40,8 @@ fn privelet_plus_sa_all_is_basic_bit_for_bit() {
             basic.matrix().as_slice(),
             "eps={eps} seed={seed}"
         );
-        assert_eq!(plus.rho, 1.0);
-        assert_eq!(plus.lambda, 2.0 / eps);
+        assert_eq!(plus.meta.rho, 1.0);
+        assert_eq!(plus.meta.lambda, 2.0 / eps);
     }
 }
 
@@ -54,8 +54,8 @@ fn privelet_plus_empty_sa_is_pure_privelet() {
         pure.matrix.matrix().as_slice(),
         plus.matrix.matrix().as_slice()
     );
-    assert_eq!(pure.rho, plus.rho);
-    assert_eq!(pure.variance_bound, plus.variance_bound);
+    assert_eq!(pure.meta.rho, plus.meta.rho);
+    assert_eq!(pure.meta.variance_bound, plus.meta.variance_bound);
 }
 
 #[test]

@@ -51,9 +51,11 @@ fn published_lambda_matches_two_rho_over_epsilon() {
     let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
     for epsilon in [0.5, 0.75, 1.0, 1.25] {
         let out = publish_privelet(&fm, &PriveletConfig::pure(epsilon, 1)).unwrap();
-        let expected = lambda_for_epsilon(epsilon, out.rho).unwrap();
-        assert!((out.lambda - expected).abs() < 1e-12);
-        assert!((epsilon_for_lambda(out.lambda, out.rho).unwrap() - epsilon).abs() < 1e-12);
+        let expected = lambda_for_epsilon(epsilon, out.meta.rho).unwrap();
+        assert!((out.meta.lambda - expected).abs() < 1e-12);
+        assert!(
+            (epsilon_for_lambda(out.meta.lambda, out.meta.rho).unwrap() - epsilon).abs() < 1e-12
+        );
     }
 }
 
