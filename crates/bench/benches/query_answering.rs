@@ -138,12 +138,18 @@ fn bench_batched(c: &mut Criterion) {
             let queries: Vec<RangeQuery> =
                 catalog.iter().cycle().take(n_queries).cloned().collect();
 
-            // Sanity: the compiled plan and the per-query loop agree
-            // (bit for bit — same supports, same float-op order).
+            // Sanity: the compiled plan and the per-query loop agree to
+            // 1e-12 relative — the plan's arena kernel may sum supports
+            // in a different order than the online dot (summation-order
+            // policy, docs/architecture.md).
             let plan = coeff.plan(&queries).unwrap();
             let batch = coeff.answer_plan(&plan).unwrap();
             for (q, want) in queries.iter().zip(&batch) {
-                assert_eq!(coeff.answer(q).unwrap(), *want, "2^{exp}");
+                let got = coeff.answer(q).unwrap();
+                assert!(
+                    (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                    "2^{exp}: online {got} vs plan {want}"
+                );
             }
 
             group.bench_function(&format!("plan_compile{n_queries}_2^{exp}"), |b| {

@@ -113,6 +113,29 @@ impl ServingReport {
         self.prefix_build_secs + self.prefix_answer_secs
     }
 
+    /// Queries per second sustained by the compiled-plan execution path
+    /// (excluding compilation — plans are compiled once and executed per
+    /// refresh). The headline number the `plan_throughput` bench tracks;
+    /// 0.0 for an empty workload. Compare with
+    /// [`online_queries_per_sec`](Self::online_queries_per_sec) to size
+    /// the batch-vs-online tradeoff for a deployment.
+    pub fn plan_queries_per_sec(&self) -> f64 {
+        if self.coeff_answer_secs > 0.0 {
+            self.queries as f64 / self.coeff_answer_secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Queries per second sustained by the cached online path.
+    pub fn online_queries_per_sec(&self) -> f64 {
+        if self.online_answer_secs > 0.0 {
+            self.queries as f64 / self.online_answer_secs
+        } else {
+            0.0
+        }
+    }
+
     /// How many times faster the sparse exact-variance path is than the
     /// dense basis-vector oracle on this release (0.0 when nothing was
     /// timed).
@@ -428,6 +451,9 @@ mod tests {
         assert!(report.mean_support >= 1.0);
         assert!(report.coeff_total_secs() > 0.0 && report.prefix_total_secs() > 0.0);
         assert!(report.online_answer_secs > 0.0);
+        // Throughput diagnostics are finite and positive on a real run.
+        assert!(report.plan_queries_per_sec() > 0.0);
+        assert!(report.online_queries_per_sec() > 0.0);
         // 400 queries over a few dimensions must repeat predicate
         // intervals: the plan dedups and the cache hits.
         assert!(report.distinct_supports >= 1);
@@ -578,6 +604,9 @@ mod tests {
         let report = compare_serving_paths(&fm, &PriveletConfig::pure(1.0, 2), &[]).unwrap();
         assert_eq!(report.queries, 0);
         assert_eq!(report.max_abs_diff, 0.0);
+        // Throughput of nothing is 0, not NaN.
+        assert!(report.plan_queries_per_sec().is_finite());
+        assert!(report.online_queries_per_sec().is_finite());
         assert_eq!(report.mean_support, 0.0);
         assert!(report.mean_support.is_finite());
         assert_eq!(report.dedup_ratio, 0.0);

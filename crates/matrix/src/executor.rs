@@ -19,13 +19,18 @@
 //! increasing address order per outer block.
 //!
 //! With the `parallel` cargo feature the lane range is split into
-//! contiguous chunks executed on `std::thread::scope` threads, one
-//! gather/scatter/scratch buffer set per worker. Every lane writes a
-//! disjoint set of output indices and the per-lane arithmetic is identical
-//! to the serial path, so the parallel output is **bit-identical** to the
-//! serial output — a property the equivalence test suite asserts.
+//! contiguous chunks executed on a persistent [`WorkerPool`] (spawned
+//! lazily on the first stage that crosses the cut-over and reused across
+//! all later stages and runs), one gather/scatter/scratch buffer set per
+//! worker. Every lane writes a disjoint set of output indices and the
+//! per-lane arithmetic is identical to the serial path, so the parallel
+//! output is **bit-identical** to the serial output — a property the
+//! equivalence test suite asserts.
+//!
+//! [`WorkerPool`]: crate::pool::WorkerPool
 
 use crate::ndmatrix::NdMatrix;
+use crate::pool::WorkerPool;
 use crate::{MatrixError, Result};
 
 /// A 1-D kernel applied to every lane of one axis.
@@ -69,6 +74,12 @@ pub struct LaneExecutor {
     back: Vec<f64>,
     threads: usize,
     parallel_min_cells: usize,
+    /// Persistent workers, spawned lazily on the first stage that
+    /// actually fans out (`threads − 1` of them; the calling thread runs
+    /// chunk 0) and reused for every later stage and run. `None` until
+    /// then — a serial executor never spawns a thread. Dropping the
+    /// executor joins them.
+    pool: Option<WorkerPool>,
 }
 
 impl Default for LaneExecutor {
@@ -87,14 +98,40 @@ impl Default for LaneExecutor {
 /// hardware without a rebuild.
 pub const MIN_PARALLEL_CELLS: usize = 1 << 14;
 
+/// Interprets a `PRIVELET_PARALLEL_MIN_CELLS` value: `(threshold,
+/// malformed)`. `None` (unset) and a parseable value are not malformed;
+/// anything else falls back to [`MIN_PARALLEL_CELLS`] **and says so**,
+/// so a typo'd tuning knob can't silently revert the cut-over. Pure so
+/// it is unit-testable without racing on the process environment.
+fn parse_parallel_threshold(raw: Option<&str>) -> (usize, bool) {
+    match raw {
+        None => (MIN_PARALLEL_CELLS, false),
+        Some(v) => match v.trim().parse() {
+            Ok(n) => (n, false),
+            Err(_) => (MIN_PARALLEL_CELLS, true),
+        },
+    }
+}
+
 /// The construction-time parallel threshold: the
 /// `PRIVELET_PARALLEL_MIN_CELLS` env override when set and parseable,
-/// [`MIN_PARALLEL_CELLS`] otherwise. `0` means "always fan out".
+/// [`MIN_PARALLEL_CELLS`] otherwise. `0` means "always fan out". A set
+/// but unparseable value is reported once per process on stderr instead
+/// of being silently ignored.
 fn default_parallel_threshold() -> usize {
-    std::env::var("PRIVELET_PARALLEL_MIN_CELLS")
-        .ok()
-        .and_then(|v| v.trim().parse().ok())
-        .unwrap_or(MIN_PARALLEL_CELLS)
+    let raw = std::env::var("PRIVELET_PARALLEL_MIN_CELLS").ok();
+    let (value, malformed) = parse_parallel_threshold(raw.as_deref());
+    if malformed {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "privelet-matrix: PRIVELET_PARALLEL_MIN_CELLS={:?} is not a cell count; \
+                 using the default of {value}",
+                raw.as_deref().unwrap_or_default()
+            );
+        });
+    }
+    value
 }
 
 impl LaneExecutor {
@@ -113,6 +150,7 @@ impl LaneExecutor {
             back: Vec::new(),
             threads: threads.max(1),
             parallel_min_cells: default_parallel_threshold(),
+            pool: None,
         }
     }
 
@@ -217,6 +255,15 @@ impl LaneExecutor {
             let src_cells = outer * in_len * inner;
             let dst_cells = outer * out_len * inner;
             let workers = self.effective_threads(src_cells.max(dst_cells));
+            // First stage that genuinely fans out: spawn the persistent
+            // pool (threads − 1 workers; the calling thread runs chunk
+            // 0). Later stages and runs reuse it — spawn-once is the
+            // whole point of the pool. Without the `parallel` feature
+            // every stage runs serially, so no pool is ever spawned.
+            #[cfg(feature = "parallel")]
+            if workers > 1 && self.pool.is_none() {
+                self.pool = Some(WorkerPool::new(self.threads - 1));
+            }
             let input: &[f64] = if first {
                 src.as_slice()
             } else {
@@ -235,7 +282,8 @@ impl LaneExecutor {
                     out_len,
                     inner,
                     workers,
-                );
+                    self.pool.as_ref(),
+                )?;
                 return NdMatrix::from_vec(&dims, result);
             }
             run_stage(
@@ -246,7 +294,8 @@ impl LaneExecutor {
                 out_len,
                 inner,
                 workers,
-            );
+                self.pool.as_ref(),
+            )?;
             first = false;
             std::mem::swap(&mut self.front, &mut self.back);
         }
@@ -278,14 +327,14 @@ pub fn default_threads() -> usize {
 }
 
 /// Per-worker gather / output / scratch buffers.
-struct WorkerBufs {
+pub(crate) struct WorkerBufs {
     in_lane: Vec<f64>,
     out_lane: Vec<f64>,
     scratch: Vec<f64>,
 }
 
 impl WorkerBufs {
-    fn new(kernel: &dyn LaneKernel, in_len: usize, out_len: usize) -> Self {
+    pub(crate) fn new(kernel: &dyn LaneKernel, in_len: usize, out_len: usize) -> Self {
         WorkerBufs {
             in_lane: vec![0.0; in_len],
             out_lane: vec![0.0; out_len],
@@ -308,7 +357,7 @@ impl WorkerBufs {
 /// elements and that no two concurrent calls receive overlapping lane
 /// ranges.
 #[allow(clippy::too_many_arguments)]
-unsafe fn process_lanes(
+pub(crate) unsafe fn process_lanes(
     src: &[f64],
     dst: *mut f64,
     kernel: &dyn LaneKernel,
@@ -346,15 +395,12 @@ unsafe fn process_lanes(
     }
 }
 
-#[cfg(feature = "parallel")]
-#[derive(Clone, Copy)]
-struct DstPtr(*mut f64);
-
-// SAFETY: the pointer is only used to write lane ranges proven disjoint
-// per worker (see `process_lanes`).
-#[cfg(feature = "parallel")]
-unsafe impl Send for DstPtr {}
-
+/// Runs one stage: through the persistent pool when the run decided to
+/// fan out (`parallel` feature, `threads > 1`, a pool exists), serially
+/// on the calling thread otherwise. Fallible because a pooled kernel
+/// panic surfaces as [`MatrixError::WorkerPanicked`] instead of
+/// unwinding across worker threads.
+#[allow(clippy::too_many_arguments)]
 fn run_stage(
     src: &[f64],
     dst: &mut [f64],
@@ -363,45 +409,19 @@ fn run_stage(
     out_len: usize,
     inner: usize,
     threads: usize,
-) {
+    pool: Option<&WorkerPool>,
+) -> Result<()> {
     let n_lanes = src.len() / in_len;
     debug_assert_eq!(dst.len(), n_lanes * out_len);
 
     #[cfg(feature = "parallel")]
     if threads > 1 && n_lanes > 1 {
-        let workers = threads.min(n_lanes);
-        let chunk = n_lanes.div_ceil(workers);
-        let dst_ptr = DstPtr(dst.as_mut_ptr());
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let lane_lo = w * chunk;
-                let lane_hi = ((w + 1) * chunk).min(n_lanes);
-                if lane_lo >= lane_hi {
-                    continue;
-                }
-                scope.spawn(move || {
-                    // Capture the whole wrapper, not its raw-pointer field
-                    // (edition-2021 closures capture per field otherwise,
-                    // which would sidestep the `Send` impl).
-                    let dst_ptr = dst_ptr;
-                    let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
-                    // SAFETY: workers receive disjoint `[lane_lo, lane_hi)`
-                    // ranges, and each lane's destination indices are
-                    // disjoint from every other lane's; `dst` outlives the
-                    // scope.
-                    unsafe {
-                        process_lanes(
-                            src, dst_ptr.0, kernel, in_len, out_len, inner, lane_lo, lane_hi,
-                            &mut bufs,
-                        );
-                    }
-                });
-            }
-        });
-        return;
+        if let Some(pool) = pool {
+            return pool.dispatch(src, dst, kernel, in_len, out_len, inner, threads);
+        }
     }
     #[cfg(not(feature = "parallel"))]
-    let _ = threads;
+    let _ = (threads, pool);
 
     let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
     // SAFETY: single caller covering every lane exactly once; `dst` is a
@@ -419,6 +439,7 @@ fn run_stage(
             &mut bufs,
         );
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -659,6 +680,30 @@ mod tests {
         if std::env::var("PRIVELET_PARALLEL_MIN_CELLS").is_err() {
             assert_eq!(default, MIN_PARALLEL_CELLS);
         }
+    }
+
+    #[test]
+    fn unparseable_threshold_falls_back_and_reports() {
+        // Unset: the default, not malformed.
+        assert_eq!(parse_parallel_threshold(None), (MIN_PARALLEL_CELLS, false));
+        // Parseable values, with surrounding whitespace tolerated.
+        assert_eq!(parse_parallel_threshold(Some("0")), (0, false));
+        assert_eq!(parse_parallel_threshold(Some(" 4096 ")), (4096, false));
+        // Garbage: falls back to the default AND is flagged (the flag is
+        // what `default_parallel_threshold` turns into the once-per-
+        // process stderr warning — the old `.ok()` chain swallowed it).
+        for garbage in ["", "banana", "-1", "1e4", "0x40", "4096 cells", "∞"] {
+            assert_eq!(
+                parse_parallel_threshold(Some(garbage)),
+                (MIN_PARALLEL_CELLS, true),
+                "{garbage:?} must fall back loudly"
+            );
+        }
+        // The executor still constructs (warning, not error) whatever
+        // the environment holds; don't set the variable here —
+        // std::env::set_var is a process-global race against parallel
+        // tests, which is exactly why the parse function is pure.
+        assert!(LaneExecutor::new().parallel_threshold() == default_parallel_threshold());
     }
 
     #[test]

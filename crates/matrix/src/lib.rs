@@ -14,6 +14,9 @@
 //!   engine running pipelines of per-axis lane kernels over reusable
 //!   ping-pong buffers ([`executor`]) — the hot path under every
 //!   multi-dimensional transform in the workspace.
+//! - [`WorkerPool`]: the persistent worker threads behind the executor's
+//!   `parallel` feature — spawned once, fed stage chunks over channels,
+//!   bit-identical to serial execution ([`pool`]).
 //! - [`PrefixSums`]: d-dimensional inclusive prefix sums answering
 //!   hyper-rectangle sums in O(2^d) ([`prefix`]) — the range-count query
 //!   engine substrate.
@@ -27,6 +30,7 @@
 pub mod executor;
 pub mod lanes;
 pub mod ndmatrix;
+pub mod pool;
 pub mod prefix;
 pub mod shape;
 pub mod slice;
@@ -35,6 +39,7 @@ pub mod view;
 pub use executor::{AxisStage, LaneExecutor, LaneKernel};
 pub use lanes::map_lanes;
 pub use ndmatrix::NdMatrix;
+pub use pool::WorkerPool;
 pub use prefix::PrefixSums;
 pub use shape::{CoordIter, Shape};
 pub use slice::{fix_axes, marginalize};
@@ -70,6 +75,10 @@ pub enum MatrixError {
     BadAxis { axis: usize, ndim: usize },
     /// A rectangle has `lo > hi` on some axis.
     EmptyRect { axis: usize },
+    /// A lane kernel panicked on a worker-pool thread. The panic was
+    /// contained (the pool stays usable), but the stage's output buffer
+    /// is unspecified.
+    WorkerPanicked,
 }
 
 impl std::fmt::Display for MatrixError {
@@ -108,6 +117,9 @@ impl std::fmt::Display for MatrixError {
             }
             MatrixError::EmptyRect { axis } => {
                 write!(f, "rectangle is empty on axis {axis} (lo > hi)")
+            }
+            MatrixError::WorkerPanicked => {
+                write!(f, "a lane kernel panicked on a worker-pool thread")
             }
         }
     }

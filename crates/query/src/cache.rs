@@ -161,6 +161,22 @@ impl SupportCache {
         self.by_tick.insert(self.tick, key);
     }
 
+    /// Removes and returns every resident entry in LRU→MRU order,
+    /// tagged with its recency tick. Counters are left untouched; only
+    /// occupancy drops to zero. Used by
+    /// [`ShardedSupportCache::with_shards`] to re-route entries when the
+    /// shard count changes.
+    fn drain_in_recency_order(&mut self) -> Vec<(u64, SupportKey, SharedSupport)> {
+        let by_tick = std::mem::take(&mut self.by_tick);
+        by_tick
+            .into_iter()
+            .map(|(tick, key)| {
+                let (support, _) = self.entries.remove(&key).expect("indexed entry exists");
+                (tick, key, support)
+            })
+            .collect()
+    }
+
     /// Current counters and occupancy.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -177,6 +193,42 @@ impl SupportCache {
 /// handful of serving threads rarely collide, few enough that per-shard
 /// capacity stays useful at the default total capacity.
 pub const DEFAULT_SHARD_COUNT: usize = 8;
+
+/// Pure parse of a `PRIVELET_CACHE_SHARDS` value. Returns the shard
+/// count plus whether the value was present but unparseable (the caller
+/// warns; a silent fallback on a typo would quietly serve a mis-sized
+/// cache — the same failure mode `PRIVELET_PARALLEL_MIN_CELLS` had).
+/// A parseable `0` is clamped to 1, matching
+/// [`ShardedSupportCache::new`]: a zero-shard cache cannot route keys.
+fn parse_shard_count(raw: Option<&str>) -> (usize, bool) {
+    match raw {
+        None => (DEFAULT_SHARD_COUNT, false),
+        Some(v) => match v.trim().parse::<usize>() {
+            Ok(n) => (n.max(1), false),
+            Err(_) => (DEFAULT_SHARD_COUNT, true),
+        },
+    }
+}
+
+/// The process-wide default shard count: `PRIVELET_CACHE_SHARDS` when
+/// set and parseable (clamped to ≥ 1), [`DEFAULT_SHARD_COUNT`]
+/// otherwise. An unparseable value falls back to the default and warns
+/// on stderr once per process.
+pub fn default_shard_count() -> usize {
+    let raw = std::env::var("PRIVELET_CACHE_SHARDS").ok();
+    let (shards, garbage) = parse_shard_count(raw.as_deref());
+    if garbage {
+        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
+        WARN_ONCE.call_once(|| {
+            eprintln!(
+                "[privelet-query] PRIVELET_CACHE_SHARDS={:?} is not a shard count; \
+                 using default {DEFAULT_SHARD_COUNT}",
+                raw.as_deref().unwrap_or("")
+            );
+        });
+    }
+    shards
+}
 
 /// A hash-sharded [`SupportCache`] for concurrent serving: N
 /// independently locked shards, keys routed by a fixed (process-stable)
@@ -215,6 +267,58 @@ impl ShardedSupportCache {
                 .map(|_| Mutex::new(SupportCache::new(per_shard)))
                 .collect(),
         }
+    }
+
+    /// [`new`](Self::new) with the process-default shard count:
+    /// `PRIVELET_CACHE_SHARDS` when set, [`DEFAULT_SHARD_COUNT`]
+    /// otherwise — the constructor serving tiers use when the operator,
+    /// not the code, should pick the sharding.
+    pub fn with_env_shards(capacity: usize) -> Self {
+        Self::new(capacity, default_shard_count())
+    }
+
+    /// Re-shards the cache to `shards` lanes (clamped to ≥ 1), keeping
+    /// the same total capacity bound and every resident entry: entries
+    /// are re-routed to their new shards in global recency order, so
+    /// relative LRU age survives the move. Counters reset to zero — a
+    /// reshard starts a new measurement epoch (per-shard hit/miss
+    /// history is meaningless under a different routing).
+    ///
+    /// Edge cases: `with_shards(0)` behaves as `with_shards(1)` (one
+    /// global lock, still correct), and a 1-shard cache is exactly a
+    /// mutex around a [`SupportCache`].
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        let shards = shards.max(1);
+        let total_capacity: usize = self
+            .shards
+            .iter_mut()
+            .map(|s| s.get_mut().unwrap_or_else(PoisonError::into_inner).capacity)
+            .sum();
+        let mut entries: Vec<(u64, SupportKey, SharedSupport)> = self
+            .shards
+            .iter_mut()
+            .flat_map(|s| {
+                s.get_mut()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .drain_in_recency_order()
+            })
+            .collect();
+        // Ticks are per shard, so cross-shard order is arbitrary but
+        // stable; within a shard they are exact recency.
+        entries.sort_by_key(|&(tick, key, _)| (tick, key));
+        let resharded = ShardedSupportCache::new(total_capacity, shards);
+        for (_, key, support) in entries {
+            resharded
+                .lock_shard(resharded.shard_for(key))
+                .insert(key, support);
+        }
+        // Inserting counts neither hits nor misses, but per-shard
+        // capacity rounding can evict: zero that too so the new epoch
+        // starts clean.
+        for i in 0..resharded.shards.len() {
+            resharded.lock_shard(i).evictions = 0;
+        }
+        resharded
     }
 
     /// Number of shards (≥ 1).
@@ -502,6 +606,104 @@ mod tests {
         assert_eq!(stats.capacity, 0);
         assert_eq!(stats.len, 0);
         assert_eq!(stats.misses, 2);
+    }
+
+    #[test]
+    fn shard_count_parse_covers_defaults_garbage_and_edges() {
+        // Unset → compiled-in default, no warning.
+        assert_eq!(parse_shard_count(None), (DEFAULT_SHARD_COUNT, false));
+        // Honest values pass through (whitespace tolerated).
+        assert_eq!(parse_shard_count(Some("16")), (16, false));
+        assert_eq!(parse_shard_count(Some(" 3 ")), (3, false));
+        // Edge cases: 0 shards cannot route — clamped to 1, not warned
+        // (the value parsed; the clamp is documented behavior). 1 is a
+        // perfectly valid single-lock cache.
+        assert_eq!(parse_shard_count(Some("0")), (1, false));
+        assert_eq!(parse_shard_count(Some("1")), (1, false));
+        // Garbage must not silently pick a sharding: default + warn flag.
+        for garbage in ["", "eight", "-2", "1e2", "0x8", "8 shards", "∞"] {
+            assert_eq!(
+                parse_shard_count(Some(garbage)),
+                (DEFAULT_SHARD_COUNT, true),
+                "input {garbage:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn resharding_retains_entries_and_conserves_stats() {
+        // Populate at the default sharding, then walk through 1, 3 and
+        // 16 shards: every resident entry must survive each hop, the
+        // per-shard stats must sum to the aggregate under every count,
+        // and the total capacity bound must never shrink.
+        // Capacity 320 over ≤16 shards keeps every per-shard bound ≥ 20,
+        // so hash skew can never evict one of the 20 entries mid-test.
+        let mut cache = ShardedSupportCache::new(320, DEFAULT_SHARD_COUNT);
+        let keys: Vec<SupportKey> = (0..20).map(|i| (i % 3, i, i + 1)).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            cache.insert(key, support(i));
+        }
+        for shards in [1usize, 3, 16] {
+            cache = cache.with_shards(shards);
+            assert_eq!(cache.shard_count(), shards);
+            let per_shard = cache.shard_stats();
+            assert_eq!(per_shard.len(), shards);
+            // Fresh epoch: counters are zeroed by the reshard...
+            let agg = cache.stats();
+            assert_eq!((agg.hits, agg.misses, agg.evictions), (0, 0, 0));
+            // ...entries and capacity are not.
+            assert_eq!(agg.len, keys.len(), "all entries survive {shards} shards");
+            assert!(agg.capacity >= 320, "capacity bound never shrinks");
+            // Per-shard stats conserve: the aggregate is exactly the sum.
+            assert_eq!(per_shard.iter().map(|s| s.len).sum::<usize>(), agg.len);
+            assert_eq!(
+                per_shard.iter().map(|s| s.capacity).sum::<usize>(),
+                agg.capacity
+            );
+            // Every key still routes to its support.
+            for (i, &key) in keys.iter().enumerate() {
+                assert_eq!(cache.get(key).unwrap().weights[0].0, i, "{shards} shards");
+            }
+            // ...and the post-reshard lookups count as hits, summing
+            // across shards to one per key.
+            assert_eq!(cache.stats().hits, keys.len() as u64);
+            assert_eq!(
+                cache
+                    .shard_stats()
+                    .iter()
+                    .map(|s| s.hits + s.misses)
+                    .sum::<u64>(),
+                keys.len() as u64,
+                "exactly one counter moves per lookup"
+            );
+        }
+    }
+
+    #[test]
+    fn resharding_to_zero_behaves_as_one_shard() {
+        let cache = ShardedSupportCache::new(8, 4);
+        cache.insert((0, 0, 1), support(1));
+        let cache = cache.with_shards(0);
+        assert_eq!(cache.shard_count(), 1);
+        assert_eq!(cache.get((0, 0, 1)).unwrap().weights[0].0, 1);
+    }
+
+    #[test]
+    fn resharding_preserves_recency_order_within_a_shard() {
+        // Entries with a known recency order in one shard; the rebuild
+        // (drain → re-route → reinsert) must keep that order, so the LRU
+        // victim after the reshard is still the least recently touched
+        // key. One shard on both sides keeps the tick order exact — the
+        // within-shard guarantee `with_shards` documents.
+        let cache = ShardedSupportCache::new(2, 1);
+        cache.insert((0, 0, 1), support(1));
+        cache.insert((0, 2, 3), support(2));
+        cache.get((0, 0, 1)); // (0,2,3) is now the LRU entry
+        let cache = cache.with_shards(1);
+        // Capacity 2, one shard: a third insert evicts exactly (0,2,3).
+        cache.insert((7, 7, 7), support(3));
+        assert!(cache.get((0, 2, 3)).is_none(), "LRU entry evicted");
+        assert!(cache.get((0, 0, 1)).is_some(), "recent entry survives");
     }
 
     #[test]

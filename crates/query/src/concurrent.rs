@@ -18,7 +18,7 @@
 //! counter conservation under contention and compile-time `Send + Sync`
 //! for the plan, the core and the engine.
 
-use crate::cache::{CacheStats, ShardedSupportCache, SharedSupport, DEFAULT_SHARD_COUNT};
+use crate::cache::{CacheStats, ShardedSupportCache, SharedSupport};
 use crate::coefficients::{CoefficientAnswerer, DEFAULT_SUPPORT_CACHE_CAPACITY};
 use crate::engine::{AnnotatedAnswer, AnswerEngine, EngineDiagnostics};
 use crate::plan::QueryPlan;
@@ -44,10 +44,12 @@ pub struct ConcurrentEngine {
 impl ConcurrentEngine {
     /// Wraps a (possibly already shared) release core with a fresh
     /// sharded cache at the default capacity
-    /// ([`DEFAULT_SUPPORT_CACHE_CAPACITY`]) and shard count
-    /// ([`DEFAULT_SHARD_COUNT`]).
+    /// ([`DEFAULT_SUPPORT_CACHE_CAPACITY`]) and the process-default
+    /// shard count: the `PRIVELET_CACHE_SHARDS` environment variable
+    /// when set (clamped to ≥ 1, falling back with a warning on
+    /// garbage), [`DEFAULT_SHARD_COUNT`](crate::cache::DEFAULT_SHARD_COUNT) otherwise.
     pub fn new(core: Arc<ReleaseCore>) -> Self {
-        Self::with_cache(core, DEFAULT_SUPPORT_CACHE_CAPACITY, DEFAULT_SHARD_COUNT)
+        Self::with_cache_env_shards(core, DEFAULT_SUPPORT_CACHE_CAPACITY)
     }
 
     /// Wraps a release core with a fresh sharded cache holding at most
@@ -57,6 +59,32 @@ impl ConcurrentEngine {
         ConcurrentEngine {
             core,
             cache: Arc::new(ShardedSupportCache::new(capacity, shards)),
+        }
+    }
+
+    /// [`with_cache`](Self::with_cache) at the process-default shard
+    /// count (`PRIVELET_CACHE_SHARDS` / [`DEFAULT_SHARD_COUNT`](crate::cache::DEFAULT_SHARD_COUNT)).
+    pub fn with_cache_env_shards(core: Arc<ReleaseCore>, capacity: usize) -> Self {
+        ConcurrentEngine {
+            core,
+            cache: Arc::new(ShardedSupportCache::with_env_shards(capacity)),
+        }
+    }
+
+    /// Replaces the engine's cache with a fresh one re-sharded to
+    /// `shards` lanes (clamped to ≥ 1) at the same total capacity,
+    /// retaining resident entries but zeroing counters (see
+    /// [`ShardedSupportCache::with_shards`]). Clones sharing the old
+    /// cache keep it; the returned engine serves the same core through
+    /// the new one.
+    pub fn with_shards(self, shards: usize) -> Self {
+        let cache = match Arc::try_unwrap(self.cache) {
+            Ok(cache) => cache,
+            Err(shared) => (*shared).clone(),
+        };
+        ConcurrentEngine {
+            core: self.core,
+            cache: Arc::new(cache.with_shards(shards)),
         }
     }
 
@@ -253,9 +281,16 @@ mod tests {
         assert!(Arc::ptr_eq(serial.core(), engine.core()));
         let qs = queries();
         let batch = serial.answer_all(&qs).unwrap();
+        // Plan path vs plan path on the shared core: bitwise.
         assert_eq!(engine.answer_all(&qs).unwrap(), batch);
         for (q, &want) in qs.iter().zip(&batch) {
-            assert_eq!(engine.answer(q).unwrap(), want);
+            // Online dot vs the plan's arena kernel (different summation
+            // order): 1e-12 relative per docs/architecture.md.
+            let got = engine.answer(q).unwrap();
+            assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "online {got} vs plan {want}"
+            );
         }
         assert_eq!(engine.total(), serial.total());
         assert_eq!(
@@ -278,7 +313,14 @@ mod tests {
             // Shared core, shared arithmetic: bit-identical annotations.
             assert_eq!(via_engine.value, via_serial.value);
             assert_eq!(via_engine.std_dev.to_bits(), via_serial.std_dev.to_bits());
-            assert_eq!(annotated_plan[i].value, via_engine.value);
+            // Plan vs online value: cross-path, 1e-12 relative.
+            assert!(
+                (annotated_plan[i].value - via_engine.value).abs()
+                    <= 1e-12 * via_engine.value.abs().max(1.0),
+                "plan {} vs online {}",
+                annotated_plan[i].value,
+                via_engine.value
+            );
             assert!((annotated_plan[i].std_dev - via_engine.std_dev).abs() < 1e-12);
         }
         // The annotations cost cache lookups only — one per (query, dim),

@@ -45,6 +45,7 @@ pub mod cache;
 pub mod coefficients;
 pub mod concurrent;
 pub mod engine;
+mod kernel;
 pub mod metrics;
 pub mod plan;
 pub mod predicate;

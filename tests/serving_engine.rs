@@ -74,8 +74,15 @@ proptest! {
         let via_trait = AnswerEngine::answer_batch(&coeff, &queries).unwrap();
         prop_assert_eq!(&batch, &via_trait);
         for (q, &got) in queries.iter().zip(&batch) {
-            // Same supports, same float-op order: bitwise equality.
-            prop_assert_eq!(coeff.answer(q).unwrap(), got);
+            // Same supports, but the plan's arena kernel may sum a
+            // support in a different order than the online dot, so
+            // cross-path agreement is 1e-12 relative (the summation-order
+            // policy in docs/architecture.md), not bitwise.
+            let one = coeff.answer(q).unwrap();
+            prop_assert!(
+                (one - got).abs() <= 1e-12 * one.abs().max(1.0),
+                "plan {got} vs online {one}"
+            );
         }
 
         let dense = Answerer::new(&release.to_matrix().unwrap());
