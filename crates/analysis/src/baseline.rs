@@ -1,0 +1,138 @@
+//! `analysis.toml` — the committed panic-budget baseline.
+//!
+//! Deliberately a tiny TOML subset (section headers + `key = integer`
+//! entries + `#` comments), parsed by hand so the analyzer stays
+//! dependency-free like the rest of the workspace. The only section the
+//! checker reads today is `[panic_budget]`; unknown sections are
+//! preserved semantically (parsed and ignored) so the format can grow.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Parsed baseline: `section -> key -> integer`.
+#[derive(Debug, Default, Clone)]
+pub struct Baseline {
+    pub sections: BTreeMap<String, BTreeMap<String, u64>>,
+}
+
+impl Baseline {
+    /// Per-crate panic budgets (empty map when the section is absent).
+    pub fn panic_budget(&self) -> BTreeMap<String, u64> {
+        self.sections
+            .get("panic_budget")
+            .cloned()
+            .unwrap_or_default()
+    }
+
+    /// Parses the committed baseline. Errors carry a line number so a
+    /// hand-edited file fails loudly instead of silently zeroing every
+    /// budget.
+    pub fn parse(src: &str) -> Result<Baseline, String> {
+        let mut out = Baseline::default();
+        let mut section: Option<String> = None;
+        for (idx, raw) in src.lines().enumerate() {
+            let lineno = idx + 1;
+            let line = strip_comment(raw).trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix('[') {
+                let Some(name) = rest.strip_suffix(']') else {
+                    return Err(format!("line {lineno}: unterminated section header"));
+                };
+                section = Some(name.trim().to_string());
+                out.sections.entry(name.trim().to_string()).or_default();
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(format!("line {lineno}: expected `key = value`"));
+            };
+            let key = unquote(key.trim());
+            let value: u64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {lineno}: value is not a non-negative integer"))?;
+            let Some(section) = &section else {
+                return Err(format!("line {lineno}: entry before any [section]"));
+            };
+            out.sections
+                .entry(section.clone())
+                .or_default()
+                .insert(key, value);
+        }
+        Ok(out)
+    }
+
+    /// Renders a fresh baseline from measured counts (the
+    /// `write-baseline` subcommand).
+    pub fn render(panic_counts: &BTreeMap<String, usize>) -> String {
+        let mut s = String::from(
+            "# Panic-freedom budget, machine-checked by PF001\n\
+             # (`cargo run -p privelet-analysis -- check`).\n\
+             #\n\
+             # One entry per crate: the number of *unwaived* panic sites\n\
+             # (`.unwrap()`, `.expect(`, `panic!`, `todo!`, `unimplemented!`)\n\
+             # in non-test library code. The budget only ratchets DOWN:\n\
+             # going over fails the check; dropping under prints a reminder\n\
+             # to lower the number here. To exempt a justified site, put\n\
+             # `// lint:allow(panic): <reason>` on its line or the line\n\
+             # above. Regenerate with `-- write-baseline` only after\n\
+             # deliberately reviewing the new sites.\n\n[panic_budget]\n",
+        );
+        for (name, count) in panic_counts {
+            let _ = writeln!(s, "\"{name}\" = {count}");
+        }
+        s
+    }
+}
+
+fn strip_comment(line: &str) -> &str {
+    // No string values in this subset, so `#` always starts a comment.
+    match line.find('#') {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn unquote(s: &str) -> String {
+    s.strip_prefix('"')
+        .and_then(|s| s.strip_suffix('"'))
+        .unwrap_or(s)
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_sections_keys_and_comments() {
+        let b = Baseline::parse(
+            "# header\n[panic_budget]\n\"privelet-core\" = 3 # trailing\nbare = 0\n\n[other]\nx = 7\n",
+        )
+        .unwrap();
+        let budget = b.panic_budget();
+        assert_eq!(budget.get("privelet-core"), Some(&3));
+        assert_eq!(budget.get("bare"), Some(&0));
+        assert_eq!(b.sections.get("other").and_then(|s| s.get("x")), Some(&7));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(Baseline::parse("[oops\n").is_err());
+        assert!(Baseline::parse("[s]\nnovalue\n").is_err());
+        assert!(Baseline::parse("[s]\nk = notanumber\n").is_err());
+        assert!(Baseline::parse("k = 1\n").is_err());
+    }
+
+    #[test]
+    fn render_roundtrips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a".to_string(), 2usize);
+        counts.insert("b-c".to_string(), 0usize);
+        let rendered = Baseline::render(&counts);
+        let back = Baseline::parse(&rendered).unwrap().panic_budget();
+        assert_eq!(back.get("a"), Some(&2));
+        assert_eq!(back.get("b-c"), Some(&0));
+    }
+}

@@ -1,0 +1,510 @@
+//! A hand-rolled, dependency-free Rust lexer.
+//!
+//! Same in-character approach as the hand-rolled JSON codec in
+//! `privelet-bench`: the build environment has no crates.io access, so
+//! instead of `syn`/`proc-macro2` the analysis pass tokenizes Rust
+//! source itself. It is a *lossy-but-honest* lexer — it classifies
+//! every byte of the input into comments, string/char/number literals,
+//! identifiers, lifetimes and punctuation, and gets the genuinely
+//! tricky boundaries right (raw strings, nested block comments,
+//! `'a` vs `'a'`, `r#ident`), because those are exactly the places a
+//! grep-based checker silently reports nonsense. It does not attempt
+//! full parsing; the item model in [`crate::model`] layers the little
+//! structure the lints need on top of this token stream.
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `foo`, `r#match` — raw prefix kept
+    /// in the text).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (text includes the quote).
+    Lifetime,
+    /// Character literal (`'x'`, `'\n'`, `'\u{1F600}'`) or byte char
+    /// (`b'x'`).
+    CharLit,
+    /// String literal of any flavour: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`.
+    StrLit,
+    /// Number literal (integers, floats, all radixes, suffixes).
+    NumLit,
+    /// `// …` comment, including `///` and `//!` doc comments.
+    LineComment,
+    /// `/* … */` comment (nesting handled), including `/** … */`.
+    BlockComment,
+    /// One punctuation or operator character (`{`, `.`, `+`, …).
+    /// Multi-character operators are emitted as consecutive tokens;
+    /// consumers that care (e.g. the `+=` scan) check adjacency.
+    Punct,
+}
+
+/// One token: kind, the exact source text, and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based line of the token's last character (differs from `line`
+    /// for multi-line strings and block comments).
+    pub end_line: u32,
+}
+
+impl Token {
+    /// True for `Ident` tokens whose text (raw prefix stripped) is `kw`.
+    pub fn is_ident(&self, kw: &str) -> bool {
+        self.kind == TokenKind::Ident && self.ident_text() == kw
+    }
+
+    /// Identifier text with any `r#` raw prefix stripped.
+    pub fn ident_text(&self) -> &str {
+        self.text.strip_prefix("r#").unwrap_or(&self.text)
+    }
+
+    /// True for `Punct` tokens with exactly this character.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokenKind::Punct
+            && self.text.len() == ch.len_utf8()
+            && self.text.starts_with(ch)
+    }
+
+    /// True for either comment kind.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Never fails: unterminated constructs are closed at
+/// end of input (the lints operate on code that already compiles, so
+/// this only matters for robustness on fixtures).
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let b = self.src[self.pos];
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(self.pos),
+                b'\'' => self.quote(),
+                b'r' | b'b' | b'c' if self.raw_or_byte_prefix() => {}
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ => {
+                    let start = self.pos;
+                    // One (possibly multi-byte UTF-8) punctuation char.
+                    self.pos += 1;
+                    while self.pos < self.src.len() && (self.src[self.pos] & 0xC0) == 0x80 {
+                        self.pos += 1;
+                    }
+                    self.push(TokenKind::Punct, start, self.line);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, start_line: u32) {
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.tokens.push(Token {
+            kind,
+            text,
+            line: start_line,
+            end_line: self.line,
+        });
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && self.src[self.pos] != b'\n' {
+            self.pos += 1;
+        }
+        self.push(TokenKind::LineComment, start, self.line);
+    }
+
+    /// `/* … */` with arbitrary nesting: `/* /* */ */` is one comment.
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let start_line = self.line;
+        self.pos += 2;
+        let mut depth = 1usize;
+        while self.pos < self.src.len() && depth > 0 {
+            match (self.src[self.pos], self.peek(1)) {
+                (b'/', Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (b'*', Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                (b'\n', _) => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::BlockComment, start, start_line);
+    }
+
+    /// Handles the `r` / `b` / `c` prefix families: raw strings
+    /// (`r"…"`, `r#"…"#`), raw identifiers (`r#match`), byte strings
+    /// (`b"…"`, `br#"…"#`), byte chars (`b'x'`) and C strings (`c"…"`).
+    /// Returns false when the prefix is just the start of a plain
+    /// identifier, leaving the position untouched.
+    fn raw_or_byte_prefix(&mut self) -> bool {
+        let start = self.pos;
+        let b0 = self.src[self.pos];
+        // How many prefix letters before the quote/hash part?
+        let (letters, second) = match (b0, self.peek(1)) {
+            (b'b', Some(b'r')) | (b'c', Some(b'r')) => (2, self.peek(2)),
+            _ => (1, self.peek(1)),
+        };
+        match second {
+            Some(b'"') => {
+                self.pos += letters;
+                if b0 == b'r' || letters == 2 {
+                    self.raw_string_body(start, 0)
+                } else {
+                    self.string(start)
+                }
+                true
+            }
+            Some(b'#') => {
+                // `r#"…"#`-style raw string, or a raw identifier
+                // `r#ident`. Count hashes, then decide by what follows.
+                let mut hashes = 0usize;
+                while self.src.get(self.pos + letters + hashes) == Some(&b'#') {
+                    hashes += 1;
+                }
+                match self.src.get(self.pos + letters + hashes) {
+                    Some(b'"') => {
+                        self.pos += letters + hashes;
+                        self.raw_string_body(start, hashes);
+                        true
+                    }
+                    Some(&c) if b0 == b'r' && letters == 1 && hashes == 1 && is_ident_start(c) => {
+                        // Raw identifier: `r#` + ident chars.
+                        self.pos += 2;
+                        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+                            self.pos += 1;
+                        }
+                        self.push(TokenKind::Ident, start, self.line);
+                        true
+                    }
+                    _ => false,
+                }
+            }
+            Some(b'\'') if b0 == b'b' && letters == 1 => {
+                // Byte char literal `b'x'`.
+                self.pos += 1;
+                self.char_literal(start);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Body of a raw string: position is at the opening `"`; consumes
+    /// through `"` followed by `hashes` `#`s.
+    fn raw_string_body(&mut self, start: usize, hashes: usize) {
+        let start_line = self.line;
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    let mut h = 0usize;
+                    while h < hashes && self.src.get(self.pos + 1 + h) == Some(&b'#') {
+                        h += 1;
+                    }
+                    self.pos += 1;
+                    if h == hashes {
+                        self.pos += hashes;
+                        break;
+                    }
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::StrLit, start, start_line);
+    }
+
+    /// Plain (escaped) string body; position is at the opening `"`.
+    /// `start` may be earlier (a `b`/`c` prefix).
+    fn string(&mut self, start: usize) {
+        let start_line = self.line;
+        self.pos += 1;
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'"' => {
+                    self.pos += 1;
+                    break;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::StrLit, start, start_line);
+    }
+
+    /// A `'`: lifetime or char literal. The disambiguation rule:
+    /// `'\…'` and `'X'` (one char then a closing quote) are chars;
+    /// `'ident` not followed by a closing quote is a lifetime.
+    fn quote(&mut self) {
+        let start = self.pos;
+        match self.peek(1) {
+            Some(b'\\') => self.char_literal(start),
+            Some(c) if is_ident_start(c) => {
+                // Scan the identifier; a closing quote right after makes
+                // it a char literal ('a'), otherwise it is a lifetime
+                // ('a, 'static, the 'a in <'a>).
+                let mut i = self.pos + 1;
+                while i < self.src.len() && is_ident_continue(self.src[i]) {
+                    i += 1;
+                }
+                if self.src.get(i) == Some(&b'\'') {
+                    self.char_literal(start);
+                } else {
+                    self.pos = i;
+                    self.push(TokenKind::Lifetime, start, self.line);
+                }
+            }
+            _ => self.char_literal(start),
+        }
+    }
+
+    /// Char literal body; position is at the opening `'` (or `start` at
+    /// a `b` prefix). Consumes through the closing `'`.
+    fn char_literal(&mut self, start: usize) {
+        self.pos += 1; // opening quote
+        while self.pos < self.src.len() {
+            match self.src[self.pos] {
+                b'\\' => self.pos += 2,
+                b'\'' => {
+                    self.pos += 1;
+                    break;
+                }
+                b'\n' => break, // malformed; don't eat the file
+                _ => self.pos += 1,
+            }
+        }
+        self.push(TokenKind::CharLit, start, self.line);
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.pos < self.src.len() && is_ident_continue(self.src[self.pos]) {
+            self.pos += 1;
+        }
+        self.push(TokenKind::Ident, start, self.line);
+    }
+
+    /// Number literal: all radixes, underscores, float fractions and
+    /// exponents, type suffixes. `0..10` must stay three tokens.
+    fn number(&mut self) {
+        let start = self.pos;
+        self.pos += 1;
+        // Radix-prefixed integers just consume alphanumerics.
+        let radix =
+            matches!(self.peek(0), Some(b'x') | Some(b'o') | Some(b'b')) && self.src[start] == b'0';
+        if radix {
+            self.pos += 1;
+        }
+        while self.pos < self.src.len()
+            && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            // `1e5` / `2.5e-3` exponents: a sign directly after e/E
+            // belongs to the number (decimal literals only).
+            if !radix
+                && matches!(self.src[self.pos], b'e' | b'E')
+                && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                && self.peek(2).map(|c| c.is_ascii_digit()).unwrap_or(false)
+            {
+                self.pos += 2;
+            }
+            self.pos += 1;
+        }
+        // A fraction part: `.` followed by a digit (so `0..10` and
+        // `1.max(2)` don't glue).
+        if !radix
+            && self.peek(0) == Some(b'.')
+            && self.peek(1).map(|c| c.is_ascii_digit()).unwrap_or(false)
+        {
+            self.pos += 1;
+            while self.pos < self.src.len()
+                && (self.src[self.pos].is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+            {
+                if matches!(self.src[self.pos], b'e' | b'E')
+                    && matches!(self.peek(1), Some(b'+') | Some(b'-'))
+                    && self.peek(2).map(|c| c.is_ascii_digit()).unwrap_or(false)
+                {
+                    self.pos += 2;
+                }
+                self.pos += 1;
+            }
+        }
+        self.push(TokenKind::NumLit, start, self.line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let s = 'static; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .collect();
+        assert_eq!(lifetimes.len(), 3, "{toks:?}"); // <'a>, &'a, 'static
+        assert_eq!(chars.len(), 1);
+        assert_eq!(chars[0].1, "'a'");
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\''; let b = '\n'; let c = '\u{1F600}';");
+        let chars: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::CharLit)
+            .map(|(_, t)| t.clone())
+            .collect();
+        assert_eq!(chars, vec![r"'\''", r"'\n'", r"'\u{1F600}'"]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still outer */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* outer /* inner */ still outer */");
+        assert!(toks[2].1 == "b");
+    }
+
+    #[test]
+    fn raw_strings_do_not_end_at_inner_quotes() {
+        let toks = kinds(r####"let s = r#"she said "hi" // not a comment"#; x"####);
+        let strs: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::StrLit)
+            .collect();
+        assert_eq!(strs.len(), 1);
+        assert!(strs[0].1.contains("not a comment"));
+        assert!(toks.last().unwrap().1 == "x");
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#match = r#fn; r#\"raw\"#");
+        assert_eq!(toks[1].0, TokenKind::Ident);
+        assert_eq!(toks[1].1, "r#match");
+        assert!(lex("let r#match = 1;")[1].is_ident("match"));
+        assert_eq!(toks.last().unwrap().0, TokenKind::StrLit);
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r###"b"bytes" br#"raw bytes"# b'x' c"cstr""###);
+        assert_eq!(
+            toks.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec![
+                TokenKind::StrLit,
+                TokenKind::StrLit,
+                TokenKind::CharLit,
+                TokenKind::StrLit
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { let x = 1.5e-3f64; let y = 0xFF_u8; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::NumLit)
+            .map(|(_, t)| t.as_str())
+            .collect();
+        assert_eq!(nums, vec!["0", "10", "1.5e-3f64", "0xFF_u8"]);
+    }
+
+    #[test]
+    fn line_and_doc_comments_end_at_newline() {
+        let toks = lex("/// doc\n//! inner\n// plain\ncode");
+        assert_eq!(toks.len(), 4);
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[2].line, 3);
+        assert_eq!(toks[3].line, 4);
+    }
+
+    #[test]
+    fn multiline_strings_track_lines() {
+        let toks = lex("let s = \"a\nb\nc\";\nnext");
+        let s = &toks[3];
+        assert_eq!(s.kind, TokenKind::StrLit);
+        assert_eq!(s.line, 1);
+        assert_eq!(s.end_line, 3);
+        assert_eq!(toks.last().unwrap().line, 4);
+    }
+
+    #[test]
+    fn comment_like_content_inside_strings_is_not_a_comment() {
+        let toks = kinds("let s = \"// not a comment /* nope */\"; done");
+        assert!(toks
+            .iter()
+            .all(|(k, _)| !matches!(k, TokenKind::LineComment | TokenKind::BlockComment)));
+        assert!(toks.last().unwrap().1 == "done");
+    }
+}

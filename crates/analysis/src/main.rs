@@ -1,0 +1,155 @@
+//! CLI for the workspace static analyzer.
+//!
+//! ```text
+//! cargo run -p privelet-analysis -- check            # lint, exit 1 on violations
+//! cargo run -p privelet-analysis -- check --root DIR # lint another checkout
+//! cargo run -p privelet-analysis -- write-baseline   # regenerate analysis.toml
+//! cargo run -p privelet-analysis -- panics [CRATE]   # list unwaived panic sites
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations found, `2` usage/IO error.
+
+#![forbid(unsafe_code)]
+
+use privelet_analysis::baseline::Baseline;
+use privelet_analysis::run_check;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut cmd = None;
+    let mut root = default_root();
+    let mut filter = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = PathBuf::from(args.get(i).ok_or("--root needs a value")?);
+            }
+            "check" | "write-baseline" | "panics" if cmd.is_none() => {
+                cmd = Some(args[i].clone());
+            }
+            other if cmd.as_deref() == Some("panics") && filter.is_none() => {
+                filter = Some(other.to_string());
+            }
+            other => return Err(format!("unrecognized argument `{other}` (try `check`)")),
+        }
+        i += 1;
+    }
+    let cmd = cmd.ok_or("usage: privelet-analysis <check|write-baseline|panics> [--root DIR]")?;
+    match cmd.as_str() {
+        "check" => check(&root),
+        "write-baseline" => write_baseline(&root),
+        "panics" => panics(&root, filter.as_deref()),
+        _ => unreachable!(),
+    }
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via cargo,
+/// the current directory otherwise.
+fn default_root() -> PathBuf {
+    match std::env::var("CARGO_MANIFEST_DIR") {
+        Ok(dir) => {
+            let p = PathBuf::from(dir);
+            p.parent()
+                .and_then(Path::parent)
+                .map(Path::to_path_buf)
+                .unwrap_or(p)
+        }
+        Err(_) => PathBuf::from("."),
+    }
+}
+
+fn load_baseline(root: &Path) -> Result<Option<String>, String> {
+    match std::fs::read_to_string(root.join("analysis.toml")) {
+        Ok(s) => Ok(Some(s)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("reading analysis.toml: {e}")),
+    }
+}
+
+fn check(root: &Path) -> Result<bool, String> {
+    let baseline = load_baseline(root)?;
+    if baseline.is_none() {
+        eprintln!("warning: no analysis.toml found — PF001 budgets not enforced");
+    }
+    let outcome = run_check(root, baseline.as_deref())?;
+    for w in &outcome.warnings {
+        eprintln!("warning: {w}");
+    }
+    if outcome.violations.is_empty() {
+        let total: usize = outcome.panic_counts.values().sum();
+        println!(
+            "analysis clean: {} crates checked, {} waivable panic sites within budget",
+            outcome.panic_counts.len(),
+            total
+        );
+        Ok(true)
+    } else {
+        for v in &outcome.violations {
+            println!("{v}");
+        }
+        println!("{} violation(s)", outcome.violations.len());
+        Ok(false)
+    }
+}
+
+fn write_baseline(root: &Path) -> Result<bool, String> {
+    let outcome = run_check(root, None)?;
+    // Refuse to snapshot a workspace that fails the non-budget lints:
+    // the baseline must only ever encode panic counts, not paper over
+    // boundary or discipline violations.
+    if !outcome.violations.is_empty() {
+        for v in &outcome.violations {
+            println!("{v}");
+        }
+        return Err(format!(
+            "{} lint violation(s) — fix them before writing a baseline",
+            outcome.violations.len()
+        ));
+    }
+    let rendered = Baseline::render(&outcome.panic_counts);
+    let path = root.join("analysis.toml");
+    std::fs::write(&path, rendered).map_err(|e| format!("writing {}: {e}", path.display()))?;
+    println!(
+        "wrote {} ({} crates)",
+        path.display(),
+        outcome.panic_counts.len()
+    );
+    Ok(true)
+}
+
+fn panics(root: &Path, filter: Option<&str>) -> Result<bool, String> {
+    let outcome = run_check(root, None)?;
+    for (name, sites) in &outcome.panic_sites {
+        if filter.is_some_and(|f| f != name) {
+            continue;
+        }
+        if sites.is_empty() {
+            continue;
+        }
+        println!("{name}: {} unwaived site(s)", sites.len());
+        for s in sites {
+            println!("  {}:{} {}", s.file, s.line, s.what);
+        }
+    }
+    Ok(true)
+}

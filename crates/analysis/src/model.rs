@@ -1,0 +1,446 @@
+//! A lightweight item model over the token stream.
+//!
+//! Just enough structure for the lints: which token ranges are
+//! test-only (`#[cfg(test)]` / `#[test]` items), where `use`
+//! declarations point, where `fn` bodies start and end, where `unsafe`
+//! occurs, and the merged comment blocks that waivers and `SAFETY:`
+//! notes live in. Deliberately not a parser — brace matching plus a
+//! handful of keyword patterns cover everything the lints ask.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A maximal run of consecutive `//` comments (or one block comment),
+/// merged so multi-line safety/waiver notes read as one text.
+#[derive(Debug, Clone)]
+pub struct CommentBlock {
+    pub start_line: u32,
+    pub end_line: u32,
+    pub text: String,
+}
+
+/// One `use` declaration, rendered back to compact path text
+/// (`use privelet_data::freq::FrequencyMatrix;` →
+/// `privelet_data::freq::FrequencyMatrix`).
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    pub path: String,
+    pub line: u32,
+    pub in_test: bool,
+}
+
+/// One `fn` item.
+#[derive(Debug, Clone)]
+pub struct FnItem {
+    pub name: String,
+    pub line: u32,
+    pub is_pub: bool,
+    pub is_unsafe: bool,
+    pub in_test: bool,
+    /// Code-token index range of the signature: `fn` through the token
+    /// before the body `{` (or the `;` of a bodyless declaration).
+    pub sig: (usize, usize),
+    /// Code-token index range strictly inside the body braces, when the
+    /// fn has a body.
+    pub body: Option<(usize, usize)>,
+}
+
+/// Kind of an `unsafe` occurrence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsafeKind {
+    Block,
+    Fn,
+    Impl,
+    Trait,
+}
+
+/// One `unsafe` token with its classification.
+#[derive(Debug, Clone)]
+pub struct UnsafeSite {
+    pub line: u32,
+    pub kind: UnsafeKind,
+    pub in_test: bool,
+}
+
+/// The model of one source file.
+#[derive(Debug)]
+pub struct FileModel {
+    /// Non-comment tokens, in order.
+    pub code: Vec<Token>,
+    /// Merged comment blocks, in order.
+    pub comments: Vec<CommentBlock>,
+    /// `code` indices covered by a `#[cfg(test)]` / `#[test]` item
+    /// (half-open ranges).
+    test_spans: Vec<(usize, usize)>,
+    pub uses: Vec<UseDecl>,
+    pub fns: Vec<FnItem>,
+    pub unsafes: Vec<UnsafeSite>,
+    /// True when the file declares `#![forbid(unsafe_code)]`.
+    pub forbids_unsafe: bool,
+}
+
+impl FileModel {
+    /// Lexes and models one file's source text.
+    pub fn parse(src: &str) -> FileModel {
+        let tokens = lex(src);
+        let mut code = Vec::with_capacity(tokens.len());
+        let mut comments: Vec<CommentBlock> = Vec::new();
+        for t in tokens {
+            if t.is_comment() {
+                // Merge consecutive line comments on adjacent lines into
+                // one block so multi-line notes read whole.
+                if let Some(last) = comments.last_mut() {
+                    if t.kind == TokenKind::LineComment && t.line == last.end_line + 1 {
+                        last.end_line = t.end_line;
+                        last.text.push('\n');
+                        last.text.push_str(&t.text);
+                        continue;
+                    }
+                }
+                comments.push(CommentBlock {
+                    start_line: t.line,
+                    end_line: t.end_line,
+                    text: t.text,
+                });
+            } else {
+                code.push(t);
+            }
+        }
+        let mut model = FileModel {
+            test_spans: Vec::new(),
+            uses: Vec::new(),
+            fns: Vec::new(),
+            unsafes: Vec::new(),
+            forbids_unsafe: false,
+            code,
+            comments,
+        };
+        model.scan();
+        model
+    }
+
+    /// True when code-token index `i` lies inside a test-only item.
+    pub fn is_test_idx(&self, i: usize) -> bool {
+        self.test_spans.iter().any(|&(lo, hi)| lo <= i && i < hi)
+    }
+
+    /// The nearest comment block that ends strictly above `line`.
+    pub fn comment_above(&self, line: u32) -> Option<&CommentBlock> {
+        self.comments.iter().rev().find(|c| c.end_line < line)
+    }
+
+    /// Any comment block overlapping exactly `line` (trailing comments).
+    pub fn comment_on(&self, line: u32) -> Option<&CommentBlock> {
+        self.comments
+            .iter()
+            .find(|c| c.start_line <= line && line <= c.end_line)
+    }
+
+    /// Index of the matching `}` for the `{` at code index `open`.
+    /// Returns `code.len()` when unbalanced (truncated fixture).
+    pub fn matching_brace(&self, open: usize) -> usize {
+        let mut depth = 0usize;
+        for (i, t) in self.code.iter().enumerate().skip(open) {
+            if t.is_punct('{') {
+                depth += 1;
+            } else if t.is_punct('}') {
+                depth -= 1;
+                if depth == 0 {
+                    return i;
+                }
+            }
+        }
+        self.code.len()
+    }
+
+    fn scan(&mut self) {
+        let n = self.code.len();
+        let mut i = 0usize;
+        while i < n {
+            let t = &self.code[i];
+            if t.is_punct('#') {
+                i = self.scan_attr(i);
+                continue;
+            }
+            if t.is_ident("use") {
+                i = self.scan_use(i);
+                continue;
+            }
+            if t.is_ident("fn") {
+                i = self.scan_fn(i);
+                continue;
+            }
+            if t.is_ident("unsafe") {
+                self.scan_unsafe(i);
+            }
+            i += 1;
+        }
+    }
+
+    /// Handles `#[...]` and `#![...]`: records forbid(unsafe_code), and
+    /// marks the following item's span as test-only for `#[test]` /
+    /// `#[cfg(test)]`. Returns the index after the attribute.
+    fn scan_attr(&mut self, at: usize) -> usize {
+        let mut i = at + 1;
+        let inner = self.code.get(i).map(|t| t.is_punct('!')).unwrap_or(false);
+        if inner {
+            i += 1;
+        }
+        if !self.code.get(i).map(|t| t.is_punct('[')).unwrap_or(false) {
+            return at + 1;
+        }
+        // Collect the attribute's tokens to the matching `]`.
+        let mut depth = 0usize;
+        let start = i;
+        while i < self.code.len() {
+            if self.code[i].is_punct('[') {
+                depth += 1;
+            } else if self.code[i].is_punct(']') {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            i += 1;
+        }
+        let attr: Vec<&Token> = self.code[start + 1..i.saturating_sub(1)].iter().collect();
+        let root = attr.first().map(|t| t.ident_text().to_string());
+        let has = |kw: &str| attr.iter().any(|t| t.is_ident(kw));
+        if inner {
+            if root.as_deref() == Some("forbid") && has("unsafe_code") {
+                self.forbids_unsafe = true;
+            }
+            return i;
+        }
+        let testish = match root.as_deref() {
+            Some("test") => true,
+            // cfg(test) — but not cfg(not(test)). cfg(any(test, …)) is
+            // treated as test-only: conservative for skip-style lints.
+            Some("cfg") => has("test") && !has("not"),
+            _ => false,
+        };
+        if testish {
+            // The attribute covers the next item: through the matching
+            // `}` when a brace opens before any top-level `;`.
+            let mut j = i;
+            let mut span_end = None;
+            while j < self.code.len() {
+                let t = &self.code[j];
+                if t.is_punct('{') {
+                    span_end = Some(self.matching_brace(j) + 1);
+                    break;
+                }
+                if t.is_punct(';') {
+                    span_end = Some(j + 1);
+                    break;
+                }
+                j += 1;
+            }
+            self.test_spans
+                .push((at, span_end.unwrap_or(self.code.len())));
+        }
+        i
+    }
+
+    fn scan_use(&mut self, at: usize) -> usize {
+        let line = self.code[at].line;
+        let mut path = String::new();
+        let mut i = at + 1;
+        while i < self.code.len() && !self.code[i].is_punct(';') {
+            let t = &self.code[i];
+            let sep = matches!(t.kind, TokenKind::Ident)
+                && path
+                    .chars()
+                    .next_back()
+                    .map(|c| c.is_alphanumeric() || c == '_')
+                    .unwrap_or(false);
+            if sep {
+                path.push(' ');
+            }
+            path.push_str(&t.text);
+            i += 1;
+        }
+        self.uses.push(UseDecl {
+            path,
+            line,
+            in_test: self.is_test_idx(at),
+        });
+        i + 1
+    }
+
+    fn scan_fn(&mut self, at: usize) -> usize {
+        let name = self
+            .code
+            .get(at + 1)
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.ident_text().to_string())
+            .unwrap_or_default();
+        // Qualifiers walk back from `fn` over the item prefix (stop at
+        // any statement/item boundary).
+        let mut is_pub = false;
+        let mut is_unsafe = false;
+        let mut k = at;
+        while k > 0 {
+            k -= 1;
+            let t = &self.code[k];
+            match t.ident_text() {
+                "pub" => {
+                    // `pub(crate)` / `pub(super)` are not public API.
+                    is_pub = !self
+                        .code
+                        .get(k + 1)
+                        .map(|n| n.is_punct('('))
+                        .unwrap_or(false);
+                    continue;
+                }
+                "const" | "async" | "extern" => continue,
+                "unsafe" => {
+                    is_unsafe = true;
+                    continue;
+                }
+                _ => {}
+            }
+            // Also step over an ABI string (`extern "C" fn`) and the
+            // closing of `pub(crate)`.
+            if t.kind == TokenKind::StrLit || t.is_punct(')') || t.is_punct('(') {
+                if t.is_punct(')') || t.is_punct('(') {
+                    // Only keep walking for pub(...)-style groups.
+                    if self
+                        .code
+                        .get(k.wrapping_sub(1))
+                        .map(|p| p.is_ident("pub") || p.is_ident("crate") || p.is_ident("super"))
+                        .unwrap_or(false)
+                        || t.is_punct('(')
+                    {
+                        continue;
+                    }
+                }
+                if t.kind == TokenKind::StrLit {
+                    continue;
+                }
+            }
+            break;
+        }
+        // Signature runs to the body `{` or a `;`.
+        let mut i = at + 1;
+        let mut body = None;
+        while i < self.code.len() {
+            let t = &self.code[i];
+            if t.is_punct('{') {
+                let close = self.matching_brace(i);
+                body = Some((i + 1, close));
+                break;
+            }
+            if t.is_punct(';') {
+                break;
+            }
+            i += 1;
+        }
+        let sig_end = i;
+        self.fns.push(FnItem {
+            name,
+            line: self.code[at].line,
+            is_pub,
+            is_unsafe,
+            in_test: self.is_test_idx(at),
+            sig: (at, sig_end),
+            body,
+        });
+        // Continue scanning *inside* the body too (nested fns, unsafe
+        // blocks, inner uses) — so return just past the `fn` keyword.
+        at + 1
+    }
+
+    fn scan_unsafe(&mut self, at: usize) {
+        let kind = match self.code.get(at + 1) {
+            Some(t) if t.is_punct('{') => UnsafeKind::Block,
+            Some(t) if t.is_ident("impl") => UnsafeKind::Impl,
+            Some(t) if t.is_ident("trait") => UnsafeKind::Trait,
+            _ => UnsafeKind::Fn,
+        };
+        self.unsafes.push(UnsafeSite {
+            line: self.code[at].line,
+            kind,
+            in_test: self.is_test_idx(at),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_spans_cover_cfg_test_modules() {
+        let m = FileModel::parse(
+            "use a::B;\nfn live() {}\n#[cfg(test)]\nmod tests {\n use c::D;\n fn t() {}\n}\n",
+        );
+        assert_eq!(m.uses.len(), 2);
+        assert!(!m.uses[0].in_test);
+        assert!(m.uses[1].in_test);
+        let t = m.fns.iter().find(|f| f.name == "t").unwrap();
+        assert!(t.in_test);
+        assert!(!m.fns.iter().find(|f| f.name == "live").unwrap().in_test);
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let m = FileModel::parse("#[cfg(not(test))]\nfn live() {}\n");
+        assert!(!m.fns[0].in_test);
+    }
+
+    #[test]
+    fn pub_and_restricted_visibility() {
+        let m = FileModel::parse(
+            "pub fn api() {}\npub(crate) fn internal() {}\nfn private() {}\npub unsafe fn scary() {}\n",
+        );
+        let vis: Vec<(String, bool, bool)> = m
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.is_pub, f.is_unsafe))
+            .collect();
+        assert_eq!(
+            vis,
+            vec![
+                ("api".into(), true, false),
+                ("internal".into(), false, false),
+                ("private".into(), false, false),
+                ("scary".into(), true, true),
+            ]
+        );
+    }
+
+    #[test]
+    fn forbid_unsafe_and_unsafe_sites() {
+        let m = FileModel::parse("#![forbid(unsafe_code)]\nfn f() {}\n");
+        assert!(m.forbids_unsafe);
+        let m = FileModel::parse(
+            "unsafe impl Send for X {}\nfn f() { unsafe { g() } }\nunsafe fn g() {}\n",
+        );
+        assert!(!m.forbids_unsafe);
+        let kinds: Vec<UnsafeKind> = m.unsafes.iter().map(|u| u.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![UnsafeKind::Impl, UnsafeKind::Block, UnsafeKind::Fn]
+        );
+    }
+
+    #[test]
+    fn use_paths_render_compactly() {
+        let m =
+            FileModel::parse("use privelet_data::freq::FrequencyMatrix;\nuse a::{b, c as d};\n");
+        assert_eq!(m.uses[0].path, "privelet_data::freq::FrequencyMatrix");
+        assert_eq!(m.uses[1].path, "a::{b,c as d}");
+    }
+
+    #[test]
+    fn fn_bodies_nest() {
+        let m = FileModel::parse("fn outer() { fn inner() { x(); } y(); }\n");
+        assert_eq!(m.fns.len(), 2);
+        let outer = &m.fns[0];
+        let inner = &m.fns[1];
+        let (ob, oe) = outer.body.unwrap();
+        let (ib, ie) = inner.body.unwrap();
+        assert!(ob < ib && ie <= oe);
+    }
+}

@@ -1,0 +1,149 @@
+//! Workspace discovery: find every member crate and its `src/` files by
+//! reading the manifests directly — no `cargo metadata`, no deps.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// One workspace crate with its sources loaded.
+#[derive(Debug)]
+pub struct CrateInfo {
+    /// Package name from `Cargo.toml` (e.g. `privelet-query`).
+    pub name: String,
+    /// Root source file, workspace-relative (`crates/query/src/lib.rs`).
+    pub root_file: String,
+    /// `(workspace-relative path, contents)` for every `.rs` under
+    /// `src/`, sorted by path for deterministic output.
+    pub files: Vec<(String, String)>,
+}
+
+/// Reads the workspace root `Cargo.toml` and loads every member crate
+/// (plus the root package itself). `src/` trees only — integration
+/// tests, benches and examples are intentionally out of scope: the
+/// lints encode *library* discipline.
+pub fn discover(root: &Path) -> io::Result<Vec<CrateInfo>> {
+    let manifest = fs::read_to_string(root.join("Cargo.toml"))?;
+    let mut dirs: Vec<PathBuf> = vec![PathBuf::new()]; // the root package
+    for member in parse_members(&manifest) {
+        dirs.push(PathBuf::from(member));
+    }
+    let mut crates = Vec::new();
+    for dir in dirs {
+        let crate_dir = root.join(&dir);
+        let crate_manifest = fs::read_to_string(crate_dir.join("Cargo.toml"))?;
+        let Some(name) = parse_package_name(&crate_manifest) else {
+            continue; // virtual manifest
+        };
+        let src = crate_dir.join("src");
+        let mut files = Vec::new();
+        collect_rs(&src, &mut files)?;
+        files.sort();
+        let mut loaded = Vec::with_capacity(files.len());
+        let mut root_file = String::new();
+        for f in files {
+            let rel = rel_display(root, &f);
+            let file_name = f.file_name().and_then(|n| n.to_str());
+            if (file_name == Some("lib.rs")
+                || (root_file.is_empty() && file_name == Some("main.rs")))
+                && f.parent() == Some(src.as_path())
+            {
+                root_file = rel.clone();
+            }
+            loaded.push((rel, fs::read_to_string(&f)?));
+        }
+        crates.push(CrateInfo {
+            name,
+            root_file,
+            files: loaded,
+        });
+    }
+    crates.sort_by(|a, b| a.name.cmp(&b.name));
+    Ok(crates)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+fn rel_display(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/")
+}
+
+/// Pulls the quoted entries out of `members = [ ... ]`.
+fn parse_members(manifest: &str) -> Vec<String> {
+    let Some(start) = manifest.find("members") else {
+        return Vec::new();
+    };
+    let Some(open) = manifest[start..].find('[') else {
+        return Vec::new();
+    };
+    let Some(close) = manifest[start + open..].find(']') else {
+        return Vec::new();
+    };
+    let body = &manifest[start + open + 1..start + open + close];
+    body.split(',')
+        .filter_map(|s| {
+            let s = s.trim().trim_matches('"');
+            (!s.is_empty()).then(|| s.to_string())
+        })
+        .collect()
+}
+
+/// First `name = "..."` after `[package]`.
+fn parse_package_name(manifest: &str) -> Option<String> {
+    let pkg = manifest.find("[package]")?;
+    for line in manifest[pkg..].lines().skip(1) {
+        let line = line.trim();
+        if line.starts_with('[') {
+            return None; // next section before a name — malformed
+        }
+        if let Some(rest) = line.strip_prefix("name") {
+            let rest = rest.trim_start();
+            if let Some(rest) = rest.strip_prefix('=') {
+                return Some(rest.trim().trim_matches('"').to_string());
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn members_and_name_parse() {
+        let manifest = r#"
+[workspace]
+members = [
+    "crates/a",
+    "crates/b",
+]
+
+[package]
+name = "root-pkg"
+version = "0.1.0"
+"#;
+        assert_eq!(parse_members(manifest), vec!["crates/a", "crates/b"]);
+        assert_eq!(parse_package_name(manifest), Some("root-pkg".to_string()));
+    }
+
+    #[test]
+    fn virtual_manifest_has_no_name() {
+        assert_eq!(parse_package_name("[workspace]\nmembers = []\n"), None);
+    }
+}

@@ -1,0 +1,25 @@
+//! FD001 fixture: f64 accumulation driven by HashMap/HashSet iteration
+//! order (fires twice), versus BTreeMap iteration (does not fire).
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn loop_accumulation(weights: &HashMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in weights.iter() {
+        total += v; // FD001 here
+    }
+    total
+}
+
+pub fn chain_accumulation() -> f64 {
+    let weights: HashMap<u32, f64> = HashMap::new();
+    weights.values().sum() // FD001 here
+}
+
+pub fn ordered_is_fine(weights: &BTreeMap<u32, f64>) -> f64 {
+    let mut total = 0.0;
+    for (_k, v) in weights.iter() {
+        total += v;
+    }
+    total
+}

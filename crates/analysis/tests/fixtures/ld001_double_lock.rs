@@ -1,0 +1,28 @@
+//! LD001 fixture: acquiring a second lock while a guard is live
+//! (fires), versus drop-then-lock and scoped-guard patterns (do not
+//! fire).
+
+use std::sync::Mutex;
+
+pub fn double_lock(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner); // LD001 here
+    *ga + *gb
+}
+
+pub fn drop_then_lock(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let x = *ga;
+    drop(ga);
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x + *gb
+}
+
+pub fn scoped_guards(a: &Mutex<u64>, b: &Mutex<u64>) -> u64 {
+    let x = {
+        let ga = a.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        *ga
+    };
+    let gb = b.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    x + *gb
+}

@@ -1,0 +1,21 @@
+//! LD002 fixture: `.lock().unwrap()` / `.lock().expect(...)` poison
+//! panics (fire), versus the poison-robust idiom (does not fire).
+
+use std::sync::{Mutex, PoisonError};
+
+pub fn poison_panic(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap() // LD002 here
+}
+
+pub fn poison_panic_expect(m: &Mutex<u64>) -> u64 {
+    *m.lock().expect("not poisoned") // LD002 here
+}
+
+pub fn poison_robust(m: &Mutex<u64>) -> u64 {
+    *m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+pub fn let_bound_poison_panic(m: &Mutex<u64>) -> u64 {
+    let g = m.lock().unwrap(); // LD002 here too (the commonest shape)
+    *g
+}

@@ -1,0 +1,20 @@
+//! PB001 fixture: a serving-crate file that imports raw-count data.
+//! Expected: PB001 fires on the `use` line and the signature line.
+
+use privelet_data::freq::FrequencyMatrix;
+
+pub fn leak_counts(fm: &FrequencyMatrix) -> f64 {
+    fm_total(fm)
+}
+
+fn fm_total(_fm: &FrequencyMatrix) -> f64 {
+    0.0
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may hold raw counts freely; PB001 must NOT fire here.
+    use privelet_data::freq::FrequencyMatrix;
+
+    fn _ok(_fm: &FrequencyMatrix) {}
+}

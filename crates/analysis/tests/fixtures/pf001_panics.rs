@@ -1,0 +1,24 @@
+//! PF001 fixture: three unwaived panic sites, one waived, and test
+//! code that never counts.
+
+pub fn three_sites(v: Option<u32>) -> u32 {
+    let a = v.unwrap(); // counted
+    let b = v.expect("present"); // counted
+    if a != b {
+        panic!("impossible"); // counted
+    }
+    a
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // lint:allow(panic): fixture demonstrating the waiver syntax
+    v.unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_unwrap_freely() {
+        assert_eq!(Some(3).unwrap(), 3);
+    }
+}

@@ -1,0 +1,20 @@
+//! US001 fixture: one undocumented unsafe block (fires), one documented
+//! (does not fire), one documented unsafe fn (does not fire).
+
+pub fn undocumented(p: *const f64) -> f64 {
+    unsafe { *p }
+}
+
+pub fn documented(p: *const f64) -> f64 {
+    // SAFETY: caller guarantees `p` is valid for reads (fixture).
+    unsafe { *p }
+}
+
+/// Reads through `p`.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn documented_fn(p: *const f64) -> f64 {
+    // SAFETY: contract delegated to the caller per the doc section.
+    unsafe { *p }
+}

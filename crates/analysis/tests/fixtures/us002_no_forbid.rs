@@ -1,0 +1,6 @@
+//! US002 fixture: a crate root with zero unsafe code that fails to
+//! declare `#![forbid(unsafe_code)]`. Expected: US002 fires at line 1.
+
+pub fn totally_safe() -> u32 {
+    7
+}

@@ -1,0 +1,147 @@
+//! Every lint must demonstrably *fire* on its known-bad fixture — a
+//! lint that never fires is worse than no lint, because it certifies
+//! invariants it does not check. Each fixture also contains the
+//! compliant variant of the same pattern, which must stay silent.
+
+use privelet_analysis::lints::{self, Diagnostic};
+use privelet_analysis::model::FileModel;
+use privelet_analysis::workspace::CrateInfo;
+
+/// Lints one fixture as if it were a file of crate `name`.
+fn lint_fixture(name: &str, file: &str, src: &str) -> lints::CrateFindings {
+    let info = CrateInfo {
+        name: name.to_string(),
+        root_file: file.to_string(),
+        files: Vec::new(),
+    };
+    lints::lint_crate(&info, &[(file.to_string(), FileModel::parse(src))])
+}
+
+fn with_id<'a>(diags: &'a [Diagnostic], lint: &str) -> Vec<&'a Diagnostic> {
+    diags.iter().filter(|d| d.lint == lint).collect()
+}
+
+#[test]
+fn pb001_fires_on_raw_counts_in_serving_crate() {
+    let src = include_str!("fixtures/pb001_taint.rs");
+    let out = lint_fixture(lints::SERVING_CRATE, "fixtures/pb001_taint.rs", src);
+    let hits = with_id(&out.diags, "PB001");
+    assert!(
+        hits.len() >= 2,
+        "expected PB001 on the use and on the signatures, got: {:?}",
+        out.diags
+    );
+    // The `use` line names both the banned module and the banned type.
+    assert!(
+        hits.iter().any(|d| d.line == 4),
+        "use line not flagged: {hits:?}"
+    );
+    // The #[cfg(test)] module at the bottom must not be flagged.
+    assert!(
+        hits.iter().all(|d| d.line < 14),
+        "test code was flagged: {hits:?}"
+    );
+}
+
+#[test]
+fn pb001_is_scoped_to_the_serving_crate() {
+    let src = include_str!("fixtures/pb001_taint.rs");
+    let out = lint_fixture("privelet-data", "fixtures/pb001_taint.rs", src);
+    assert!(
+        with_id(&out.diags, "PB001").is_empty(),
+        "PB001 must only guard {}",
+        lints::SERVING_CRATE
+    );
+}
+
+#[test]
+fn us001_fires_only_on_undocumented_unsafe() {
+    let src = include_str!("fixtures/us001_unsafe.rs");
+    let out = lint_fixture("privelet-matrix", "fixtures/us001_unsafe.rs", src);
+    let hits = with_id(&out.diags, "US001");
+    assert_eq!(
+        hits.len(),
+        1,
+        "exactly the undocumented block should fire: {:?}",
+        out.diags
+    );
+    assert_eq!(hits[0].line, 5);
+}
+
+#[test]
+fn us002_fires_on_missing_forbid() {
+    let src = include_str!("fixtures/us002_no_forbid.rs");
+    let out = lint_fixture("some-safe-crate", "fixtures/us002_no_forbid.rs", src);
+    let hits = with_id(&out.diags, "US002");
+    assert_eq!(hits.len(), 1, "{:?}", out.diags);
+    // And the fix silences it:
+    let fixed = format!("#![forbid(unsafe_code)]\n{src}");
+    let out = lint_fixture("some-safe-crate", "fixtures/us002_no_forbid.rs", &fixed);
+    assert!(with_id(&out.diags, "US002").is_empty());
+}
+
+#[test]
+fn us002_rejects_unsafe_outside_the_matrix_crate() {
+    let src = "pub fn f(p: *const u8) -> u8 {\n    // SAFETY: fixture.\n    unsafe { *p }\n}\n";
+    let out = lint_fixture("privelet-noise", "lib.rs", src);
+    assert_eq!(with_id(&out.diags, "US002").len(), 1, "{:?}", out.diags);
+    let out = lint_fixture(lints::UNSAFE_CRATE, "lib.rs", src);
+    assert!(with_id(&out.diags, "US002").is_empty(), "{:?}", out.diags);
+}
+
+#[test]
+fn ld001_fires_on_double_lock_but_not_on_scoped_or_dropped_guards() {
+    let src = include_str!("fixtures/ld001_double_lock.rs");
+    let out = lint_fixture("privelet-query", "fixtures/ld001_double_lock.rs", src);
+    let hits = with_id(&out.diags, "LD001");
+    assert_eq!(hits.len(), 1, "{:?}", out.diags);
+    assert_eq!(hits[0].line, 9, "should fire inside double_lock only");
+    assert!(
+        hits[0].message.contains("ga"),
+        "names the live guard: {}",
+        hits[0].message
+    );
+}
+
+#[test]
+fn ld002_fires_on_poison_panics_only() {
+    let src = include_str!("fixtures/ld002_poison_panic.rs");
+    let out = lint_fixture("privelet-query", "fixtures/ld002_poison_panic.rs", src);
+    let hits = with_id(&out.diags, "LD002");
+    let lines: Vec<u32> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(
+        lines,
+        vec![7, 11, 19],
+        "expression-position, expect, and let-bound forms all fire: {:?}",
+        out.diags
+    );
+}
+
+#[test]
+fn fd001_fires_on_unordered_accumulation_only() {
+    let src = include_str!("fixtures/fd001_unordered_sum.rs");
+    let out = lint_fixture("privelet-core", "fixtures/fd001_unordered_sum.rs", src);
+    let hits = with_id(&out.diags, "FD001");
+    let lines: Vec<u32> = hits.iter().map(|d| d.line).collect();
+    assert_eq!(
+        lines,
+        vec![9, 16],
+        "loop += and .values().sum() fire; BTreeMap loop stays silent: {:?}",
+        out.diags
+    );
+}
+
+#[test]
+fn pf001_counts_unwaived_sites_and_honors_waivers() {
+    let src = include_str!("fixtures/pf001_panics.rs");
+    let out = lint_fixture("privelet-core", "fixtures/pf001_panics.rs", src);
+    assert_eq!(
+        out.panic_sites.len(),
+        3,
+        "unwrap + expect + panic! count, waived and test sites do not: {:?}",
+        out.panic_sites
+    );
+    assert_eq!(out.waived_panics, 1);
+    let whats: Vec<&str> = out.panic_sites.iter().map(|s| s.what.as_str()).collect();
+    assert_eq!(whats, vec![".unwrap()", ".expect()", "panic!"]);
+}

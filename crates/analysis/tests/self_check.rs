@@ -1,0 +1,56 @@
+//! The workspace must pass its own analyzer — this is the committed
+//! guarantee behind the lint catalog in `docs/static-analysis.md`: the
+//! privacy boundary holds with zero waivers, every unsafe site is
+//! documented, lock and float discipline hold, and the panic budget in
+//! `analysis.toml` matches reality exactly (no silent drift in either
+//! direction).
+
+use privelet_analysis::run_check;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/analysis sits two levels below the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_clean_under_committed_baseline() {
+    let root = workspace_root();
+    let baseline = std::fs::read_to_string(root.join("analysis.toml"))
+        .expect("analysis.toml is committed at the workspace root");
+    let outcome = run_check(&root, Some(&baseline)).expect("check runs");
+    assert!(
+        outcome.violations.is_empty(),
+        "workspace lint violations:\n{}",
+        outcome
+            .violations
+            .iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // The budget is exact, not just an upper bound: being *under*
+    // budget is a warning asking for a ratchet, and this test keeps the
+    // committed numbers honest on both sides.
+    assert!(
+        outcome.warnings.is_empty(),
+        "baseline drift:\n{}",
+        outcome.warnings.join("\n")
+    );
+}
+
+#[test]
+fn privacy_boundary_holds_with_zero_waivers() {
+    // PB001 has no waiver mechanism at all — this test documents that:
+    // the only way to get raw counts into the serving crate is to edit
+    // the analyzer's policy in plain sight.
+    let root = workspace_root();
+    let outcome = run_check(&root, None).expect("check runs");
+    assert!(
+        outcome.violations.iter().all(|v| v.lint != "PB001"),
+        "privacy boundary violated"
+    );
+}

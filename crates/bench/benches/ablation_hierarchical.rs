@@ -13,6 +13,7 @@ use privelet::mechanism::{
 use privelet_data::distributions::zipf_weights;
 use privelet_data::schema::{Attribute, Schema};
 use privelet_data::FrequencyMatrix;
+use privelet_eval::ExactEvaluate;
 use privelet_matrix::NdMatrix;
 use privelet_noise::derive_rng;
 use privelet_query::{Predicate, RangeQuery};

@@ -12,6 +12,7 @@ use privelet::mechanism::{publish_privelet_with, PriveletConfig};
 use privelet_data::distributions::zipf_weights;
 use privelet_data::schema::{Attribute, Schema};
 use privelet_data::FrequencyMatrix;
+use privelet_eval::ExactEvaluate;
 use privelet_hierarchy::builder::three_level;
 use privelet_matrix::NdMatrix;
 use privelet_query::{Predicate, RangeQuery};

@@ -15,6 +15,7 @@ use privelet::transform::HnTransform;
 use privelet_data::census::CensusConfig;
 use privelet_data::schema::{Attribute, Schema};
 use privelet_data::FrequencyMatrix;
+use privelet_eval::ExactEvaluate;
 use privelet_matrix::NdMatrix;
 use privelet_noise::derive_rng;
 use privelet_query::{Predicate, RangeQuery};

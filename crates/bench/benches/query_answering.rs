@@ -75,12 +75,16 @@ fn bench_query_answering(c: &mut Criterion) {
             b.iter(|| CoefficientAnswerer::from_output(black_box(&out)).unwrap())
         });
         group.bench_function(&format!("prefix_build_2^{exp}"), |b| {
-            b.iter(|| Answerer::new(&black_box(&out).to_matrix().unwrap()))
+            b.iter(|| {
+                let rec = black_box(&out).to_matrix().unwrap();
+                Answerer::new(rec.schema().clone(), rec.matrix()).unwrap()
+            })
         });
 
         // Per-query costs on prebuilt answerers, at each workload size.
         let coeff = CoefficientAnswerer::from_output(&out).unwrap();
-        let prefix = Answerer::new(&out.to_matrix().unwrap());
+        let rec = out.to_matrix().unwrap();
+        let prefix = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         for n_queries in WORKLOADS {
             let queries = workload(&schema, n_queries);
             // Sanity: the two paths agree before we time them.
@@ -114,7 +118,8 @@ fn bench_query_answering(c: &mut Criterion) {
         });
         group.bench_function(&format!("serve1_prefix_2^{exp}"), |b| {
             b.iter(|| {
-                let ans = Answerer::new(&black_box(&out).to_matrix().unwrap());
+                let rec = black_box(&out).to_matrix().unwrap();
+                let ans = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
                 ans.answer(&one[0]).unwrap()
             })
         });

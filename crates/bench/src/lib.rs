@@ -7,6 +7,11 @@
 //! over [`json::Json`] because the build environment has no crates.io
 //! access for serde.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod json;
 
 use json::Json;

@@ -51,6 +51,11 @@
 //!   the same supports the serving stack derives (turns the paper's
 //!   worst-case bounds into per-query error bars).
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod bounds;
 pub mod mechanism;
 pub mod privacy;

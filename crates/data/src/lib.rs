@@ -22,6 +22,11 @@
 //!   computation-time experiments (Figures 10 and 11).
 //! - [`medical`] — the 8-tuple medical-records example of Tables I and II.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod census;
 pub mod distributions;
 pub mod freq;

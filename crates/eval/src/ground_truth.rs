@@ -1,0 +1,82 @@
+//! Ground-truth query evaluation against *raw* frequency matrices.
+//!
+//! This deliberately lives in the evaluation harness, not in
+//! `privelet-query`: the paper's privacy guarantee (Theorem 4) is
+//! structural — raw counts must reach the serving tier only through the
+//! mechanism's noise-injection point. The serving crate therefore never
+//! names a raw-count type (`privelet-analysis` lint `PB001` enforces
+//! it), and the only code allowed to score answers against the exact
+//! data is the harness that owns the data anyway.
+
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::rect_sum_naive;
+use privelet_query::{QueryError, RangeQuery};
+
+/// Evaluation of range-count queries against the exact data — the
+/// harness-side counterpart of the serving tier's release-only paths.
+///
+/// Implemented for [`RangeQuery`] so harness code keeps the natural
+/// `q.evaluate(&fm)` call syntax after importing the trait.
+pub trait ExactEvaluate {
+    /// Evaluates the query against a (possibly noisy) frequency matrix
+    /// by direct summation — O(covered cells).
+    fn evaluate(&self, fm: &FrequencyMatrix) -> privelet_query::Result<f64>;
+
+    /// The query's *selectivity*: the fraction of tuples satisfying all
+    /// predicates (§VII-A), computed from the exact frequency matrix.
+    /// Returns 0 for an empty table (the documented workload-bucketing
+    /// convention; the serving tier's `selectivity` rejects n = 0
+    /// instead).
+    fn selectivity(&self, exact: &FrequencyMatrix, n_tuples: usize) -> privelet_query::Result<f64>;
+}
+
+impl ExactEvaluate for RangeQuery {
+    fn evaluate(&self, fm: &FrequencyMatrix) -> privelet_query::Result<f64> {
+        let (lo, hi) = self.bounds(fm.schema())?;
+        rect_sum_naive(fm.matrix(), &lo, &hi).map_err(|_| QueryError::ShapeMismatch)
+    }
+
+    fn selectivity(&self, exact: &FrequencyMatrix, n_tuples: usize) -> privelet_query::Result<f64> {
+        if n_tuples == 0 {
+            return Ok(0.0);
+        }
+        Ok(self.evaluate(exact)? / n_tuples as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use privelet_data::medical::medical_example;
+    use privelet_query::Predicate;
+
+    fn medical_fm() -> FrequencyMatrix {
+        FrequencyMatrix::from_table(&medical_example()).unwrap()
+    }
+
+    #[test]
+    fn direct_evaluation_and_selectivity() {
+        let fm = medical_fm();
+        let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 1 }, Predicate::All]);
+        // 3 of 8 tuples are < 40.
+        assert_eq!(q.evaluate(&fm).unwrap(), 3.0);
+        assert!((q.selectivity(&fm, 8).unwrap() - 3.0 / 8.0).abs() < 1e-12);
+        // Empty-table convention: selectivity degrades to 0.
+        assert_eq!(q.selectivity(&fm, 0).unwrap(), 0.0);
+        // The unconstrained query counts everything exactly once.
+        assert_eq!(RangeQuery::all(2).evaluate(&fm).unwrap(), 8.0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let fm = medical_fm();
+        let q = RangeQuery::new(vec![Predicate::All]);
+        assert_eq!(
+            q.evaluate(&fm).unwrap_err(),
+            QueryError::WrongArity {
+                expected: 2,
+                got: 1
+            }
+        );
+    }
+}

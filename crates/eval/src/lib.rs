@@ -8,6 +8,9 @@
 //!   with Basic and Privelet⁺, answer the workload on each noisy matrix,
 //!   and aggregate square / relative errors into coverage / selectivity
 //!   quintile buckets.
+//! - [`ground_truth`] — exact query evaluation against the raw data
+//!   ([`ExactEvaluate`]); kept out of the serving tier on purpose, see
+//!   the module docs.
 //! - [`timing`] — runs the computation-time sweeps behind Figures 10–11.
 //! - [`serving`] — compares the serving engine's paths on one release:
 //!   coefficient-domain answering via a compiled batch plan, via the
@@ -22,14 +25,21 @@
 //! - [`report`] — fixed-width table / markdown rendering of the series so
 //!   each bench target prints the same rows the paper plots.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod accuracy;
 pub mod config;
+pub mod ground_truth;
 pub mod report;
 pub mod serving;
 pub mod timing;
 
 pub use accuracy::{run_accuracy, AccuracyRun, MechanismSeries};
 pub use config::{AccuracyConfig, Scale};
+pub use ground_truth::ExactEvaluate;
 pub use report::{print_figure, print_timing};
 pub use serving::{
     calibration_check, compare_serving_paths, CalibrationReport, ServingReport, CONCURRENT_THREADS,

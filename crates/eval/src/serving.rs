@@ -17,6 +17,7 @@
 //! per-shard counters so capacity and shard count can be sized from
 //! real traffic.
 
+use crate::ground_truth::ExactEvaluate;
 use crate::Result;
 use privelet::mechanism::{publish_coefficients_with, PriveletConfig};
 use privelet::variance::{dense_dim_variance_factor, exact_query_variance};
@@ -272,7 +273,8 @@ pub fn compare_serving_paths(
     };
 
     let start = Instant::now();
-    let dense = Answerer::new(&release.to_matrix_with(&mut exec)?);
+    let rec = release.to_matrix_with(&mut exec)?;
+    let dense = Answerer::new(rec.schema().clone(), rec.matrix())?;
     let prefix_build_secs = start.elapsed().as_secs_f64();
 
     let start = Instant::now();

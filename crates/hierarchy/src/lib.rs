@@ -21,6 +21,11 @@
 //! the weight `f/(2f−2)` finite), and leaves are indexed `0..leaf_count` in
 //! traversal order.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod builder;
 pub mod tree;
 

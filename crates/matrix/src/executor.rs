@@ -390,6 +390,9 @@ pub(crate) unsafe fn process_lanes(
         }
         kernel.apply(&bufs.in_lane, &mut bufs.out_lane, &mut bufs.scratch);
         for (j, &v) in bufs.out_lane.iter().enumerate() {
+            // SAFETY: `dst_base + j*inner < outer*out_len*inner` for every
+            // lane in `[lane_lo, lane_hi)`, in bounds per the caller
+            // contract, and strided lanes never alias across workers.
             unsafe { *dst.add(dst_base + j * inner) = v };
         }
     }

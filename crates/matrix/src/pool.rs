@@ -179,8 +179,8 @@ impl WorkerPool {
                     // Erase the kernel borrow's lifetime for the channel
                     // trip; the completion collection below keeps the
                     // borrow alive for the job's whole execution.
-                    // SAFETY (of the transmute): only the trait-object
-                    // lifetime bound changes; the pointer is dereferenced
+                    // SAFETY: the transmute only changes the trait-object
+                    // lifetime bound; the pointer is dereferenced
                     // exclusively while `dispatch` blocks on completions.
                     kernel: unsafe {
                         std::mem::transmute::<

@@ -10,6 +10,11 @@
 //! and streaming statistics ([`stats`]) used by the statistical tests and
 //! the experiment harness.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod distribution;
 pub mod geometric;
 pub mod laplace;

@@ -11,8 +11,7 @@ use privelet::transform::HnTransform;
 use privelet::variance::exact_query_variance;
 use privelet::PrivacyMeta;
 use privelet_data::schema::Schema;
-use privelet_data::FrequencyMatrix;
-use privelet_matrix::PrefixSums;
+use privelet_matrix::{NdMatrix, PrefixSums};
 
 /// A prepared query answerer: prefix sums plus the schema they were built
 /// over, and optionally the release's error model (transform + privacy
@@ -32,16 +31,30 @@ pub struct Answerer {
 }
 
 impl Answerer {
-    /// Builds the answerer from a frequency matrix in O(m), without an
-    /// error model ([`answer_with_error`](Self::answer_with_error) will
-    /// return [`QueryError::MissingPrivacyMeta`]).
-    pub fn new(fm: &FrequencyMatrix) -> Self {
-        Answerer {
-            schema: fm.schema().clone(),
-            prefix: PrefixSums::build(fm.matrix()),
-            total: fm.total(),
-            error_model: None,
+    /// Builds the answerer from a published (reconstructed) cell matrix
+    /// in O(m), without an error model
+    /// ([`answer_with_error`](Self::answer_with_error) will return
+    /// [`QueryError::MissingPrivacyMeta`]).
+    ///
+    /// The serving tier deliberately takes a bare [`NdMatrix`] + schema
+    /// rather than a raw-count `FrequencyMatrix`: raw counts must reach
+    /// serving code only through a noise-injection point, and the
+    /// expected input here is a release's `to_matrix()` reconstruction
+    /// (the evaluation harness may also feed exact cells for ground
+    /// truth — that is its privilege, not the serving tier's).
+    ///
+    /// Errors with [`QueryError::ShapeMismatch`] when the matrix shape
+    /// does not match the schema's per-attribute domain sizes.
+    pub fn new(schema: Schema, cells: &NdMatrix) -> Result<Self> {
+        if cells.dims() != schema.dims() {
+            return Err(QueryError::ShapeMismatch);
         }
+        Ok(Answerer {
+            prefix: PrefixSums::build(cells),
+            total: cells.total(),
+            schema,
+            error_model: None,
+        })
     }
 
     /// Attaches the release's error model: the transform the matrix was
@@ -148,11 +161,18 @@ mod tests {
     use super::*;
     use crate::predicate::Predicate;
     use privelet_data::medical::medical_example;
+    use privelet_data::FrequencyMatrix;
+    use privelet_matrix::rect_sum_naive;
 
     fn medical_answerer() -> (FrequencyMatrix, Answerer) {
         let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
-        let ans = Answerer::new(&fm);
+        let ans = Answerer::new(fm.schema().clone(), fm.matrix()).unwrap();
         (fm, ans)
+    }
+
+    fn exact(fm: &FrequencyMatrix, q: &RangeQuery) -> f64 {
+        let (lo, hi) = q.bounds(fm.schema()).unwrap();
+        rect_sum_naive(fm.matrix(), &lo, &hi).unwrap()
     }
 
     #[test]
@@ -171,7 +191,7 @@ mod tests {
         ];
         let batch = ans.answer_all(&queries).unwrap();
         for (q, got) in queries.iter().zip(&batch) {
-            assert_eq!(*got, q.evaluate(&fm).unwrap());
+            assert_eq!(*got, exact(&fm, q));
         }
     }
 
@@ -195,7 +215,8 @@ mod tests {
         let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
         let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 61)).unwrap();
         let coeff = CoefficientAnswerer::from_output(&release).unwrap();
-        let bare = Answerer::new(&release.to_matrix().unwrap());
+        let rec = release.to_matrix().unwrap();
+        let bare = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         let q = RangeQuery::new(vec![Predicate::Range { lo: 1, hi: 3 }, Predicate::All]);
         assert_eq!(
             bare.answer_with_error(&q).unwrap_err(),

@@ -130,7 +130,8 @@ mod tests {
         let fm = FrequencyMatrix::from_table(&medical_example()).unwrap();
         let release = publish_coefficients(&fm, &PriveletConfig::pure(1.0, 21)).unwrap();
         let coeff = CoefficientAnswerer::from_output(&release).unwrap();
-        let prefix = Answerer::new(&release.to_matrix().unwrap());
+        let rec = release.to_matrix().unwrap();
+        let prefix = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         let engines: Vec<&dyn AnswerEngine> = vec![&prefix, &coeff];
 
         let queries = vec![
@@ -175,7 +176,8 @@ mod tests {
         let coeff = CoefficientAnswerer::from_output(&release).unwrap();
         // The prefix engine needs the error model attached explicitly —
         // the reconstructed matrix alone cannot know λ.
-        let bare = Answerer::new(&release.to_matrix().unwrap());
+        let rec = release.to_matrix().unwrap();
+        let bare = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 2 }, Predicate::All]);
         assert_eq!(
             AnswerEngine::answer_with_error(&bare, &q).unwrap_err(),

@@ -39,6 +39,11 @@
 //! - [`buckets`] — quintile bucketing of queries by coverage / selectivity
 //!   used to produce the series in Figures 6–9.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod answerer;
 pub mod buckets;
 pub mod cache;

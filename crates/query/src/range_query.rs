@@ -1,10 +1,16 @@
 //! The range-count query type and its evaluation paths.
+//!
+//! Evaluation against a *raw* `FrequencyMatrix` deliberately does not
+//! live here: the serving tier only ever consumes published artifacts
+//! (`CoefficientOutput` / `ReleaseCore` / reconstructed matrices), so the
+//! ground-truth evaluator is an evaluation-harness concern
+//! (`privelet_eval::ExactEvaluate`). The `PB` lints in
+//! `privelet-analysis` enforce that boundary.
 
 use crate::predicate::Predicate;
 use crate::{QueryError, Result};
-use privelet_data::freq::FrequencyMatrix;
 use privelet_data::schema::Schema;
-use privelet_matrix::{rect_sum_naive, PrefixSums};
+use privelet_matrix::PrefixSums;
 
 /// A range-count query: one [`Predicate`] per attribute, in schema order.
 /// Hashable so batch planners can intern repeated queries.
@@ -55,13 +61,6 @@ impl RangeQuery {
         Ok((lo, hi))
     }
 
-    /// Evaluates the query against a (possibly noisy) frequency matrix by
-    /// direct summation — O(covered cells).
-    pub fn evaluate(&self, fm: &FrequencyMatrix) -> Result<f64> {
-        let (lo, hi) = self.bounds(fm.schema())?;
-        rect_sum_naive(fm.matrix(), &lo, &hi).map_err(|_| QueryError::ShapeMismatch)
-    }
-
     /// Evaluates the query against precomputed prefix sums — O(2^d).
     ///
     /// `prefix` must have been built from a matrix over `schema`.
@@ -92,15 +91,6 @@ impl RangeQuery {
         let (lo, hi) = self.bounds(schema)?;
         Ok(lo.iter().zip(hi.iter()).map(|(&l, &h)| h - l + 1).product())
     }
-
-    /// The query's *selectivity*: the fraction of tuples satisfying all
-    /// predicates (§VII-A), computed from the exact frequency matrix.
-    pub fn selectivity(&self, exact: &FrequencyMatrix, n_tuples: usize) -> Result<f64> {
-        if n_tuples == 0 {
-            return Ok(0.0);
-        }
-        Ok(self.evaluate(exact)? / n_tuples as f64)
-    }
 }
 
 #[cfg(test)]
@@ -108,10 +98,18 @@ mod tests {
     use super::*;
     use privelet_data::medical::medical_example;
     use privelet_data::FrequencyMatrix;
-    use privelet_matrix::PrefixSums;
+    use privelet_matrix::{rect_sum_naive, PrefixSums};
 
     fn medical_fm() -> FrequencyMatrix {
         FrequencyMatrix::from_table(&medical_example()).unwrap()
+    }
+
+    /// Ground-truth evaluation by direct summation. The library method
+    /// lives in `privelet-eval` (the serving tier must not consume raw
+    /// counts); the tests here only need the arithmetic.
+    fn exact(fm: &FrequencyMatrix, q: &RangeQuery) -> f64 {
+        let (lo, hi) = q.bounds(fm.schema()).unwrap();
+        rect_sum_naive(fm.matrix(), &lo, &hi).unwrap()
     }
 
     #[test]
@@ -125,7 +123,7 @@ mod tests {
             Predicate::Range { lo: 0, hi: 2 },
             Predicate::Node { node: yes_leaf },
         ]);
-        assert_eq!(q.evaluate(&fm).unwrap(), 1.0);
+        assert_eq!(exact(&fm, &q), 1.0);
         assert_eq!(q.predicate_count(), 2);
     }
 
@@ -133,7 +131,7 @@ mod tests {
     fn unconstrained_query_counts_everything() {
         let fm = medical_fm();
         let q = RangeQuery::all(2);
-        assert_eq!(q.evaluate(&fm).unwrap(), 8.0);
+        assert_eq!(exact(&fm, &q), 8.0);
         assert_eq!(q.coverage(fm.schema()).unwrap(), 1.0);
         assert_eq!(q.predicate_count(), 0);
     }
@@ -156,21 +154,19 @@ mod tests {
         ];
         for q in queries {
             assert_eq!(
-                q.evaluate(&fm).unwrap(),
+                exact(&fm, &q),
                 q.evaluate_prefix(fm.schema(), &prefix).unwrap()
             );
         }
     }
 
     #[test]
-    fn coverage_and_selectivity() {
+    fn coverage_and_covered_cells() {
         let fm = medical_fm();
         let q = RangeQuery::new(vec![Predicate::Range { lo: 0, hi: 1 }, Predicate::All]);
         // 2 of 5 age groups × both diabetes values = 4/10 cells.
         assert!((q.coverage(fm.schema()).unwrap() - 0.4).abs() < 1e-12);
         assert_eq!(q.covered_cells(fm.schema()).unwrap(), 4);
-        // 3 of 8 tuples are < 40.
-        assert!((q.selectivity(&fm, 8).unwrap() - 3.0 / 8.0).abs() < 1e-12);
     }
 
     #[test]
@@ -178,7 +174,7 @@ mod tests {
         let fm = medical_fm();
         let q = RangeQuery::new(vec![Predicate::All]);
         assert_eq!(
-            q.evaluate(&fm).unwrap_err(),
+            q.bounds(fm.schema()).unwrap_err(),
             QueryError::WrongArity {
                 expected: 2,
                 got: 1

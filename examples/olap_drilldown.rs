@@ -18,6 +18,7 @@ use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
 use privelet_repro::data::distributions::zipf_weights;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::hierarchy::builder::three_level;
 use privelet_repro::matrix::NdMatrix;
 use privelet_repro::query::{CoefficientAnswerer, Predicate, RangeQuery};

@@ -16,6 +16,7 @@ use privelet_repro::core::mechanism::{
 };
 use privelet_repro::data::medical::{medical_example, AGE_GROUPS, DIABETES};
 use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::query::{AnswerEngine, CoefficientAnswerer, Predicate, RangeQuery};
 
 fn main() {

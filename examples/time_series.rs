@@ -15,6 +15,7 @@ use privelet_repro::core::mechanism::{
 };
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::matrix::NdMatrix;
 use privelet_repro::noise::derive_rng;
 use privelet_repro::query::{Predicate, RangeQuery};

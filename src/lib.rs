@@ -14,6 +14,11 @@
 //! - [`core`] — the paper's contribution: wavelet transforms + mechanisms.
 //! - [`eval`] — the experiment harness regenerating the paper's figures.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub use privelet as core;
 pub use privelet_data as data;
 pub use privelet_eval as eval;

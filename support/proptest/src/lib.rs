@@ -16,6 +16,11 @@
 //! `prop_assert*` failures, on stderr for plain panics inside the body
 //! (so generated values must implement `Debug`, as in real proptest).
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 use rand::{Rng, RngCore, SeedableRng};
 use std::ops::{Range, RangeInclusive};
 

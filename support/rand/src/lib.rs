@@ -16,6 +16,11 @@
 //! Not implemented (not needed here): thread-local RNGs, fill/bytes APIs,
 //! the distribution module, weighted sampling.
 
+// No unsafe anywhere in this crate — enforced at compile time (and
+// pinned by privelet-analysis lint US002). The only workspace crate
+// with unsafe code is privelet-matrix (worker pool / lane executor).
+#![forbid(unsafe_code)]
+
 pub mod rngs;
 pub mod seq;
 

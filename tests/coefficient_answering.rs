@@ -99,7 +99,7 @@ proptest! {
         let hn = HnTransform::for_schema(&schema, &sa).unwrap();
         let coeffs = hn.forward(fm.matrix()).unwrap();
         let coeff = CoefficientAnswerer::new(schema.clone(), hn, &coeffs).unwrap();
-        let dense = Answerer::new(&fm);
+        let dense = Answerer::new(fm.schema().clone(), fm.matrix()).unwrap();
         for q in workload(&schema, wl_seed) {
             let a = coeff.answer(&q).unwrap();
             let b = dense.answer(&q).unwrap();
@@ -123,7 +123,8 @@ proptest! {
         let cfg = PriveletConfig::plus(1.0, sa, noise_seed);
         let release = publish_coefficients(&fm, &cfg).unwrap();
         let coeff = CoefficientAnswerer::from_output(&release).unwrap();
-        let dense = Answerer::new(&release.to_matrix().unwrap());
+        let rec = release.to_matrix().unwrap();
+        let dense = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         let scale: f64 = release
             .coefficients
             .as_slice()

@@ -7,6 +7,7 @@ use privelet_repro::data::census::{self, CensusConfig};
 use privelet_repro::data::medical::medical_example;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::{FrequencyMatrix, Table};
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::matrix::PrefixSums;
 use privelet_repro::query::{generate_workload, Predicate, RangeQuery, WorkloadConfig};
 

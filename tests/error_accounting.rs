@@ -27,6 +27,7 @@ use privelet_repro::core::variance::{
 };
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::eval::calibration_check;
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::noise::RunningStats;
 use privelet_repro::query::{
     AnswerEngine, Answerer, CoefficientAnswerer, ConcurrentEngine, Predicate, RangeQuery,
@@ -83,7 +84,9 @@ proptest! {
         let release = publish_coefficients(&fm, &cfg).unwrap();
         let coeff = CoefficientAnswerer::from_output(&release).unwrap();
         let engine = ConcurrentEngine::from_answerer(&coeff);
-        let prefix = Answerer::new(&release.to_matrix().unwrap())
+        let rec = release.to_matrix().unwrap();
+        let prefix = Answerer::new(rec.schema().clone(), rec.matrix())
+            .unwrap()
             .with_error_model(release.transform.clone(), release.meta)
             .unwrap();
         let engines: Vec<&dyn AnswerEngine> = vec![&coeff, &engine, &prefix];

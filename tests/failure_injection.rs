@@ -9,6 +9,7 @@ use privelet_repro::core::CoreError;
 use privelet_repro::data::medical::medical_example;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::{DataError, FrequencyMatrix, Table};
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::hierarchy::{HierarchyError, Spec};
 use privelet_repro::matrix::NdMatrix;
 use privelet_repro::query::{Predicate, QueryError, RangeQuery};

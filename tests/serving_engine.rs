@@ -44,7 +44,7 @@ proptest! {
 
         let batch = plan.execute(&coeffs).unwrap();
         let coeff = CoefficientAnswerer::new(schema.clone(), hn, &coeffs).unwrap();
-        let dense = Answerer::new(&fm);
+        let dense = Answerer::new(fm.schema().clone(), fm.matrix()).unwrap();
         for (q, &got) in queries.iter().zip(&batch) {
             let one = coeff.answer(q).unwrap();
             let want = dense.answer(q).unwrap();
@@ -85,7 +85,8 @@ proptest! {
             );
         }
 
-        let dense = Answerer::new(&release.to_matrix().unwrap());
+        let rec = release.to_matrix().unwrap();
+        let dense = Answerer::new(rec.schema().clone(), rec.matrix()).unwrap();
         let scale: f64 = release
             .coefficients
             .as_slice()

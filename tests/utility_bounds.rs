@@ -13,6 +13,7 @@ use privelet_repro::core::mechanism::{publish_privelet, PriveletConfig};
 use privelet_repro::core::transform::HnTransform;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
+use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::hierarchy::builder::three_level;
 use privelet_repro::matrix::NdMatrix;
 use privelet_repro::noise::RunningStats;
