@@ -89,10 +89,16 @@ pub fn publish_hierarchical_1d_kary(
         }
     }
 
-    // Noisy counts at every node.
+    // Noisy counts at every node, injected a level at a time (fused: one
+    // virtual call per level, same per-seed stream as a per-node loop —
+    // levels are visited root→leaves exactly as before).
     let y: Vec<Vec<f64>> = exact
         .iter()
-        .map(|lvl| lvl.iter().map(|&v| v + lap.sample(&mut rng)).collect())
+        .map(|lvl| {
+            let mut noisy = lvl.clone();
+            lap.add_noise(&mut rng, &mut noisy);
+            noisy
+        })
         .collect();
 
     // Pass 1: bottom-up weighted estimates. Node height i: leaves 1, root

@@ -120,6 +120,11 @@ pub fn publish_with_transform_on(
     })
 }
 
+/// Unit-noise chunk size for the weighted Laplace step: large enough to
+/// amortize the per-chunk virtual call to nothing, small enough (32 KiB)
+/// to stay L1/L2-resident next to the coefficient slab it is applied to.
+const NOISE_CHUNK: usize = 4096;
+
 /// Steps 1–2 of a Privelet publish, shared by the matrix-publishing and
 /// coefficient-publishing paths so both draw the identical noise stream
 /// for a given seed: forward HN transform, then `Lap(λ/W_HN(c))` on every
@@ -139,10 +144,24 @@ fn noisy_coefficient_matrix(
     let mut coeffs = hn.forward_with(exec, fm.matrix())?;
 
     // Step 2: weighted Laplace noise. Lap(λ/W) == (λ/W) · Lap(1), so one
-    // unit-scale sampler serves every coefficient.
+    // unit-scale sampler serves every coefficient. The unit draws are
+    // fused: `for_each_weight` visits linear indices 0..total in order,
+    // so refilling a chunk buffer through `sample_into` consumes the RNG
+    // in exactly the per-coefficient order — the per-seed release is
+    // bit-identical to the unfused loop — while paying one virtual call
+    // per chunk instead of one per coefficient.
     let data = coeffs.as_mut_slice();
+    let total = data.len();
+    let mut buf = vec![0.0f64; NOISE_CHUNK.min(total.max(1))];
+    let mut pos = buf.len();
     hn.for_each_weight(|lin, w| {
-        data[lin] += meta.lambda / w * unit.sample(&mut rng);
+        if pos == buf.len() {
+            let n = (total - lin).min(buf.len());
+            unit.sample_into(&mut rng, &mut buf[..n]);
+            pos = 0;
+        }
+        data[lin] += meta.lambda / w * buf[pos];
+        pos += 1;
     });
     Ok((coeffs, meta))
 }
@@ -313,6 +332,54 @@ mod tests {
         assert!(publish_coefficients(&fm, &PriveletConfig::pure(0.0, 1)).is_err());
         let bad_sa = PriveletConfig::plus(1.0, BTreeSet::from([9]), 1);
         assert!(publish_coefficients(&fm, &bad_sa).is_err());
+    }
+
+    #[test]
+    fn chunked_weighted_noise_pins_the_prefusion_stream() {
+        // The chunk-buffered weighted step must release exactly what the
+        // pre-fusion per-coefficient loop released for the same seed —
+        // that loop (forward transform, then one unit draw per linear
+        // index in for_each_weight order) is reproduced here as the
+        // reference. Domains straddle the 4096-coefficient chunk size so
+        // full-chunk, partial-tail, and single-chunk refills all pin.
+        use privelet_data::schema::Attribute;
+        use privelet_noise::derive_rng;
+        for dims in [vec![256usize], vec![4096, 2], vec![64, 64, 4]] {
+            let attrs: Vec<Attribute> = dims
+                .iter()
+                .enumerate()
+                .map(|(i, &d)| Attribute::ordinal(format!("a{i}"), d))
+                .collect();
+            let schema = Schema::new(attrs).unwrap();
+            let cells: usize = dims.iter().product();
+            let data: Vec<f64> = (0..cells).map(|i| ((i * 13) % 29) as f64).collect();
+            let fm = FrequencyMatrix::from_parts(schema, NdMatrix::from_vec(&dims, data).unwrap())
+                .unwrap();
+            let cfg = PriveletConfig::pure(1.0, 77);
+
+            let hn = HnTransform::for_schema(fm.schema(), &cfg.sa).unwrap();
+            let meta = PrivacyMeta::for_transform(&hn, cfg.epsilon).unwrap();
+            let unit = Laplace::new(1.0).unwrap();
+            let dyn_unit: &dyn NoiseDistribution = &unit;
+            let mut rng = derive_rng(cfg.seed, crate::mechanism::NOISE_STREAM);
+            let mut exec = LaneExecutor::new();
+            let mut reference = hn.forward_with(&mut exec, fm.matrix()).unwrap();
+            let slab = reference.as_mut_slice();
+            hn.for_each_weight(|lin, w| {
+                slab[lin] += meta.lambda / w * dyn_unit.sample(&mut rng);
+            });
+
+            let fused = publish_coefficients(&fm, &cfg).unwrap();
+            for (i, (a, b)) in fused
+                .coefficients
+                .as_slice()
+                .iter()
+                .zip(reference.as_slice())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "dims {dims:?} coeff {i}");
+            }
+        }
     }
 
     #[test]

@@ -14,9 +14,20 @@
 //! Lanes are walked in the row-major `[outer, axis, inner]` decomposition:
 //! for the last axis (`inner == 1`) lanes are contiguous in memory and are
 //! fed to the kernel directly without a gather; for other axes lanes are
-//! gathered into a stack-local buffer with stride `inner` and scattered
-//! back the same way, visiting source and destination memory in strictly
-//! increasing address order per outer block.
+//! processed in **cache-blocked tiles** of up to
+//! [`tile_lanes`](LaneExecutor::tile_lanes) adjacent inner-index lanes. A
+//! per-element strided gather wastes up to 7/8 of every fetched cache
+//! line (stride ≥ 8 f64s ⇒ one useful f64 per 64-byte line, and the line
+//! is usually evicted before the adjacent lane wants its neighbour);
+//! the tile instead performs a blocked transpose — each axis position
+//! `j` contributes one *contiguous* `T`-wide read serving all `T` lanes
+//! of the tile at once — into a reused `lane_len × T` scratch block,
+//! applies the kernel lane-by-lane inside the tile, and scatters back
+//! through the same contiguous rows. Per-lane arithmetic (the kernel
+//! call and its operand order) is untouched, so tiled output is
+//! **bitwise identical** to the per-lane walk. Tiles never cross an
+//! outer-block boundary, and their width is capped so the tile scratch
+//! stays cache-sized ([`TILE_CELL_BUDGET`]).
 //!
 //! With the `parallel` cargo feature the lane range is split into
 //! contiguous chunks executed on a persistent [`WorkerPool`] (spawned
@@ -29,6 +40,7 @@
 //!
 //! [`WorkerPool`]: crate::pool::WorkerPool
 
+use crate::knob::env_usize_knob;
 use crate::ndmatrix::NdMatrix;
 use crate::pool::WorkerPool;
 use crate::{MatrixError, Result};
@@ -74,6 +86,7 @@ pub struct LaneExecutor {
     back: Vec<f64>,
     threads: usize,
     parallel_min_cells: usize,
+    tile_lanes: usize,
     /// Persistent workers, spawned lazily on the first stage that
     /// actually fans out (`threads − 1` of them; the calling thread runs
     /// chunk 0) and reused for every later stage and run. `None` until
@@ -98,40 +111,64 @@ impl Default for LaneExecutor {
 /// hardware without a rebuild.
 pub const MIN_PARALLEL_CELLS: usize = 1 << 14;
 
-/// Interprets a `PRIVELET_PARALLEL_MIN_CELLS` value: `(threshold,
-/// malformed)`. `None` (unset) and a parseable value are not malformed;
-/// anything else falls back to [`MIN_PARALLEL_CELLS`] **and says so**,
-/// so a typo'd tuning knob can't silently revert the cut-over. Pure so
-/// it is unit-testable without racing on the process environment.
-fn parse_parallel_threshold(raw: Option<&str>) -> (usize, bool) {
-    match raw {
-        None => (MIN_PARALLEL_CELLS, false),
-        Some(v) => match v.trim().parse() {
-            Ok(n) => (n, false),
-            Err(_) => (MIN_PARALLEL_CELLS, true),
-        },
-    }
-}
+/// Default tile width for the strided-lane path: how many adjacent
+/// inner-index lanes are gathered, transformed and scattered per tile.
+/// 8 f64s fill one 64-byte cache line, so every fetched line in the
+/// gather is fully consumed; the PR-8 calibration sweep (recorded in
+/// docs/architecture.md) showed the publish throughput plateau starts
+/// here and wider tiles only grow the scratch footprint. Overridable per
+/// executor with [`LaneExecutor::with_tile_lanes`] or process-wide with
+/// the `PRIVELET_TILE_LANES` environment variable (read at executor
+/// construction).
+pub const DEFAULT_TILE_LANES: usize = 8;
+
+/// Upper bound on one tile buffer's size in f64 cells (`lane_len × T ≤`
+/// this, for both the input and the output tile). 2^16 cells = 512 KiB —
+/// small enough that a tile pair plus the source rows it streams stay
+/// inside a typical L2, large enough never to constrain the tile width
+/// on the lane lengths where tiling matters (the width degrades
+/// gracefully toward the per-lane walk for extremely long lanes).
+pub const TILE_CELL_BUDGET: usize = 1 << 16;
 
 /// The construction-time parallel threshold: the
 /// `PRIVELET_PARALLEL_MIN_CELLS` env override when set and parseable,
 /// [`MIN_PARALLEL_CELLS`] otherwise. `0` means "always fan out". A set
 /// but unparseable value is reported once per process on stderr instead
-/// of being silently ignored.
+/// of being silently ignored (via the shared [`knob`](crate::knob)
+/// helper).
 fn default_parallel_threshold() -> usize {
-    let raw = std::env::var("PRIVELET_PARALLEL_MIN_CELLS").ok();
-    let (value, malformed) = parse_parallel_threshold(raw.as_deref());
-    if malformed {
-        static WARN_ONCE: std::sync::Once = std::sync::Once::new();
-        WARN_ONCE.call_once(|| {
-            eprintln!(
-                "privelet-matrix: PRIVELET_PARALLEL_MIN_CELLS={:?} is not a cell count; \
-                 using the default of {value}",
-                raw.as_deref().unwrap_or_default()
-            );
-        });
+    env_usize_knob(
+        "PRIVELET_PARALLEL_MIN_CELLS",
+        "a cell count",
+        MIN_PARALLEL_CELLS,
+    )
+}
+
+/// The construction-time tile width: the `PRIVELET_TILE_LANES` env
+/// override when set and parseable (clamped to ≥ 1), otherwise
+/// [`DEFAULT_TILE_LANES`]. Garbage warns once per process.
+fn default_tile_lanes() -> usize {
+    env_usize_knob("PRIVELET_TILE_LANES", "a lane count", DEFAULT_TILE_LANES).max(1)
+}
+
+/// The tile width actually used by one stage: the requested width,
+/// clamped so (a) contiguous stages (`inner == 1`) never gather at all,
+/// (b) a tile never exceeds the `inner` extent (tiles cannot cross an
+/// outer-block boundary), and (c) neither tile buffer exceeds
+/// [`TILE_CELL_BUDGET`] cells — extremely long lanes degrade gracefully
+/// toward the per-lane walk instead of blowing up per-worker scratch.
+pub(crate) fn effective_tile(
+    requested: usize,
+    in_len: usize,
+    out_len: usize,
+    inner: usize,
+) -> usize {
+    if inner == 1 {
+        return 1;
     }
-    value
+    let widest_lane = in_len.max(out_len).max(1);
+    let budget_cap = (TILE_CELL_BUDGET / widest_lane).max(1);
+    requested.clamp(1, budget_cap).min(inner)
 }
 
 impl LaneExecutor {
@@ -150,6 +187,7 @@ impl LaneExecutor {
             back: Vec::new(),
             threads: threads.max(1),
             parallel_min_cells: default_parallel_threshold(),
+            tile_lanes: default_tile_lanes(),
             pool: None,
         }
     }
@@ -169,6 +207,17 @@ impl LaneExecutor {
         self
     }
 
+    /// Sets the tile width for strided stages: up to `lanes` adjacent
+    /// inner-index lanes are gathered, transformed and scattered per
+    /// cache-blocked tile (`0` is treated as 1, i.e. the per-lane walk).
+    /// Tiling only changes the memory access pattern — output is bitwise
+    /// identical for every width. Builder-style; overrides the
+    /// `PRIVELET_TILE_LANES` env default captured at construction.
+    pub fn with_tile_lanes(mut self, lanes: usize) -> Self {
+        self.tile_lanes = lanes.max(1);
+        self
+    }
+
     /// The configured worker count.
     pub fn threads(&self) -> usize {
         self.threads
@@ -177,6 +226,12 @@ impl LaneExecutor {
     /// The configured parallel cut-over in cells per stage.
     pub fn parallel_threshold(&self) -> usize {
         self.parallel_min_cells
+    }
+
+    /// The configured tile width (adjacent lanes per cache-blocked tile)
+    /// for strided stages.
+    pub fn tile_lanes(&self) -> usize {
+        self.tile_lanes
     }
 
     /// Runs a single-stage pipeline (convenience wrapper over [`run`]).
@@ -255,6 +310,7 @@ impl LaneExecutor {
             let src_cells = outer * in_len * inner;
             let dst_cells = outer * out_len * inner;
             let workers = self.effective_threads(src_cells.max(dst_cells));
+            let tile = effective_tile(self.tile_lanes, in_len, out_len, inner);
             // First stage that genuinely fans out: spawn the persistent
             // pool (threads − 1 workers; the calling thread runs chunk
             // 0). Later stages and runs reuse it — spawn-once is the
@@ -281,6 +337,7 @@ impl LaneExecutor {
                     in_len,
                     out_len,
                     inner,
+                    tile,
                     workers,
                     self.pool.as_ref(),
                 )?;
@@ -293,6 +350,7 @@ impl LaneExecutor {
                 in_len,
                 out_len,
                 inner,
+                tile,
                 workers,
                 self.pool.as_ref(),
             )?;
@@ -326,19 +384,26 @@ pub fn default_threads() -> usize {
     }
 }
 
-/// Per-worker gather / output / scratch buffers.
+/// Per-worker tile gather / output / scratch buffers. `tile_in` holds up
+/// to `tile` gathered lanes of `in_len` each (lane `t` at
+/// `[t*in_len, (t+1)*in_len)`), `tile_out` the corresponding outputs.
+/// With `tile == 1` these collapse to the single-lane gather buffers the
+/// pre-tiling engine used.
 pub(crate) struct WorkerBufs {
-    in_lane: Vec<f64>,
-    out_lane: Vec<f64>,
+    tile_in: Vec<f64>,
+    tile_out: Vec<f64>,
     scratch: Vec<f64>,
+    tile: usize,
 }
 
 impl WorkerBufs {
-    pub(crate) fn new(kernel: &dyn LaneKernel, in_len: usize, out_len: usize) -> Self {
+    pub(crate) fn new(kernel: &dyn LaneKernel, in_len: usize, out_len: usize, tile: usize) -> Self {
+        let tile = tile.max(1);
         WorkerBufs {
-            in_lane: vec![0.0; in_len],
-            out_lane: vec![0.0; out_len],
+            tile_in: vec![0.0; in_len * tile],
+            tile_out: vec![0.0; out_len * tile],
             scratch: vec![0.0; kernel.scratch_len()],
+            tile,
         }
     }
 }
@@ -381,20 +446,47 @@ pub(crate) unsafe fn process_lanes(
         }
         return;
     }
-    for lane in lane_lo..lane_hi {
+    // Strided lanes: cache-blocked tiles of up to `bufs.tile` adjacent
+    // inner-index lanes. Each axis position `j` is one contiguous
+    // `width`-wide read serving every lane of the tile (blocked
+    // transpose in), the kernel runs lane-by-lane inside the tile with
+    // exactly the per-lane operand order of the untiled walk, and the
+    // outputs scatter back through contiguous `width`-wide writes
+    // (blocked transpose out). A tile never crosses an outer-block
+    // boundary (`width ≤ inner − i`) nor the caller's lane range
+    // (`width ≤ lane_hi − lane`), so chunk splits of any alignment stay
+    // bitwise-correct.
+    let tile = bufs.tile.max(1);
+    let mut lane = lane_lo;
+    while lane < lane_hi {
         let (o, i) = (lane / inner, lane % inner);
+        let width = tile.min(inner - i).min(lane_hi - lane);
         let src_base = o * in_len * inner + i;
         let dst_base = o * out_len * inner + i;
-        for (j, slot) in bufs.in_lane.iter_mut().enumerate() {
-            *slot = src[src_base + j * inner];
+        for j in 0..in_len {
+            let row = &src[src_base + j * inner..src_base + j * inner + width];
+            for (t, &v) in row.iter().enumerate() {
+                bufs.tile_in[t * in_len + j] = v;
+            }
         }
-        kernel.apply(&bufs.in_lane, &mut bufs.out_lane, &mut bufs.scratch);
-        for (j, &v) in bufs.out_lane.iter().enumerate() {
-            // SAFETY: `dst_base + j*inner < outer*out_len*inner` for every
-            // lane in `[lane_lo, lane_hi)`, in bounds per the caller
-            // contract, and strided lanes never alias across workers.
-            unsafe { *dst.add(dst_base + j * inner) = v };
+        for t in 0..width {
+            kernel.apply(
+                &bufs.tile_in[t * in_len..(t + 1) * in_len],
+                &mut bufs.tile_out[t * out_len..(t + 1) * out_len],
+                &mut bufs.scratch,
+            );
         }
+        for j in 0..out_len {
+            let row_base = dst_base + j * inner;
+            for t in 0..width {
+                // SAFETY: `row_base + t < outer*out_len*inner` for every
+                // lane of the tile (the tile stays inside one outer
+                // block), in bounds per the caller contract, and strided
+                // lanes never alias across workers.
+                unsafe { *dst.add(row_base + t) = bufs.tile_out[t * out_len + j] };
+            }
+        }
+        lane += width;
     }
 }
 
@@ -411,6 +503,7 @@ fn run_stage(
     in_len: usize,
     out_len: usize,
     inner: usize,
+    tile: usize,
     threads: usize,
     pool: Option<&WorkerPool>,
 ) -> Result<()> {
@@ -420,13 +513,13 @@ fn run_stage(
     #[cfg(feature = "parallel")]
     if threads > 1 && n_lanes > 1 {
         if let Some(pool) = pool {
-            return pool.dispatch(src, dst, kernel, in_len, out_len, inner, threads);
+            return pool.dispatch(src, dst, kernel, in_len, out_len, inner, tile, threads);
         }
     }
     #[cfg(not(feature = "parallel"))]
     let _ = (threads, pool);
 
-    let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
+    let mut bufs = WorkerBufs::new(kernel, in_len, out_len, tile);
     // SAFETY: single caller covering every lane exactly once; `dst` is a
     // live mutable borrow sized `n_lanes * out_len`.
     unsafe {
@@ -686,27 +779,62 @@ mod tests {
     }
 
     #[test]
-    fn unparseable_threshold_falls_back_and_reports() {
-        // Unset: the default, not malformed.
-        assert_eq!(parse_parallel_threshold(None), (MIN_PARALLEL_CELLS, false));
-        // Parseable values, with surrounding whitespace tolerated.
-        assert_eq!(parse_parallel_threshold(Some("0")), (0, false));
-        assert_eq!(parse_parallel_threshold(Some(" 4096 ")), (4096, false));
-        // Garbage: falls back to the default AND is flagged (the flag is
-        // what `default_parallel_threshold` turns into the once-per-
-        // process stderr warning — the old `.ok()` chain swallowed it).
-        for garbage in ["", "banana", "-1", "1e4", "0x40", "4096 cells", "∞"] {
-            assert_eq!(
-                parse_parallel_threshold(Some(garbage)),
-                (MIN_PARALLEL_CELLS, true),
-                "{garbage:?} must fall back loudly"
-            );
+    fn knob_defaults_reach_the_executor() {
+        // The fallback semantics themselves live in `crate::knob` (and are
+        // unit-tested there); here we only pin that the executor wires the
+        // shared helper through. Don't set variables — std::env::set_var
+        // is a process-global race against parallel tests, which is
+        // exactly why the knob parse is a pure function.
+        assert_eq!(
+            LaneExecutor::new().parallel_threshold(),
+            default_parallel_threshold()
+        );
+        assert_eq!(LaneExecutor::new().tile_lanes(), default_tile_lanes());
+        if std::env::var("PRIVELET_TILE_LANES").is_err() {
+            assert_eq!(LaneExecutor::new().tile_lanes(), DEFAULT_TILE_LANES);
         }
-        // The executor still constructs (warning, not error) whatever
-        // the environment holds; don't set the variable here —
-        // std::env::set_var is a process-global race against parallel
-        // tests, which is exactly why the parse function is pure.
-        assert!(LaneExecutor::new().parallel_threshold() == default_parallel_threshold());
+    }
+
+    #[test]
+    fn tile_width_is_configurable_and_clamped() {
+        let exec = LaneExecutor::serial().with_tile_lanes(64);
+        assert_eq!(exec.tile_lanes(), 64);
+        // 0 collapses to the per-lane walk, never a zero-width tile.
+        assert_eq!(LaneExecutor::serial().with_tile_lanes(0).tile_lanes(), 1);
+    }
+
+    #[test]
+    fn effective_tile_respects_inner_and_budget() {
+        // Contiguous stages never gather, so they never tile.
+        assert_eq!(effective_tile(16, 1024, 1024, 1), 1);
+        // A tile cannot cross an outer-block boundary.
+        assert_eq!(effective_tile(16, 8, 8, 5), 5);
+        // The cap keeps lane_len × tile within TILE_CELL_BUDGET…
+        let long = TILE_CELL_BUDGET / 4;
+        assert_eq!(effective_tile(16, long, long, 1 << 20), 4);
+        // …degrading to the per-lane walk for absurdly long lanes rather
+        // than refusing to run.
+        assert_eq!(effective_tile(16, TILE_CELL_BUDGET * 2, 8, 1 << 20), 1);
+        // Ordinary shapes pass the request through.
+        assert_eq!(effective_tile(16, 1024, 1024, 1024), 16);
+    }
+
+    #[test]
+    fn tile_widths_are_bitwise_identical() {
+        // The whole tiling contract: every width (including widths larger
+        // than the lane count and widths that leave ragged boundary
+        // tiles) produces bitwise-identical output to the per-lane walk.
+        let m = sample(&[7, 9, 5]);
+        let mut reference = LaneExecutor::serial().with_tile_lanes(1);
+        for axis in 0..3 {
+            let k = Reverse(m.dims()[axis]);
+            let want = reference.map_axis(&m, axis, &k).unwrap();
+            for tile in [2, 3, 8, 64, 1 << 20] {
+                let mut tiled = LaneExecutor::serial().with_tile_lanes(tile);
+                let got = tiled.map_axis(&m, axis, &k).unwrap();
+                assert_eq!(got.as_slice(), want.as_slice(), "axis {axis} tile {tile}");
+            }
+        }
     }
 
     #[test]

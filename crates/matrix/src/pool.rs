@@ -8,14 +8,16 @@
 //! through per-worker channels, so the steady-state cost of fanning a
 //! stage out is a handful of channel sends, not thread creation.
 //!
-//! Determinism contract: a stage's lane range is split into the same
-//! contiguous chunks as the scoped implementation used —
-//! `chunk = n_lanes.div_ceil(workers)`, worker `w` owning
+//! Determinism contract: a stage's lane range is split into contiguous
+//! chunks — `chunk = n_lanes.div_ceil(workers)`, rounded up to a
+//! multiple of the stage's tile width so the cache-blocked tile is the
+//! pool's chunk unit (no worker starts mid-tile), worker `w` owning
 //! `[w·chunk, min((w+1)·chunk, n_lanes))` — and each chunk is processed
 //! by exactly one thread with its own scratch buffers. Lanes write
 //! disjoint outputs and per-lane arithmetic is identical to the serial
 //! path, so pooled output is **bit-identical** to serial regardless of
-//! which thread runs which chunk (the equivalence suite asserts this).
+//! which thread runs which chunk or how wide the tiles are (the
+//! equivalence suite asserts this).
 //!
 //! Chunk 0 always runs on the dispatching thread: a pool of `N` workers
 //! therefore serves stages of up to `N + 1`-way parallelism, and a
@@ -50,6 +52,7 @@ struct Task {
     in_len: usize,
     out_len: usize,
     inner: usize,
+    tile: usize,
     lane_lo: usize,
     lane_hi: usize,
 }
@@ -136,6 +139,7 @@ impl WorkerPool {
         in_len: usize,
         out_len: usize,
         inner: usize,
+        tile: usize,
         threads: usize,
     ) -> Result<()> {
         let lane_cells = in_len.checked_mul(inner).ok_or(MatrixError::TooLarge)?;
@@ -157,9 +161,17 @@ impl WorkerPool {
             return Ok(());
         }
 
-        // The scoped implementation's exact split, capped by pool size.
+        // The scoped implementation's split, capped by pool size, with
+        // the chunk rounded up to a whole number of tiles so the
+        // cache-blocked tile is the chunk unit: no worker starts
+        // mid-tile, so the tiling inside each chunk is exactly the
+        // serial tiling of that lane range.
+        let tile = tile.max(1);
         let workers = threads.clamp(1, n_lanes).min(self.workers.len() + 1);
-        let chunk = n_lanes.div_ceil(workers);
+        let chunk = n_lanes
+            .div_ceil(workers)
+            .checked_next_multiple_of(tile)
+            .unwrap_or(n_lanes);
         let dst_ptr = dst.as_mut_ptr();
 
         let (done_tx, done_rx) = mpsc::channel::<bool>();
@@ -191,6 +203,7 @@ impl WorkerPool {
                     in_len,
                     out_len,
                     inner,
+                    tile,
                     lane_lo,
                     lane_hi,
                 },
@@ -219,7 +232,7 @@ impl WorkerPool {
         // would be unsound, so collect every completion first and only
         // then report the panic as an error.
         let local = catch_unwind(AssertUnwindSafe(|| {
-            let mut bufs = WorkerBufs::new(kernel, in_len, out_len);
+            let mut bufs = WorkerBufs::new(kernel, in_len, out_len, tile);
             // SAFETY: chunk 0's lane range is disjoint from every
             // dispatched chunk, and `dst` is sized above.
             unsafe {
@@ -288,7 +301,7 @@ fn worker_loop(rx: mpsc::Receiver<Job>) {
             unsafe {
                 let src = std::slice::from_raw_parts(t.src, t.src_len);
                 let kernel = &*t.kernel;
-                let mut bufs = WorkerBufs::new(kernel, t.in_len, t.out_len);
+                let mut bufs = WorkerBufs::new(kernel, t.in_len, t.out_len, t.tile);
                 process_lanes(
                     src, t.dst, kernel, t.in_len, t.out_len, t.inner, t.lane_lo, t.lane_hi,
                     &mut bufs,

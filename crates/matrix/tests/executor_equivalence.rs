@@ -1,14 +1,17 @@
 //! Equivalence suite for the lane-execution engine.
 //!
 //! The engine guarantees that (a) a `LaneExecutor` pipeline computes
-//! exactly what chained [`map_lanes`] calls compute, and (b) the parallel
-//! path is **bit-identical** to the serial path. Matrices here are larger
-//! than the engine's parallel cut-over threshold so that, when built with
-//! `--features parallel`, the multi-threaded code path really runs
-//! (without the feature the same assertions hold trivially and keep the
-//! suite compiling in both configurations).
+//! exactly what chained [`map_lanes`] calls compute, (b) the parallel
+//! path is **bit-identical** to the serial path, and (c) the
+//! cache-blocked tiled walk is **bit-identical** to the per-lane walk at
+//! every tile width. Matrices here are larger than the engine's parallel
+//! cut-over threshold so that, when built with `--features parallel`,
+//! the multi-threaded code path really runs (without the feature the
+//! same assertions hold trivially and keep the suite compiling in both
+//! configurations).
 
 use privelet_matrix::{map_lanes, AxisStage, LaneExecutor, LaneKernel, NdMatrix};
+use proptest::prelude::*;
 
 /// A deliberately asymmetric kernel: output length differs from input,
 /// every output mixes several inputs, and scratch is exercised.
@@ -160,6 +163,91 @@ fn parallel_pipeline_is_bit_identical_to_serial_pipeline() {
         .unwrap();
     assert_eq!(a.dims(), &[31, 17, 64]);
     assert_eq!(a.as_slice(), b.as_slice());
+}
+
+/// The fixed tile-width grid every randomized shape is checked against:
+/// the per-lane walk (1), an odd width that never divides power-of-two
+/// extents (3), one cache line of f64s (8, the default), a wide tile
+/// (64), and a width guaranteed to exceed any shape's lane count here
+/// (every tile then clips to `inner` / the chunk end — the boundary
+/// path runs on every single tile).
+const TILE_GRID: [usize; 5] = [1, 3, 8, 64, 1 << 24];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Tiled == per-lane == pooled, bitwise, over random 1–4-dim shapes
+    /// with non-power-of-two extents, on every axis, across the tile
+    /// grid. The per-lane serial walk (`tile = 1`) is the reference; a
+    /// multi-threaded executor at the same width covers the pooled path
+    /// under `--features parallel` (and collapses to serial without it,
+    /// keeping the suite green in both configurations).
+    #[test]
+    fn tiled_walk_is_bit_identical_across_shapes_and_widths(
+        dims in prop::collection::vec(1usize..=13, 1..=4),
+        out_delta in 0usize..=5,
+        threads in 1usize..=8,
+    ) {
+        let m = big_matrix(&dims);
+        for axis in 0..dims.len() {
+            let kernel = Mix { in_len: dims[axis], out_len: dims[axis] + out_delta };
+            let mut reference = LaneExecutor::serial().with_tile_lanes(1);
+            // Fan out unconditionally so small random shapes still cross
+            // the pooled path when the feature is on.
+            let want = reference.map_axis(&m, axis, &kernel).unwrap();
+            for tile in TILE_GRID {
+                let mut serial = LaneExecutor::serial().with_tile_lanes(tile);
+                let mut pooled = LaneExecutor::with_threads(threads)
+                    .with_parallel_threshold(0)
+                    .with_tile_lanes(tile);
+                let a = serial.map_axis(&m, axis, &kernel).unwrap();
+                let b = pooled.map_axis(&m, axis, &kernel).unwrap();
+                prop_assert_eq!(
+                    a.as_slice(), want.as_slice(),
+                    "serial dims {:?} axis {} tile {}", dims, axis, tile
+                );
+                prop_assert_eq!(
+                    b.as_slice(), want.as_slice(),
+                    "pooled dims {:?} axis {} tile {} threads {}", dims, axis, tile, threads
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tile_boundary_edges_are_bit_identical() {
+    // Deterministic boundary cases on top of the proptest: extents that
+    // leave a ragged final tile for every grid width (inner = 65 against
+    // widths 3/8/64), a stride exactly one tile wide, and a stride one
+    // element narrower/wider than the default tile.
+    let mut reference = LaneExecutor::serial().with_tile_lanes(1);
+    for dims in [
+        vec![33usize, 65],
+        vec![17, 8],
+        vec![17, 7],
+        vec![17, 9],
+        vec![5, 64, 3],
+        vec![128, 1],
+    ] {
+        let m = big_matrix(&dims);
+        for axis in 0..dims.len() {
+            let kernel = Mix {
+                in_len: dims[axis],
+                out_len: dims[axis] + 2,
+            };
+            let want = reference.map_axis(&m, axis, &kernel).unwrap();
+            for tile in TILE_GRID {
+                let mut tiled = LaneExecutor::serial().with_tile_lanes(tile);
+                let got = tiled.map_axis(&m, axis, &kernel).unwrap();
+                assert_eq!(
+                    got.as_slice(),
+                    want.as_slice(),
+                    "dims {dims:?} axis {axis} tile {tile}"
+                );
+            }
+        }
+    }
 }
 
 #[test]

@@ -101,8 +101,9 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Pooled dispatch is bit-identical to the serial lane walk for
-    /// every `[outer, len, inner]` decomposition and thread count,
-    /// including counts exceeding the pool size and the lane count.
+    /// every `[outer, len, inner]` decomposition, thread count, and tile
+    /// width — including counts exceeding the pool size / lane count and
+    /// tiles wider than `inner` (which leave ragged boundary tiles).
     #[test]
     fn dispatch_is_bit_identical_to_serial(
         outer in 1usize..=6,
@@ -111,6 +112,7 @@ proptest! {
         out_delta in 0usize..=4,
         threads in 1usize..=9,
         workers in 0usize..=4,
+        tile in 1usize..=8,
     ) {
         let k = Mix { in_len, out_len: in_len + out_delta };
         let src = lane_data(outer * in_len * inner);
@@ -119,7 +121,7 @@ proptest! {
         let pool = WorkerPool::new(workers);
         prop_assert_eq!(pool.workers(), workers);
         let mut dst = vec![f64::NAN; outer * k.out_len * inner];
-        pool.dispatch(&src, &mut dst, &k, in_len, k.out_len, inner, threads).unwrap();
+        pool.dispatch(&src, &mut dst, &k, in_len, k.out_len, inner, tile, threads).unwrap();
         // Bitwise: identical per-lane arithmetic regardless of which
         // thread ran which chunk.
         for (a, b) in dst.iter().zip(&want) {
@@ -139,13 +141,14 @@ fn dispatch_validates_layout() {
     // Destination not sized [outer, out_len, inner].
     let mut short = vec![0.0; 7];
     assert!(matches!(
-        pool.dispatch(&src, &mut short, &k, 4, 4, 1, 2).unwrap_err(),
+        pool.dispatch(&src, &mut short, &k, 4, 4, 1, 1, 2)
+            .unwrap_err(),
         MatrixError::DataLenMismatch { .. }
     ));
     // Source not a whole number of [in_len, inner] blocks.
     let mut dst = [0.0; 8];
     assert!(matches!(
-        pool.dispatch(&src[..7], &mut dst[..7], &k, 4, 4, 1, 2)
+        pool.dispatch(&src[..7], &mut dst[..7], &k, 4, 4, 1, 1, 2)
             .unwrap_err(),
         MatrixError::DataLenMismatch { .. }
     ));
@@ -211,7 +214,7 @@ fn drop_joins_every_worker() {
         // exit, so it never counts).
         let src = lane_data(16 * 64);
         let mut dst = vec![0.0; 16 * 64];
-        pool.dispatch(&src, &mut dst, &k, 16, 16, 1, 4).unwrap();
+        pool.dispatch(&src, &mut dst, &k, 16, 16, 1, 1, 4).unwrap();
         assert_eq!(exits.load(Ordering::SeqCst), 0, "round {round}: alive");
         drop(pool);
         // Join is synchronous and runs thread-local destructors before
@@ -236,7 +239,8 @@ fn worker_panic_is_an_error_not_a_hang_and_pool_survives() {
     src[6 * 4] = -1.0;
     let mut dst = vec![0.0; 8 * 4];
     assert_eq!(
-        pool.dispatch(&src, &mut dst, &k, 4, 4, 1, 4).unwrap_err(),
+        pool.dispatch(&src, &mut dst, &k, 4, 4, 1, 1, 4)
+            .unwrap_err(),
         MatrixError::WorkerPanicked
     );
 
@@ -244,7 +248,8 @@ fn worker_panic_is_an_error_not_a_hang_and_pool_survives() {
     // the same way instead of unwinding while workers hold borrows.
     src[0] = -1.0;
     assert_eq!(
-        pool.dispatch(&src, &mut dst, &k, 4, 4, 1, 4).unwrap_err(),
+        pool.dispatch(&src, &mut dst, &k, 4, 4, 1, 1, 4)
+            .unwrap_err(),
         MatrixError::WorkerPanicked
     );
 
@@ -256,7 +261,7 @@ fn worker_panic_is_an_error_not_a_hang_and_pool_survives() {
     };
     let src = lane_data(8 * 4);
     let mut dst = vec![f64::NAN; 8 * 6];
-    pool.dispatch(&src, &mut dst, &good, 4, 6, 1, 4).unwrap();
+    pool.dispatch(&src, &mut dst, &good, 4, 6, 1, 1, 4).unwrap();
     let want = serial_reference(&src, 8, 4, 1, &good);
     assert_eq!(dst, want);
 }

@@ -14,7 +14,16 @@
 //! Determinism contract: implementations must consume the RNG exactly as
 //! their inherent samplers do, so routing a mechanism through the trait
 //! never changes the noise stream a seed produces — the
-//! `Privelet⁺(SA = all) == Basic` bit-equivalence test pins this.
+//! `Privelet⁺(SA = all) == Basic` bit-equivalence test pins this. The
+//! buffer-at-a-time entry points ([`sample_into`] and [`add_noise`]) obey
+//! the same contract: they draw exactly the per-cell stream in order, so
+//! fusing a publish loop from per-cell `sample` calls to one buffered
+//! call is a pure optimization — one dynamic dispatch per buffer with a
+//! monomorphic sampling loop inside, instead of one virtual call (and
+//! one optimization barrier) per cell.
+//!
+//! [`sample_into`]: NoiseDistribution::sample_into
+//! [`add_noise`]: NoiseDistribution::add_noise
 
 use crate::{Laplace, TwoSidedGeometric};
 use rand::rngs::StdRng;
@@ -33,10 +42,23 @@ pub trait NoiseDistribution {
     /// `f64`s).
     fn sample(&self, rng: &mut StdRng) -> f64;
 
-    /// Fills `out` with independent samples.
+    /// Fills `out` with independent samples, drawing the identical
+    /// stream per-cell [`sample`](Self::sample) calls would draw.
+    /// Implementations override this with a monomorphic loop so callers
+    /// pay one virtual call per buffer instead of one per cell.
     fn sample_into(&self, rng: &mut StdRng, out: &mut [f64]) {
         for slot in out {
             *slot = self.sample(rng);
+        }
+    }
+
+    /// Adds one independent sample to every element of `out` — the fused
+    /// form of the publish loop `for v in out { *v += dist.sample(rng) }`,
+    /// consuming the RNG identically (same stream, same order), so a
+    /// mechanism switching to it releases bit-identical output per seed.
+    fn add_noise(&self, rng: &mut StdRng, out: &mut [f64]) {
+        for slot in out {
+            *slot += self.sample(rng);
         }
     }
 }
@@ -53,6 +75,18 @@ impl NoiseDistribution for Laplace {
     fn sample(&self, rng: &mut StdRng) -> f64 {
         Laplace::sample(self, rng)
     }
+
+    /// Monomorphic fill: the inherent sampler inlined across the buffer.
+    fn sample_into(&self, rng: &mut StdRng, out: &mut [f64]) {
+        Laplace::sample_into(self, rng, out);
+    }
+
+    /// Monomorphic fused add: one virtual call per buffer.
+    fn add_noise(&self, rng: &mut StdRng, out: &mut [f64]) {
+        for slot in out {
+            *slot += Laplace::sample(self, rng);
+        }
+    }
 }
 
 impl NoiseDistribution for TwoSidedGeometric {
@@ -67,6 +101,20 @@ impl NoiseDistribution for TwoSidedGeometric {
     /// Integer samples, widened to `f64` (always whole numbers).
     fn sample(&self, rng: &mut StdRng) -> f64 {
         TwoSidedGeometric::sample(self, rng) as f64
+    }
+
+    /// Monomorphic fill: the inherent sampler inlined across the buffer.
+    fn sample_into(&self, rng: &mut StdRng, out: &mut [f64]) {
+        for slot in out {
+            *slot = TwoSidedGeometric::sample(self, rng) as f64;
+        }
+    }
+
+    /// Monomorphic fused add: one virtual call per buffer.
+    fn add_noise(&self, rng: &mut StdRng, out: &mut [f64]) {
+        for slot in out {
+            *slot += TwoSidedGeometric::sample(self, rng) as f64;
+        }
     }
 }
 
@@ -122,5 +170,42 @@ mod tests {
         d.sample_into(&mut rng, &mut buf);
         assert!(buf.iter().all(|v| v.is_finite()));
         assert!(buf.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn buffered_entry_points_draw_the_per_cell_stream_bitwise() {
+        // The fused forms must consume the RNG exactly as a per-cell
+        // sample loop: same stream, same order. This is the contract that
+        // lets publish paths switch to add_noise/sample_into without
+        // changing any release a seed produces.
+        let lap = Laplace::new(2.5).unwrap();
+        let geom = TwoSidedGeometric::with_scale(3.0).unwrap();
+        for (name, d) in [
+            ("laplace", &lap as &dyn NoiseDistribution),
+            ("geometric", &geom as &dyn NoiseDistribution),
+        ] {
+            for len in [0usize, 1, 7, 64, 1000] {
+                let per_cell: Vec<f64> = {
+                    let mut rng = seeded_rng(42);
+                    (0..len).map(|_| d.sample(&mut rng)).collect()
+                };
+                let mut filled = vec![f64::NAN; len];
+                d.sample_into(&mut seeded_rng(42), &mut filled);
+                let mut added = vec![10.0; len];
+                d.add_noise(&mut seeded_rng(42), &mut added);
+                for (i, &want) in per_cell.iter().enumerate() {
+                    assert_eq!(
+                        filled[i].to_bits(),
+                        want.to_bits(),
+                        "{name} sample_into[{i}] of {len}"
+                    );
+                    assert_eq!(
+                        added[i].to_bits(),
+                        (10.0 + want).to_bits(),
+                        "{name} add_noise[{i}] of {len}"
+                    );
+                }
+            }
+        }
     }
 }
