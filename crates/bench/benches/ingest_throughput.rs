@@ -1,0 +1,112 @@
+//! Streaming-ingest throughput: `IncrementalRelease::apply_increment`
+//! (O(∏ log mᵢ) coefficient touches) against a from-scratch
+//! `HnTransform::forward` republish (O(∏ mᵢ)), plus the epoch boundary
+//! itself. The gap between the first two is the entire point of the
+//! streaming tier — sparse maintenance makes per-arrival cost
+//! polylogarithmic in the table size.
+//!
+//! The smoke gate (`-- --test`) asserts the correctness contract CI
+//! cares about: after a pile of increments the incremental exact state
+//! is bit-identical to a dense forward on the updated table.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use privelet::transform::HnTransform;
+use privelet::IncrementalRelease;
+use privelet_data::schema::{Attribute, Schema};
+use privelet_data::FrequencyMatrix;
+use privelet_hierarchy::builder::three_level;
+use privelet_matrix::NdMatrix;
+use std::collections::BTreeSet;
+use std::hint::black_box;
+
+/// 64 × 64 × 64 mixed schema — the same shape `micro_transforms` uses,
+/// so the forward numbers are directly comparable.
+fn fixture() -> (Schema, FrequencyMatrix) {
+    let schema = Schema::new(vec![
+        Attribute::ordinal("o", 64),
+        Attribute::nominal("n", three_level(64, 8).unwrap()),
+        Attribute::ordinal("s", 64),
+    ])
+    .unwrap();
+    let cells: usize = schema.dims().iter().product();
+    let fm = FrequencyMatrix::from_parts(
+        schema.clone(),
+        NdMatrix::from_vec(
+            &schema.dims(),
+            (0..cells).map(|i| (i % 17) as f64).collect(),
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    (schema, fm)
+}
+
+/// Deterministic cell stream (no ambient RNG in benches).
+fn cells(schema: &Schema, n: usize) -> Vec<Vec<usize>> {
+    (0..n)
+        .map(|i| {
+            schema
+                .dims()
+                .iter()
+                .enumerate()
+                .map(|(d, &m)| (i.wrapping_mul(2654435761).wrapping_add(d * 97)) % m)
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let (schema, fm) = fixture();
+    let stream = cells(&schema, 1024);
+    let mut group = c.benchmark_group("ingest_262k_cells");
+    group.sample_size(20);
+
+    // Smoke-mode correctness gate: increments track the dense forward
+    // bitwise.
+    {
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::from([2]), 1.0).unwrap();
+        let mut dense = fm.matrix().clone();
+        for cell in &stream {
+            rel.apply_increment(cell, 1.0).unwrap();
+            let old = dense.get(cell).unwrap();
+            dense.set(cell, old + 1.0).unwrap();
+        }
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::from([2])).unwrap();
+        let want = hn.forward(&dense).unwrap();
+        assert_eq!(
+            rel.exact_coefficients().as_slice(),
+            want.as_slice(),
+            "incremental state must track the dense forward bitwise"
+        );
+    }
+
+    // Per-arrival sparse maintenance...
+    let mut rel = IncrementalRelease::new(&fm, &BTreeSet::from([2]), 1e9).unwrap();
+    let mut i = 0usize;
+    group.bench_function("apply_increment", |b| {
+        b.iter(|| {
+            let cell = &stream[i % stream.len()];
+            i += 1;
+            rel.apply_increment(black_box(cell), 1.0).unwrap()
+        })
+    });
+
+    // ...vs re-running the whole forward per arrival.
+    let hn = HnTransform::for_schema(&schema, &BTreeSet::from([2])).unwrap();
+    group.bench_function("republish_forward", |b| {
+        b.iter(|| hn.forward(black_box(fm.matrix())).unwrap())
+    });
+
+    // The epoch boundary: clone exact state + weighted noise draw.
+    group.bench_function("advance_epoch", |b| {
+        b.iter_batched(
+            || IncrementalRelease::new(&fm, &BTreeSet::from([2]), 1e9).unwrap(),
+            |mut r| r.advance_epoch(0.1, 7).unwrap(),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,687 @@
+//! Streaming releases: incremental exact-coefficient maintenance with
+//! epoch-budgeted re-noising.
+//!
+//! A publish-once release freezes its table; real deployments ingest
+//! continuously. The wavelet structure makes re-publishing unnecessary:
+//! a single-cell increment changes only the leaf-to-root coefficient path
+//! of each dimension (the dual of
+//! [`query_weights`](crate::transform::Transform1d::query_weights), exposed
+//! as [`update_weights`](crate::transform::Transform1d::update_weights)),
+//! so the *exact* (pre-noise) coefficients can absorb row arrivals as
+//! sparse deltas — `∏ᵢ O(log mᵢ)` touched coefficients per increment
+//! instead of an O(m) forward transform.
+//!
+//! **Bit-identity.** The acceptance contract for streaming is strict: after
+//! any number of increments, publishing an epoch must be bit-identical to
+//! [`publish_coefficients`](crate::mechanism::publish_coefficients) run
+//! from scratch on the updated table with the same seed. Naively *adding*
+//! `δ·update_weights` to the stored coefficients breaks this — float
+//! addition is not associative, so `(a + δ/f)` generally differs in the
+//! last ulp from recomputing the coefficient from updated sums. Instead,
+//! [`IncrementalRelease`] keeps each axis's intermediate *state* (the Haar
+//! averaging pyramid, the nominal leaf-sum array, the identity lane) and
+//! recomputes every touched value with expressions byte-for-byte identical
+//! to the forward kernels' own (`0.5 * (a + b)` / `0.5 * (a - b)`, the
+//! child-order `.sum()`, `ls − ls_parent / fanout`). The sparse-update
+//! *indices* are exactly `update_weights`' support; only the value
+//! arithmetic routes through the state.
+//!
+//! **Epoch budgets.** Re-noising the same statistics k times is k releases
+//! of one mechanism: sequential composition sums the epsilons. A
+//! [`BudgetLedger`] tracks the lifetime budget;
+//! [`advance_epoch`](IncrementalRelease::advance_epoch) debits the epoch's
+//! ε *before* any noise is drawn and refuses with
+//! [`CoreError::BudgetExhausted`](crate::CoreError) —
+//! never a silent over-spend. Noise injection reuses the publishers'
+//! chunked weighted-Laplace seam, so an epoch's output coefficients are
+//! bit-identical to a from-scratch publish at the epoch's seed.
+
+use crate::mechanism::privelet::add_weighted_noise;
+use crate::mechanism::CoefficientOutput;
+use crate::privacy::{BudgetLedger, PrivacyMeta};
+use crate::transform::{DimTransform, HnTransform, Transform1d};
+use crate::{CoreError, Result};
+use privelet_data::schema::Schema;
+use privelet_data::FrequencyMatrix;
+use privelet_matrix::NdMatrix;
+use std::collections::BTreeSet;
+
+/// Per-axis intermediate state of the staged forward transform, stored for
+/// every lane of that axis.
+///
+/// Axis `i`'s state matrix has dimensions
+/// `(out₀, …, outᵢ₋₁, sᵢ, inᵢ₊₁, …, in_d)` — axes before `i` are already
+/// in the coefficient domain, axes after it still in the data domain —
+/// where `sᵢ` is the per-lane state length: `2·padded` for Haar (the
+/// averaging pyramid in heap layout, leaves at `m + x`, slot 0 unused),
+/// `node_count` for nominal (leaf-sums by node id), `|A|` for identity
+/// (the lane itself).
+#[derive(Debug, Clone)]
+struct AxisState {
+    axis: usize,
+    data: Vec<f64>,
+    strides: Vec<usize>,
+}
+
+impl AxisState {
+    /// Flat offset of a lane: every coordinate except the state axis.
+    fn lane_offset(&self, coords: &[usize]) -> usize {
+        coords
+            .iter()
+            .zip(&self.strides)
+            .enumerate()
+            .filter(|&(j, _)| j != self.axis)
+            .map(|(_, (&c, &s))| c * s)
+            .sum()
+    }
+}
+
+fn row_major_strides(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for j in (0..dims.len().saturating_sub(1)).rev() {
+        strides[j] = strides[j + 1] * dims[j + 1];
+    }
+    strides
+}
+
+/// Per-lane state length of one transform (see [`AxisState`]).
+fn state_len(t: &DimTransform) -> usize {
+    match t {
+        DimTransform::Haar(_) => 2 * t.output_len(),
+        DimTransform::Nominal(_) => t.output_len(),
+        DimTransform::Identity(_) => t.input_len(),
+    }
+}
+
+/// Initializes one lane's state from its input values and writes the
+/// lane's full coefficient output — the stateful equivalent of the forward
+/// kernel, using the kernel's exact float expressions.
+fn init_lane(t: &DimTransform, src: &[f64], state: &mut [f64], out: &mut [f64]) {
+    match t {
+        DimTransform::Haar(_) => {
+            let m = t.output_len();
+            state[0] = 0.0;
+            state[m..m + src.len()].copy_from_slice(src);
+            state[m + src.len()..].fill(0.0);
+            for j in (1..m).rev() {
+                // Identical to the kernel's level fold: 0.5 * (a + b).
+                state[j] = 0.5 * (state[2 * j] + state[2 * j + 1]);
+            }
+            out[0] = state[1];
+            for j in 1..m {
+                out[j] = 0.5 * (state[2 * j] - state[2 * j + 1]);
+            }
+        }
+        DimTransform::Nominal(nt) => {
+            let h = nt.hierarchy();
+            for (pos, &v) in src.iter().enumerate() {
+                state[h.leaf_node(pos)] = v;
+            }
+            for &id in h.level_order().iter().rev() {
+                if !h.is_leaf(id) {
+                    // Identical to the kernel's bottom-up sum.
+                    state[id] = h.children(id).iter().map(|&c| state[c]).sum();
+                }
+            }
+            for &id in h.level_order() {
+                let pos = h.level_order_pos(id);
+                out[pos] = match h.parent(id) {
+                    None => state[id],
+                    Some(p) => state[id] - state[p] / h.fanout(p) as f64,
+                };
+            }
+        }
+        DimTransform::Identity(_) => {
+            state.copy_from_slice(src);
+            out.copy_from_slice(src);
+        }
+    }
+}
+
+/// Applies one change to a lane's state and returns the touched output
+/// positions with their recomputed values — bit-identical to what a
+/// from-scratch forward of the updated lane would produce at those
+/// positions. `is_delta` distinguishes the data-domain entry axis (the
+/// increment adds to the stored value) from propagated absolute values.
+fn update_lane(
+    t: &DimTransform,
+    state: &mut [f64],
+    stride: usize,
+    offset: usize,
+    pos: usize,
+    value: f64,
+    is_delta: bool,
+) -> Vec<(usize, f64)> {
+    let idx = |k: usize| offset + k * stride;
+    let mut out = Vec::new();
+    match t {
+        DimTransform::Haar(_) => {
+            let m = t.output_len();
+            if is_delta {
+                state[idx(m + pos)] += value;
+            } else {
+                state[idx(m + pos)] = value;
+            }
+            let mut j = (m + pos) >> 1;
+            while j >= 1 {
+                let a = state[idx(2 * j)];
+                let b = state[idx(2 * j + 1)];
+                state[idx(j)] = 0.5 * (a + b);
+                out.push((j, 0.5 * (a - b)));
+                j >>= 1;
+            }
+            out.push((0, state[idx(1)]));
+        }
+        DimTransform::Nominal(nt) => {
+            let h = nt.hierarchy();
+            let leaf = h.leaf_node(pos);
+            if is_delta {
+                state[idx(leaf)] += value;
+            } else {
+                state[idx(leaf)] = value;
+            }
+            let mut path = vec![leaf];
+            let mut node = leaf;
+            while let Some(p) = h.parent(node) {
+                state[idx(p)] = h.children(p).iter().map(|&c| state[idx(c)]).sum();
+                path.push(p);
+                node = p;
+            }
+            // `node` is now the root.
+            out.push((h.level_order_pos(node), state[idx(node)]));
+            // A path node's leaf-sum feeds the coefficient of *every*
+            // child of that node, so whole sibling groups re-derive.
+            for &p in path.iter().skip(1) {
+                let f = h.fanout(p) as f64;
+                let lsp = state[idx(p)];
+                for &c in h.children(p) {
+                    out.push((h.level_order_pos(c), state[idx(c)] - lsp / f));
+                }
+            }
+        }
+        DimTransform::Identity(_) => {
+            if is_delta {
+                state[idx(pos)] += value;
+            } else {
+                state[idx(pos)] = value;
+            }
+            out.push((pos, state[idx(pos)]));
+        }
+    }
+    out
+}
+
+/// A streaming release: the exact (pre-noise) HN coefficients of a live
+/// table, maintained under single-cell / row-batch increments in
+/// `∏ᵢ O(log mᵢ)` work per increment, re-noised only at explicit epoch
+/// boundaries under a lifetime privacy budget.
+///
+/// See the [module docs](self) for the bit-identity design. The latest
+/// published epoch is kept on the release
+/// ([`latest`](Self::latest)); serving tiers roll to it via
+/// `ReleaseCore::advance_epoch` in `privelet-query`.
+#[derive(Debug, Clone)]
+pub struct IncrementalRelease {
+    schema: Schema,
+    transform: HnTransform,
+    /// Exact coefficients, bit-identical at all times to
+    /// `transform.forward(current table)`.
+    exact: NdMatrix,
+    states: Vec<AxisState>,
+    ledger: BudgetLedger,
+    latest: Option<CoefficientOutput>,
+}
+
+impl IncrementalRelease {
+    /// Opens a streaming release over `fm`'s current contents with the
+    /// Privelet / Privelet⁺ transform for `sa` and a lifetime privacy
+    /// budget of `total_epsilon`. No noise is drawn and nothing is
+    /// published until the first [`advance_epoch`](Self::advance_epoch).
+    pub fn new(fm: &FrequencyMatrix, sa: &BTreeSet<usize>, total_epsilon: f64) -> Result<Self> {
+        let transform = HnTransform::for_schema(fm.schema(), sa)?;
+        let ledger = BudgetLedger::new(total_epsilon)?;
+        let d = transform.ndim();
+
+        // Staged forward pipeline, one axis at a time, capturing each
+        // axis's per-lane state. The per-lane math is the forward kernels'
+        // own, so the final matrix is bit-identical to `transform.forward`.
+        let mut cur_dims = transform.input_dims();
+        let mut cur = fm.matrix().as_slice().to_vec();
+        let mut states = Vec::with_capacity(d);
+        for (axis, t) in transform.transforms().iter().enumerate() {
+            let n = t.input_len();
+            let out_n = t.output_len();
+            let s_n = state_len(t);
+            let mut state_dims = cur_dims.clone();
+            state_dims[axis] = s_n;
+            let mut out_dims = cur_dims.clone();
+            out_dims[axis] = out_n;
+            let in_strides = row_major_strides(&cur_dims);
+            let state_strides = row_major_strides(&state_dims);
+            let out_strides = row_major_strides(&out_dims);
+            let mut state = AxisState {
+                axis,
+                data: vec![0.0f64; state_dims.iter().product()],
+                strides: state_strides,
+            };
+            let mut out = vec![0.0f64; out_dims.iter().product()];
+
+            let mut src_lane = vec![0.0f64; n];
+            let mut state_lane = vec![0.0f64; s_n];
+            let mut out_lane = vec![0.0f64; out_n];
+            // Odometer over every lane (all coords with the axis fixed).
+            let mut coords = vec![0usize; d];
+            loop {
+                let in_off: usize = coords
+                    .iter()
+                    .zip(&in_strides)
+                    .enumerate()
+                    .filter(|&(j, _)| j != axis)
+                    .map(|(_, (&c, &s))| c * s)
+                    .sum();
+                for (k, slot) in src_lane.iter_mut().enumerate() {
+                    *slot = cur[in_off + k * in_strides[axis]];
+                }
+                init_lane(t, &src_lane, &mut state_lane, &mut out_lane);
+                let st_off = state.lane_offset(&coords);
+                for (k, &v) in state_lane.iter().enumerate() {
+                    state.data[st_off + k * state.strides[axis]] = v;
+                }
+                let out_off: usize = coords
+                    .iter()
+                    .zip(&out_strides)
+                    .enumerate()
+                    .filter(|&(j, _)| j != axis)
+                    .map(|(_, (&c, &s))| c * s)
+                    .sum();
+                for (k, &v) in out_lane.iter().enumerate() {
+                    out[out_off + k * out_strides[axis]] = v;
+                }
+                // Advance the odometer, skipping the lane axis.
+                let mut j = d;
+                let mut done = true;
+                while j > 0 {
+                    j -= 1;
+                    if j == axis {
+                        continue;
+                    }
+                    coords[j] += 1;
+                    if coords[j] < cur_dims[j] {
+                        done = false;
+                        break;
+                    }
+                    coords[j] = 0;
+                }
+                if done {
+                    break;
+                }
+            }
+            states.push(state);
+            cur = out;
+            cur_dims = out_dims;
+        }
+
+        let exact = NdMatrix::from_vec(&cur_dims, cur)?;
+        Ok(IncrementalRelease {
+            schema: fm.schema().clone(),
+            transform,
+            exact,
+            states,
+            ledger,
+            latest: None,
+        })
+    }
+
+    /// The schema of the underlying table.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The HN transform maintained in the coefficient domain.
+    pub fn transform(&self) -> &HnTransform {
+        &self.transform
+    }
+
+    /// The maintained exact (pre-noise) coefficient matrix — bit-identical
+    /// to the forward transform of the current table. Never publish this
+    /// directly: it carries no noise.
+    pub fn exact_coefficients(&self) -> &NdMatrix {
+        &self.exact
+    }
+
+    /// The sequential-composition budget ledger.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// The most recently published epoch, if any.
+    pub fn latest(&self) -> Option<&CoefficientOutput> {
+        self.latest.as_ref()
+    }
+
+    /// Epochs published so far.
+    pub fn epoch(&self) -> u32 {
+        self.ledger.epochs()
+    }
+
+    /// Upper bound on coefficients touched by one increment:
+    /// `∏ᵢ max_update_support(i)` (for all-ordinal schemas this is the
+    /// `∏ᵢ (⌈log₂ mᵢ⌉ + 1)` of the paper's Haar path analysis).
+    pub fn touch_bound(&self) -> usize {
+        self.transform
+            .transforms()
+            .iter()
+            .map(Transform1d::max_update_support)
+            .product()
+    }
+
+    /// Absorbs `delta` added to table cell `cell`, updating the exact
+    /// coefficients sparsely. Returns the number of coefficients written
+    /// (≤ [`touch_bound`](Self::touch_bound)).
+    ///
+    /// Validation mirrors `query_supports`: wrong arity or an
+    /// out-of-domain coordinate is an `Err`, never a panic.
+    pub fn apply_increment(&mut self, cell: &[usize], delta: f64) -> Result<usize> {
+        let d = self.transform.ndim();
+        if cell.len() != d {
+            return Err(CoreError::BadQueryArity {
+                expected: d,
+                got: cell.len(),
+            });
+        }
+        for (axis, (&c, t)) in cell.iter().zip(self.transform.transforms()).enumerate() {
+            if c >= t.input_len() {
+                return Err(CoreError::BadQueryBounds {
+                    axis,
+                    lo: c,
+                    hi: c,
+                    len: t.input_len(),
+                });
+            }
+        }
+
+        // Propagate the change axis by axis. Entering axis i, every
+        // pending change has coefficient coordinates on axes < i and the
+        // cell's data coordinates on axes ≥ i; axis i rewrites its own
+        // coordinate into each touched output position. Only axis 0 sees
+        // a delta — later axes receive recomputed absolute values.
+        let (transforms, states) = (self.transform.transforms(), &mut self.states);
+        let mut changes: Vec<(Vec<usize>, f64)> = vec![(cell.to_vec(), delta)];
+        for (axis, t) in transforms.iter().enumerate() {
+            let state = &mut states[axis];
+            let stride = state.strides[axis];
+            let mut next = Vec::with_capacity(changes.len());
+            for (coords, value) in &changes {
+                let offset = state.lane_offset(coords);
+                let touched = update_lane(
+                    t,
+                    &mut state.data,
+                    stride,
+                    offset,
+                    coords[axis],
+                    *value,
+                    axis == 0,
+                );
+                for (q, v) in touched {
+                    let mut out_coords = coords.clone();
+                    out_coords[axis] = q;
+                    next.push((out_coords, v));
+                }
+            }
+            changes = next;
+        }
+
+        let strides = self.exact.shape().strides().to_vec();
+        let slab = self.exact.as_mut_slice();
+        let written = changes.len();
+        for (coords, v) in changes {
+            let lin: usize = coords.iter().zip(&strides).map(|(&c, &s)| c * s).sum();
+            slab[lin] = v;
+        }
+        Ok(written)
+    }
+
+    /// Absorbs a batch of row arrivals (each row is `+1` at its cell).
+    /// Returns the total coefficients written across the batch.
+    pub fn apply_rows(&mut self, rows: &[Vec<usize>]) -> Result<usize> {
+        let mut written = 0usize;
+        for row in rows {
+            written += self.apply_increment(row, 1.0)?;
+        }
+        Ok(written)
+    }
+
+    /// Publishes one epoch: debits `epoch_epsilon` from the lifetime
+    /// budget (refusing with
+    /// [`CoreError::BudgetExhausted`](crate::CoreError)
+    /// **before any noise is drawn**), then draws fresh weighted Laplace
+    /// noise at `seed` over a copy of the exact coefficients through the
+    /// publishers' shared injection seam — so the output is bit-identical
+    /// to `publish_coefficients` run from scratch on the current table
+    /// with the same seed and ε.
+    pub fn advance_epoch(&mut self, epoch_epsilon: f64, seed: u64) -> Result<CoefficientOutput> {
+        let meta = PrivacyMeta::for_transform(&self.transform, epoch_epsilon)?;
+        self.ledger.try_spend(epoch_epsilon)?;
+        let mut coefficients = self.exact.clone();
+        add_weighted_noise(
+            &self.transform,
+            coefficients.as_mut_slice(),
+            meta.lambda,
+            seed,
+        )?;
+        let out = CoefficientOutput {
+            schema: self.schema.clone(),
+            transform: self.transform.clone(),
+            coefficients,
+            meta,
+        };
+        self.latest = Some(out.clone());
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::{publish_coefficients, PriveletConfig};
+    use privelet_data::schema::Attribute;
+    use privelet_hierarchy::builder::three_level;
+
+    fn fm_for(schema: Schema, seed: u64) -> FrequencyMatrix {
+        let n = schema.cell_count();
+        let data: Vec<f64> = (0..n)
+            .map(|i| (((i as u64).wrapping_mul(seed | 1) >> 40) & 0xFF) as f64)
+            .collect();
+        FrequencyMatrix::from_parts(
+            schema.clone(),
+            NdMatrix::from_vec(&schema.dims(), data).unwrap(),
+        )
+        .unwrap()
+    }
+
+    fn mixed_schema() -> Schema {
+        Schema::new(vec![
+            Attribute::ordinal("age", 5), // pads to 8
+            Attribute::nominal("occ", three_level(6, 2).unwrap()),
+            Attribute::ordinal("income", 4),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn initial_exact_coefficients_match_forward_bitwise() {
+        let fm = fm_for(mixed_schema(), 11);
+        let rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let hn = HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let dense = hn.forward(fm.matrix()).unwrap();
+        for (i, (a, b)) in rel
+            .exact_coefficients()
+            .as_slice()
+            .iter()
+            .zip(dense.as_slice())
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "coeff {i}");
+        }
+    }
+
+    #[test]
+    fn increments_track_forward_bitwise() {
+        let schema = mixed_schema();
+        let fm = fm_for(schema.clone(), 7);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let bound = rel.touch_bound();
+
+        let mut table = fm.matrix().as_slice().to_vec();
+        let dims = schema.dims();
+        let cells = [[0usize, 0, 0], [4, 5, 3], [2, 3, 1], [4, 0, 0], [2, 3, 1]];
+        for (k, cell) in cells.iter().enumerate() {
+            let delta = (k as f64) * 1.5 - 2.0;
+            let written = rel.apply_increment(cell, delta).unwrap();
+            assert!(written <= bound, "wrote {written} > bound {bound}");
+            let lin = cell[0] * dims[1] * dims[2] + cell[1] * dims[2] + cell[2];
+            table[lin] += delta;
+            let updated = NdMatrix::from_vec(&dims, table.clone()).unwrap();
+            let dense = hn.forward(&updated).unwrap();
+            for (i, (a, b)) in rel
+                .exact_coefficients()
+                .as_slice()
+                .iter()
+                .zip(dense.as_slice())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "step {k} coeff {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn epoch_output_is_bit_identical_to_from_scratch_publish() {
+        let schema = mixed_schema();
+        let fm = fm_for(schema.clone(), 3);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let mut table = fm.matrix().as_slice().to_vec();
+        let dims = schema.dims();
+        rel.apply_increment(&[1, 2, 3], 4.0).unwrap();
+        table[(dims[1] * dims[2]) + 2 * dims[2] + 3] += 4.0;
+
+        let updated =
+            FrequencyMatrix::from_parts(schema.clone(), NdMatrix::from_vec(&dims, table).unwrap())
+                .unwrap();
+        let scratch = publish_coefficients(&updated, &PriveletConfig::pure(0.25, 99)).unwrap();
+        let epoch = rel.advance_epoch(0.25, 99).unwrap();
+        assert_eq!(epoch.meta, scratch.meta);
+        for (i, (a, b)) in epoch
+            .coefficients
+            .as_slice()
+            .iter()
+            .zip(scratch.coefficients.as_slice())
+            .enumerate()
+        {
+            assert_eq!(a.to_bits(), b.to_bits(), "coeff {i}");
+        }
+        assert_eq!(rel.epoch(), 1);
+        assert!(rel.latest().is_some());
+    }
+
+    #[test]
+    fn over_spend_is_refused_without_side_effects() {
+        let fm = fm_for(mixed_schema(), 5);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 0.5).unwrap();
+        rel.advance_epoch(0.25, 1).unwrap();
+        let err = rel.advance_epoch(0.5, 2).unwrap_err();
+        assert!(matches!(err, CoreError::BudgetExhausted { .. }));
+        // The refusal spent nothing and drew nothing: the remaining budget
+        // still publishes bit-identically to a from-scratch run.
+        assert_eq!(rel.ledger().epochs(), 1);
+        assert_eq!(rel.ledger().spent(), 0.25);
+        let scratch = publish_coefficients(&fm, &PriveletConfig::pure(0.25, 3)).unwrap();
+        let epoch = rel.advance_epoch(0.25, 3).unwrap();
+        for (a, b) in epoch
+            .coefficients
+            .as_slice()
+            .iter()
+            .zip(scratch.coefficients.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn bad_cells_are_rejected_not_panicked() {
+        let fm = fm_for(mixed_schema(), 5);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        assert!(matches!(
+            rel.apply_increment(&[0, 0], 1.0).unwrap_err(),
+            CoreError::BadQueryArity {
+                expected: 3,
+                got: 2
+            }
+        ));
+        assert!(matches!(
+            rel.apply_increment(&[5, 0, 0], 1.0).unwrap_err(),
+            CoreError::BadQueryBounds {
+                axis: 0,
+                lo: 5,
+                len: 5,
+                ..
+            }
+        ));
+        // A rejected increment changed nothing.
+        let hn = HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let dense = hn.forward(fm.matrix()).unwrap();
+        assert_eq!(rel.exact_coefficients().as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn privelet_plus_identity_axes_stream_too() {
+        let schema = Schema::new(vec![
+            Attribute::ordinal("small", 3),
+            Attribute::ordinal("large", 9),
+        ])
+        .unwrap();
+        let sa = BTreeSet::from([0usize]);
+        let fm = fm_for(schema.clone(), 21);
+        let mut rel = IncrementalRelease::new(&fm, &sa, 1.0).unwrap();
+        // Identity axis: one touch; Haar axis (9 → 16): ⌈log₂ 9⌉ + 1.
+        assert_eq!(rel.touch_bound(), 4 + 1);
+        let written = rel.apply_increment(&[2, 8], -3.0).unwrap();
+        assert_eq!(written, 5);
+
+        let mut table = fm.matrix().as_slice().to_vec();
+        table[2 * 9 + 8] -= 3.0;
+        let hn = HnTransform::for_schema(&schema, &sa).unwrap();
+        let dense = hn
+            .forward(&NdMatrix::from_vec(&schema.dims(), table).unwrap())
+            .unwrap();
+        for (a, b) in rel
+            .exact_coefficients()
+            .as_slice()
+            .iter()
+            .zip(dense.as_slice())
+        {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn apply_rows_is_a_plus_one_batch() {
+        let fm = fm_for(mixed_schema(), 9);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let rows = vec![vec![0, 0, 0], vec![4, 5, 3], vec![0, 0, 0]];
+        let written = rel.apply_rows(&rows).unwrap();
+        assert!(written <= 3 * rel.touch_bound());
+
+        let mut table = fm.matrix().as_slice().to_vec();
+        let dims = fm.schema().dims();
+        for row in &rows {
+            table[row[0] * dims[1] * dims[2] + row[1] * dims[2] + row[2]] += 1.0;
+        }
+        let hn = HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let dense = hn
+            .forward(&NdMatrix::from_vec(&dims, table).unwrap())
+            .unwrap();
+        assert_eq!(rel.exact_coefficients().as_slice(), dense.as_slice());
+    }
+}

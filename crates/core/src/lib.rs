@@ -57,16 +57,18 @@
 #![forbid(unsafe_code)]
 
 pub mod bounds;
+pub mod incremental;
 pub mod mechanism;
 pub mod privacy;
 pub mod sensitivity;
 pub mod transform;
 pub mod variance;
 
+pub use incremental::IncrementalRelease;
 pub use mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig, PriveletOutput,
 };
-pub use privacy::PrivacyMeta;
+pub use privacy::{BudgetLedger, PrivacyMeta};
 pub use transform::{DimTransform, HnTransform, Transform1d};
 
 /// Errors produced by the Privelet core.
@@ -96,6 +98,10 @@ pub enum CoreError {
     },
     /// ε must be finite and strictly positive.
     BadEpsilon(f64),
+    /// A streaming release's lifetime privacy budget cannot cover the
+    /// requested epoch. Raised *before* any noise is drawn, so a refused
+    /// epoch never leaks a partially noised release.
+    BudgetExhausted { requested: f64, remaining: f64 },
     /// A mechanism was applied to an unsupported schema (e.g. the 1-D
     /// hierarchical baseline on a multi-dimensional table).
     Unsupported(String),
@@ -136,6 +142,16 @@ impl std::fmt::Display for CoreError {
                 )
             }
             CoreError::BadEpsilon(e) => write!(f, "epsilon must be finite and > 0, got {e}"),
+            CoreError::BudgetExhausted {
+                requested,
+                remaining,
+            } => {
+                write!(
+                    f,
+                    "privacy budget exhausted: epoch requested ε = {requested}, \
+                     only {remaining} remains"
+                )
+            }
             CoreError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
             CoreError::Matrix(e) => write!(f, "matrix error: {e}"),
             CoreError::Data(e) => write!(f, "data error: {e}"),

@@ -137,20 +137,37 @@ fn noisy_coefficient_matrix(
     seed: u64,
 ) -> Result<(NdMatrix, PrivacyMeta)> {
     let meta = PrivacyMeta::for_transform(hn, epsilon)?;
-    let unit: &dyn NoiseDistribution = &Laplace::new(1.0)?;
-    let mut rng = derive_rng(seed, super::NOISE_STREAM);
 
     // Step 1: wavelet transform.
     let mut coeffs = hn.forward_with(exec, fm.matrix())?;
 
-    // Step 2: weighted Laplace noise. Lap(λ/W) == (λ/W) · Lap(1), so one
-    // unit-scale sampler serves every coefficient. The unit draws are
-    // fused: `for_each_weight` visits linear indices 0..total in order,
-    // so refilling a chunk buffer through `sample_into` consumes the RNG
-    // in exactly the per-coefficient order — the per-seed release is
-    // bit-identical to the unfused loop — while paying one virtual call
-    // per chunk instead of one per coefficient.
-    let data = coeffs.as_mut_slice();
+    // Step 2: weighted Laplace noise.
+    add_weighted_noise(hn, coeffs.as_mut_slice(), meta.lambda, seed)?;
+    Ok((coeffs, meta))
+}
+
+/// The weighted-Laplace injection step of a publish, in place on an exact
+/// coefficient slab laid out like `hn`'s output matrix (row-major):
+/// `Lap(λ/W) == (λ/W) · Lap(1)`, so one unit-scale sampler serves every
+/// coefficient. The unit draws are fused: `for_each_weight` visits linear
+/// indices `0..total` in order, so refilling a chunk buffer through
+/// `sample_into` consumes the RNG in exactly the per-coefficient order —
+/// the per-seed release is bit-identical to the unfused loop — while
+/// paying one virtual call per chunk instead of one per coefficient.
+///
+/// This is the *epoch re-draw seam*: both the one-shot publishers here and
+/// the streaming [`IncrementalRelease`](crate::incremental) epoch path
+/// inject noise through this one function, so an epoch published from
+/// incrementally maintained exact coefficients is bit-identical to
+/// `publish_coefficients` run from scratch with the same seed.
+pub(crate) fn add_weighted_noise(
+    hn: &HnTransform,
+    data: &mut [f64],
+    lambda: f64,
+    seed: u64,
+) -> Result<()> {
+    let unit: &dyn NoiseDistribution = &Laplace::new(1.0)?;
+    let mut rng = derive_rng(seed, super::NOISE_STREAM);
     let total = data.len();
     let mut buf = vec![0.0f64; NOISE_CHUNK.min(total.max(1))];
     let mut pos = buf.len();
@@ -160,10 +177,10 @@ fn noisy_coefficient_matrix(
             unit.sample_into(&mut rng, &mut buf[..n]);
             pos = 0;
         }
-        data[lin] += meta.lambda / w * buf[pos];
+        data[lin] += lambda / w * buf[pos];
         pos += 1;
     });
-    Ok((coeffs, meta))
+    Ok(())
 }
 
 /// A Privelet release kept in the *coefficient domain*: the noisy

@@ -87,7 +87,77 @@ pub fn epsilon_for_lambda(lambda: f64, rho: f64) -> Result<f64> {
             "lambda must be finite and > 0, got {lambda}"
         )));
     }
+    if !rho.is_finite() || rho <= 0.0 {
+        return Err(CoreError::Unsupported(format!(
+            "generalized sensitivity must be finite and > 0, got {rho}"
+        )));
+    }
     Ok(2.0 * rho / lambda)
+}
+
+/// A sequential-composition privacy ledger for epoch-based re-publishing.
+///
+/// Releasing the same statistics at epochs `1..k` with per-epoch budgets
+/// `ε₁..εₖ` satisfies `(Σεᵢ)`-differential privacy (sequential
+/// composition), so a streaming release must stop *before* the running
+/// sum would exceed its lifetime budget. The ledger makes the check
+/// explicit: [`try_spend`](Self::try_spend) debits an epoch's ε or
+/// returns [`CoreError::BudgetExhausted`] — callers are expected to
+/// reserve the budget *before* drawing any noise, so an over-spend can
+/// never leak even a partially noised release.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BudgetLedger {
+    total_epsilon: f64,
+    spent: f64,
+    epochs: u32,
+}
+
+impl BudgetLedger {
+    /// A ledger with lifetime budget `total_epsilon` and nothing spent.
+    pub fn new(total_epsilon: f64) -> Result<Self> {
+        check_epsilon(total_epsilon)?;
+        Ok(BudgetLedger {
+            total_epsilon,
+            spent: 0.0,
+            epochs: 0,
+        })
+    }
+
+    /// Lifetime budget the ledger was opened with.
+    pub fn total_epsilon(&self) -> f64 {
+        self.total_epsilon
+    }
+
+    /// Budget debited so far (sum of granted epoch epsilons).
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Budget still available: `total − spent`.
+    pub fn remaining(&self) -> f64 {
+        self.total_epsilon - self.spent
+    }
+
+    /// Epochs granted so far.
+    pub fn epochs(&self) -> u32 {
+        self.epochs
+    }
+
+    /// Debits `epsilon` for one epoch, or refuses with
+    /// [`CoreError::BudgetExhausted`] when the ledger cannot cover it.
+    /// On `Err` the ledger is unchanged — a refused epoch spends nothing.
+    pub fn try_spend(&mut self, epsilon: f64) -> Result<()> {
+        check_epsilon(epsilon)?;
+        if epsilon > self.remaining() {
+            return Err(CoreError::BudgetExhausted {
+                requested: epsilon,
+                remaining: self.remaining(),
+            });
+        }
+        self.spent += epsilon;
+        self.epochs += 1;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -124,5 +194,64 @@ mod tests {
         assert!(lambda_for_epsilon(1.0, 0.0).is_err());
         assert!(lambda_for_epsilon(1.0, f64::NAN).is_err());
         assert!(epsilon_for_lambda(0.0, 1.0).is_err());
+    }
+
+    #[test]
+    fn epsilon_for_lambda_rejects_bad_rho() {
+        // Regression: rho used to be unchecked, silently yielding
+        // ε = 0 / NaN / negative for degenerate sensitivities.
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                epsilon_for_lambda(2.0, bad),
+                Err(CoreError::Unsupported(_))
+            ));
+        }
+        assert!(epsilon_for_lambda(2.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn budget_ledger_composes_sequentially() {
+        // 0.25 is exactly representable, so four epochs land on 1.0
+        // without float slop.
+        let mut ledger = BudgetLedger::new(1.0).unwrap();
+        for k in 1..=4u32 {
+            ledger.try_spend(0.25).unwrap();
+            assert_eq!(ledger.epochs(), k);
+            assert_eq!(ledger.spent(), 0.25 * k as f64);
+        }
+        assert_eq!(ledger.remaining(), 0.0);
+    }
+
+    #[test]
+    fn budget_ledger_refuses_over_spend_and_stays_unchanged() {
+        let mut ledger = BudgetLedger::new(0.5).unwrap();
+        ledger.try_spend(0.25).unwrap();
+        let before = ledger;
+        let err = ledger.try_spend(0.5).unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::BudgetExhausted {
+                requested,
+                remaining,
+            } if requested == 0.5 && remaining == 0.25
+        ));
+        assert_eq!(ledger, before);
+        // The exact remainder is still grantable.
+        ledger.try_spend(0.25).unwrap();
+        assert_eq!(ledger.epochs(), 2);
+    }
+
+    #[test]
+    fn budget_ledger_rejects_bad_epsilons() {
+        assert!(BudgetLedger::new(0.0).is_err());
+        assert!(BudgetLedger::new(f64::NAN).is_err());
+        let mut ledger = BudgetLedger::new(1.0).unwrap();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                ledger.try_spend(bad),
+                Err(CoreError::BadEpsilon(_))
+            ));
+        }
+        assert_eq!(ledger.epochs(), 0);
     }
 }

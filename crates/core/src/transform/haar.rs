@@ -177,6 +177,42 @@ impl Transform1d for HaarTransform {
         out
     }
 
+    /// Sparse forward column at `cell`: the base coefficient moves by
+    /// `1/m` per unit and each ancestor of the virtual leaf `m + cell`
+    /// moves by `±1/span` (`+` from the left subtree, `−` from the
+    /// right) — exactly `log₂ m + 1` entries, ascending by index.
+    fn update_weights(&self, cell: usize) -> Vec<(usize, f64)> {
+        assert!(
+            cell < self.input_len,
+            "cell {cell} out of range for domain of {}",
+            self.input_len
+        );
+        let m = self.padded_len;
+        let mut out = Vec::with_capacity(self.levels as usize + 1);
+        out.push((0usize, 1.0 / m as f64));
+        let leaf = m + cell;
+        // Ancestors from the root down (ascending heap index), matching
+        // query_weights' deterministic ordering.
+        for s in (1..=self.levels).rev() {
+            let j = leaf >> s;
+            let child = leaf >> (s - 1);
+            let level_minus_1 = usize::BITS - 1 - j.leading_zeros();
+            let span = (m >> level_minus_1) as f64;
+            let w = if child & 1 == 0 {
+                1.0 / span
+            } else {
+                -1.0 / span
+            };
+            out.push((j, w));
+        }
+        out
+    }
+
+    /// Every cell touches the base plus one node per level.
+    fn max_update_support(&self) -> usize {
+        self.levels as usize + 1
+    }
+
     /// Sparse variance factor `Σ_j (u(j)/W(j))²`: Haar has no refinement,
     /// so `u` is the support itself, and each entry's weight is computed
     /// in O(1) from its heap index (base → `m`, level-`i` node →
@@ -404,6 +440,45 @@ mod tests {
             );
             assert!(support.iter().all(|&(_, w)| w != 0.0));
         }
+    }
+
+    #[test]
+    fn update_weights_are_the_forward_column() {
+        // The sparse column at `cell` must equal forward(e_cell)
+        // restricted to its nonzeros, with exactly log₂ m + 1 entries.
+        for len in [1usize, 2, 5, 8, 13, 16] {
+            let t = HaarTransform::new(len);
+            for cell in 0..len {
+                let mut unit = vec![0.0; len];
+                unit[cell] = 1.0;
+                let mut dense = vec![0.0; t.output_len()];
+                t.forward_alloc(&unit, &mut dense);
+                let sparse = t.update_weights(cell);
+                assert_eq!(sparse.len(), t.max_update_support());
+                assert_eq!(sparse.len(), t.levels() as usize + 1);
+                let mut rebuilt = vec![0.0; t.output_len()];
+                for &(j, w) in &sparse {
+                    rebuilt[j] += w;
+                }
+                for (j, (&d, &r)) in dense.iter().zip(&rebuilt).enumerate() {
+                    assert!(
+                        (d - r).abs() < 1e-12,
+                        "len={len} cell={cell} coeff {j}: {d} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_weights_figure2_single_cell() {
+        // Dual of Example 2: bumping v2 (cell 1) by δ moves c0 and c1 by
+        // δ/8, c2 by δ/4, and c4 by −δ/2.
+        let t = HaarTransform::new(8);
+        assert_eq!(
+            t.update_weights(1),
+            vec![(0, 0.125), (1, 0.125), (2, 0.25), (4, -0.5)]
+        );
     }
 
     #[test]

@@ -74,6 +74,21 @@ impl Transform1d for IdentityTransform {
         (lo..=hi).map(|i| (i, 1.0)).collect()
     }
 
+    /// Single-cell-increment support: the cell itself, weight 1.
+    fn update_weights(&self, cell: usize) -> Vec<(usize, f64)> {
+        assert!(
+            cell < self.len,
+            "cell {cell} out of range for domain of {}",
+            self.len
+        );
+        vec![(cell, 1.0)]
+    }
+
+    /// An increment touches exactly one coefficient.
+    fn max_update_support(&self) -> usize {
+        1
+    }
+
     /// Sparse variance factor: unit weights and no refinement, so the
     /// factor is the plain sum of squared support weights — the covered
     /// cell count for an interval support (Basic's per-query formula).
@@ -123,6 +138,13 @@ mod tests {
         let t = IdentityTransform::new(5);
         assert_eq!(t.query_weights(1, 3), vec![(1, 1.0), (2, 1.0), (3, 1.0)]);
         assert_eq!(t.query_weights(4, 4), vec![(4, 1.0)]);
+    }
+
+    #[test]
+    fn update_weights_are_the_single_cell() {
+        let t = IdentityTransform::new(5);
+        assert_eq!(t.update_weights(2), vec![(2, 1.0)]);
+        assert_eq!(t.max_update_support(), 1);
     }
 
     #[test]

@@ -117,6 +117,14 @@ impl Transform1d for DimTransform {
         self.as_transform().query_weights(lo, hi)
     }
 
+    fn update_weights(&self, cell: usize) -> Vec<(usize, f64)> {
+        self.as_transform().update_weights(cell)
+    }
+
+    fn max_update_support(&self) -> usize {
+        self.as_transform().max_update_support()
+    }
+
     fn support_variance_factor(&self, support: &[(usize, f64)]) -> f64 {
         self.as_transform().support_variance_factor(support)
     }

@@ -191,6 +191,66 @@ impl Transform1d for NominalTransform {
         out
     }
 
+    /// Sparse forward column at leaf `cell`: adding `δ` at the leaf adds
+    /// `δ` to the leaf-sum of every root-path node, so the touched
+    /// coefficients are the root (moves by `δ`) plus every *child of a
+    /// path node* — the path member of a fanout-`f` group moves by
+    /// `δ(1 − 1/f)` and each silent sibling by `−δ/f` (their coefficient
+    /// reads the parent's leaf-sum). Zero-weight entries (fanout-1
+    /// groups) are dropped, matching `query_weights`' nonzero contract.
+    fn update_weights(&self, cell: usize) -> Vec<(usize, f64)> {
+        let h = &self.hierarchy;
+        assert!(
+            cell < h.leaf_count(),
+            "cell {cell} out of range for domain of {}",
+            h.leaf_count()
+        );
+        let mut node = h.leaf_node(cell);
+        let mut path = vec![node];
+        while let Some(p) = h.parent(node) {
+            path.push(p);
+            node = p;
+        }
+        // `node` is now the root.
+        let mut out = vec![(h.level_order_pos(node), 1.0)];
+        for k in 1..path.len() {
+            let p = path[k];
+            let f = h.fanout(p) as f64;
+            for &c in h.children(p) {
+                let w = if c == path[k - 1] {
+                    1.0 - 1.0 / f
+                } else {
+                    -1.0 / f
+                };
+                if w != 0.0 {
+                    out.push((h.level_order_pos(c), w));
+                }
+            }
+        }
+        out.sort_unstable_by_key(|&(pos, _)| pos);
+        out
+    }
+
+    /// Deepest-path touch count: the root plus one whole sibling group
+    /// per internal path node, maximized over leaves — `1 + Σ fanout`
+    /// along the worst root path (so it *exceeds* `⌈log₂ m⌉ + 1` for
+    /// wide hierarchies, unlike Haar).
+    fn max_update_support(&self) -> usize {
+        let h = &self.hierarchy;
+        (0..h.leaf_count())
+            .map(|pos| {
+                let mut n = 1usize;
+                let mut id = h.leaf_node(pos);
+                while let Some(p) = h.parent(id) {
+                    n += h.fanout(p);
+                    id = p;
+                }
+                n
+            })
+            .max()
+            .unwrap_or(1)
+    }
+
     /// Sparse variance factor `Σ_j (u(j)/W(j))²` where `u` is the support
     /// pushed through the adjoint of the mean-subtraction refinement.
     ///
@@ -431,6 +491,68 @@ mod tests {
         // Root weight: 3 leaves × 1/(2·3) each; c1: 3 × 1/3.
         assert!((support[0].1 - 0.5).abs() < 1e-12);
         assert!((support[1].1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn update_weights_are_the_forward_column() {
+        // The sparse column at each leaf must equal forward(e_leaf)
+        // restricted to its nonzeros, on even and uneven hierarchies.
+        let hierarchies = vec![
+            figure3().0,
+            Arc::new(privelet_hierarchy::builder::flat(7).unwrap()),
+            Arc::new(
+                Spec::internal(
+                    "root",
+                    vec![
+                        Spec::leaf("a"),
+                        Spec::internal("b", vec![Spec::leaf("c"), Spec::leaf("d")]),
+                    ],
+                )
+                .build()
+                .unwrap(),
+            ),
+            Arc::new(Spec::leaf("only").build().unwrap()),
+        ];
+        for h in hierarchies {
+            let t = NominalTransform::new(h);
+            let n = t.input_len();
+            for cell in 0..n {
+                let mut unit = vec![0.0; n];
+                unit[cell] = 1.0;
+                let mut dense = vec![0.0; t.output_len()];
+                t.forward_alloc(&unit, &mut dense);
+                let sparse = t.update_weights(cell);
+                assert!(sparse.len() <= t.max_update_support());
+                let mut rebuilt = vec![0.0; t.output_len()];
+                for &(pos, w) in &sparse {
+                    rebuilt[pos] += w;
+                }
+                for (pos, (&d, &r)) in dense.iter().zip(&rebuilt).enumerate() {
+                    assert!(
+                        (d - r).abs() < 1e-12,
+                        "n={n} cell={cell} coeff {pos}: {d} vs {r}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn update_weights_figure3_touch_whole_sibling_groups() {
+        // Bumping v1 touches the root, both level-1 nodes (c1 on the
+        // path, c2 its silent sibling) and c1's full leaf group.
+        let (h, _) = figure3();
+        let t = NominalTransform::new(h);
+        let w = t.update_weights(0);
+        let positions: Vec<usize> = w.iter().map(|&(p, _)| p).collect();
+        assert_eq!(positions, vec![0, 1, 2, 3, 4, 5]);
+        assert_eq!(w[0].1, 1.0); // root: full δ
+        assert_eq!(w[1].1, 0.5); // c1: 1 − 1/2
+        assert_eq!(w[2].1, -0.5); // c2: −1/2
+        assert!((w[3].1 - (1.0 - 1.0 / 3.0)).abs() < 1e-15);
+        assert!((w[4].1 - (-1.0 / 3.0)).abs() < 1e-15);
+        // Deepest path: 1 + fanout(root) + fanout(c1) = 1 + 2 + 3.
+        assert_eq!(t.max_update_support(), 6);
     }
 
     #[test]

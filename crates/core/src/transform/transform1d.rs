@@ -85,6 +85,40 @@ pub trait Transform1d: Sync {
     /// coefficients is harmless).
     fn query_weights(&self, lo: usize, hi: usize) -> Vec<(usize, f64)>;
 
+    /// Sparse coefficient support of a *single-cell increment*: the set of
+    /// `(coefficient index, weight)` pairs such that adding `δ` to domain
+    /// cell `cell` adds exactly `δ·weight` to each listed coefficient of
+    /// the **exact** forward transform, and changes no other coefficient.
+    /// This is the dual of [`query_weights`](Self::query_weights): the
+    /// column of the forward transform matrix at `cell`, i.e.
+    /// `forward(e_cell)` restricted to its nonzeros.
+    ///
+    /// For Haar this is the leaf-to-root heap path plus the base — exactly
+    /// `⌈log₂ m⌉ + 1` entries; for nominal it is the leaf's root path
+    /// (`height + 1` entries, one per hierarchy node containing the leaf);
+    /// for identity it is the single covered cell. Streaming releases rest
+    /// on this method: an increment touches O(log m) coefficients per
+    /// dimension instead of re-running the O(m) forward transform.
+    ///
+    /// The support describes the *exact* linear algebra. Incremental
+    /// maintenance that must stay bit-identical to a from-scratch forward
+    /// transform additionally recomputes touched values with the forward
+    /// kernel's own float expressions (see
+    /// [`IncrementalRelease`](crate::incremental::IncrementalRelease));
+    /// this method is the index machinery and the touch-count contract.
+    ///
+    /// Deliberately **not** defaulted (like
+    /// [`has_refinement`](Self::has_refinement)): a default deriving it
+    /// from a dense `forward(e_cell)` would silently cost O(m) per
+    /// increment, defeating the point.
+    fn update_weights(&self, cell: usize) -> Vec<(usize, f64)>;
+
+    /// Upper bound on `update_weights(cell).len()` over every cell — the
+    /// per-dimension factor in the streaming touch-count contract
+    /// (`⌈log₂ m⌉ + 1` for Haar, the deepest root path for nominal, 1 for
+    /// identity).
+    fn max_update_support(&self) -> usize;
+
     /// The per-dimension noise-variance factor `Σ_j u(j)²/W(j)²` of an
     /// already-derived interval-sum support (as returned by
     /// [`query_weights`](Self::query_weights)), where `u` is the image of

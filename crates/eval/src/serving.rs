@@ -398,7 +398,7 @@ pub fn calibration_check(
             let a = answerer.answer_with_error(q)?;
             z.push(a.z_score(truth));
             std_sum += a.std_dev;
-            let (lo, hi) = a.interval(beta);
+            let (lo, hi) = a.interval(beta)?;
             if lo <= truth && truth <= hi {
                 covered += 1;
             }

@@ -76,6 +76,11 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted to respect the capacity bound.
     pub evictions: u64,
+    /// Entries explicitly dropped via
+    /// [`SupportCache::invalidate_where`] — kept separate from
+    /// `evictions` because invalidation is a correctness action (the
+    /// caller knows the entries are stale), not capacity pressure.
+    pub invalidations: u64,
     /// Entries currently held.
     pub len: usize,
     /// Maximum entries held (0 disables caching).
@@ -110,6 +115,7 @@ pub struct SupportCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
 }
 
 impl SupportCache {
@@ -150,8 +156,7 @@ impl SupportCache {
             // Replacing an existing entry never needs an eviction.
             self.by_tick.remove(&old_tick);
         } else if self.entries.len() >= self.capacity {
-            if let Some((&oldest, _)) = self.by_tick.iter().next() {
-                let victim = self.by_tick.remove(&oldest).expect("tick just seen");
+            if let Some((_, victim)) = self.by_tick.pop_first() {
                 self.entries.remove(&victim);
                 self.evictions += 1;
             }
@@ -170,11 +175,34 @@ impl SupportCache {
         let by_tick = std::mem::take(&mut self.by_tick);
         by_tick
             .into_iter()
-            .map(|(tick, key)| {
-                let (support, _) = self.entries.remove(&key).expect("indexed entry exists");
-                (tick, key, support)
+            .filter_map(|(tick, key)| {
+                self.entries
+                    .remove(&key)
+                    .map(|(support, _)| (tick, key, support))
             })
             .collect()
+    }
+
+    /// Drops every resident entry whose key matches `pred`, returning
+    /// how many were dropped. Invalidations are counted separately from
+    /// evictions (see [`CacheStats::invalidations`]); hit/miss counters
+    /// do not move, so `hits + misses` keeps equaling the lookup count.
+    ///
+    /// Epoch note: per-dimension supports are **data-independent** — a
+    /// pure function of `(dim, lo, hi)` and the transform — so rolling a
+    /// release to a new epoch of the *same* transform must NOT
+    /// invalidate them. This hook exists for the cases where cached
+    /// state really does go stale: a schema/transform swap, or targeted
+    /// memory reclamation.
+    pub fn invalidate_where(&mut self, mut pred: impl FnMut(&SupportKey) -> bool) -> usize {
+        let stale: Vec<SupportKey> = self.entries.keys().filter(|k| pred(k)).copied().collect();
+        for key in &stale {
+            if let Some((_, tick)) = self.entries.remove(key) {
+                self.by_tick.remove(&tick);
+            }
+        }
+        self.invalidations += stale.len() as u64;
+        stale.len()
     }
 
     /// Current counters and occupancy.
@@ -183,6 +211,7 @@ impl SupportCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            invalidations: self.invalidations,
             len: self.entries.len(),
             capacity: self.capacity,
         }
@@ -363,6 +392,18 @@ impl ShardedSupportCache {
         Ok(support)
     }
 
+    /// Drops every resident entry (across all shards) whose key matches
+    /// `pred`, returning how many were dropped. Same counter semantics
+    /// as [`SupportCache::invalidate_where`]: invalidations are counted
+    /// apart from evictions, and hit/miss counters do not move. Shards
+    /// are swept one lock at a time — concurrent lookups in other shards
+    /// proceed, so a sweep never stalls the serving tier globally.
+    pub fn invalidate_where(&self, mut pred: impl FnMut(&SupportKey) -> bool) -> usize {
+        (0..self.shards.len())
+            .map(|i| self.lock_shard(i).invalidate_where(&mut pred))
+            .sum()
+    }
+
     /// Aggregated counters and occupancy across all shards. `capacity`
     /// is the sum of per-shard bounds (≥ the constructor's `capacity`
     /// due to the even split rounding up).
@@ -373,6 +414,7 @@ impl ShardedSupportCache {
                 hits: acc.hits + s.hits,
                 misses: acc.misses + s.misses,
                 evictions: acc.evictions + s.evictions,
+                invalidations: acc.invalidations + s.invalidations,
                 len: acc.len + s.len,
                 capacity: acc.capacity + s.capacity,
             })
@@ -513,6 +555,49 @@ mod tests {
         assert_eq!(stats.hits, 1);
         assert_eq!(stats.evictions, 2);
         assert_eq!(stats.len, 1);
+    }
+
+    #[test]
+    fn invalidate_where_drops_matches_and_counts_separately() {
+        let mut cache = SupportCache::new(8);
+        for i in 0..4usize {
+            cache.insert((i % 2, i, i), support(i));
+        }
+        // Invalidate dimension 0's entries: (0,0,0) and (0,2,2).
+        let dropped = cache.invalidate_where(|&(dim, _, _)| dim == 0);
+        assert_eq!(dropped, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 2);
+        assert_eq!(stats.evictions, 0, "invalidation is not eviction");
+        assert_eq!(stats.len, 2);
+        // Dropped keys miss, survivors hit; hits+misses still counts
+        // lookups only (inserts move neither).
+        assert!(cache.get((0, 0, 0)).is_none());
+        assert!(cache.get((1, 1, 1)).is_some());
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        // Re-inserting an invalidated key needs no eviction.
+        cache.insert((0, 0, 0), support(9));
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.stats().len, 3);
+    }
+
+    #[test]
+    fn sharded_invalidate_where_sweeps_all_shards() {
+        let cache = ShardedSupportCache::new(64, 4);
+        let keys: Vec<SupportKey> = (0..12).map(|i| (i % 3, i, i + 1)).collect();
+        for (i, &key) in keys.iter().enumerate() {
+            cache.insert(key, support(i));
+        }
+        let dropped = cache.invalidate_where(|&(dim, _, _)| dim == 1);
+        assert_eq!(dropped, 4, "keys 1, 4, 7, 10");
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 4);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.len, 8);
+        for &key in &keys {
+            assert_eq!(cache.get(key).is_some(), key.0 != 1);
+        }
     }
 
     #[test]

@@ -125,6 +125,26 @@ impl CoefficientAnswerer {
         Ok(Self::from_core(Arc::new(ReleaseCore::from_output(out)?)))
     }
 
+    /// Rolls the answerer to a new epoch of the same release series
+    /// (see [`ReleaseCore::advance_epoch`] for the lineage validation):
+    /// a fresh core serving the epoch's coefficients, behind the *same*
+    /// warm support cache — supports are data-independent, so every
+    /// memoized `(dim, lo, hi)` entry (and its counters) carries over.
+    /// Only coefficient state (the refined matrix, the noisy total)
+    /// rolls. `self` keeps serving the old epoch untouched.
+    pub fn advance_epoch(&self, out: &CoefficientOutput) -> Result<Self> {
+        let core = Arc::new(self.core.advance_epoch(out)?);
+        let cache = self
+            .cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone();
+        Ok(CoefficientAnswerer {
+            core,
+            cache: Mutex::new(cache),
+        })
+    }
+
     /// The schema queries are validated against.
     pub fn schema(&self) -> &Schema {
         self.core.schema()

@@ -102,6 +102,22 @@ impl ConcurrentEngine {
         Self::new(Arc::clone(answerer.core()))
     }
 
+    /// Rolls the engine to a new epoch of the same release series (see
+    /// [`ReleaseCore::advance_epoch`] for the lineage validation). The
+    /// returned engine shares this engine's sharded cache `Arc`:
+    /// supports are pure functions of `(dim, lo, hi)` and the — lineage-
+    /// pinned — transform, so every shard's warm entries stay valid and
+    /// shared across epochs; only coefficient state rolls with the core.
+    /// `self` keeps serving the old epoch, so a serving tier can drain
+    /// in-flight traffic on the old engine while new traffic routes to
+    /// the new one.
+    pub fn advance_epoch(&self, out: &CoefficientOutput) -> Result<Self> {
+        Ok(ConcurrentEngine {
+            core: Arc::new(self.core.advance_epoch(out)?),
+            cache: Arc::clone(&self.cache),
+        })
+    }
+
     /// The shared release core. Clone the `Arc` to hand the same release
     /// to further shells.
     pub fn core(&self) -> &Arc<ReleaseCore> {
@@ -176,6 +192,15 @@ impl ConcurrentEngine {
     /// Aggregated hit/miss/eviction counters across all cache shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// Drops every cached support whose key matches `pred`, returning
+    /// the number removed. Epoch advances do **not** need this —
+    /// supports are data-independent and survive coefficient rolls;
+    /// reach for it on genuine staleness (schema or transform swap) or
+    /// deliberate memory reclamation.
+    pub fn invalidate_where(&self, pred: impl FnMut(&crate::cache::SupportKey) -> bool) -> usize {
+        self.cache.invalidate_where(pred)
     }
 
     /// Per-shard cache counters, in shard order.

@@ -47,13 +47,19 @@ impl AnnotatedAnswer {
     /// only the exact variance — at the price of being conservative
     /// (actual coverage is well above `beta`; the calibration harness in
     /// `privelet-eval` measures how much).
-    pub fn interval(&self, beta: f64) -> (f64, f64) {
-        assert!(
-            beta > 0.0 && beta < 1.0,
-            "confidence level must be in (0, 1), got {beta}"
-        );
+    ///
+    /// Errors with [`QueryError::BadConfidenceLevel`] when `beta` is
+    /// outside `(0, 1)` (including NaN): serving tiers feed
+    /// operator-supplied levels straight in, and a bad level must surface
+    /// as a refusal, not a panic in the serving thread.
+    ///
+    /// [`QueryError::BadConfidenceLevel`]: crate::QueryError::BadConfidenceLevel
+    pub fn interval(&self, beta: f64) -> Result<(f64, f64)> {
+        if !(beta > 0.0 && beta < 1.0) {
+            return Err(crate::QueryError::BadConfidenceLevel(beta));
+        }
         let k = (1.0 / (1.0 - beta)).sqrt();
-        (self.value - k * self.std_dev, self.value + k * self.std_dev)
+        Ok((self.value - k * self.std_dev, self.value + k * self.std_dev))
     }
 
     /// The z-score of `reference` under this answer's error model:
@@ -209,23 +215,29 @@ mod tests {
         };
         assert_eq!(a.variance(), 4.0);
         // Chebyshev at 75%: k = 1/√0.25 = 2.
-        let (lo, hi) = a.interval(0.75);
+        let (lo, hi) = a.interval(0.75).unwrap();
         assert!((lo - 6.0).abs() < 1e-12);
         assert!((hi - 14.0).abs() < 1e-12);
         // Wider level ⇒ wider interval, always containing the value.
-        let (lo95, hi95) = a.interval(0.95);
+        let (lo95, hi95) = a.interval(0.95).unwrap();
         assert!(lo95 < lo && hi < hi95);
         assert_eq!(a.z_score(10.0), 0.0);
         assert_eq!(a.z_score(6.0), 2.0);
     }
 
     #[test]
-    #[should_panic(expected = "confidence level")]
-    fn interval_rejects_bad_levels() {
-        AnnotatedAnswer {
+    fn interval_rejects_bad_levels_as_errors() {
+        let a = AnnotatedAnswer {
             value: 0.0,
             std_dev: 1.0,
+        };
+        for bad in [0.0, 1.0, -0.5, 2.0, f64::NAN] {
+            match a.interval(bad).unwrap_err() {
+                crate::QueryError::BadConfidenceLevel(b) => {
+                    assert!(b.is_nan() == bad.is_nan() && (b.is_nan() || b == bad))
+                }
+                other => panic!("wrong error: {other:?}"),
+            }
         }
-        .interval(1.0);
     }
 }

@@ -72,7 +72,7 @@ pub use release::ReleaseCore;
 pub use workload::{generate_workload, WorkloadConfig};
 
 /// Errors produced by query construction and evaluation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum QueryError {
     /// The query has a different number of predicates than the schema has
     /// attributes.
@@ -104,6 +104,10 @@ pub enum QueryError {
     /// release from a publisher output (`from_output` /
     /// `ReleaseCore::with_meta`) to get error accounting.
     MissingPrivacyMeta,
+    /// A confidence level outside the open interval `(0, 1)` was passed
+    /// to [`AnnotatedAnswer::interval`](crate::AnnotatedAnswer::interval):
+    /// Chebyshev's `1/√(1−β)` is undefined or meaningless there.
+    BadConfidenceLevel(f64),
     /// A transform-layer failure that has no structural query-layer
     /// counterpart; carries the rendered core error so the cause (the
     /// offending dimension, bounds, or shapes) is preserved.
@@ -152,6 +156,9 @@ impl std::fmt::Display for QueryError {
                     "release carries no privacy metadata (λ); build it from a \
                      publisher output to get error-annotated answers"
                 )
+            }
+            QueryError::BadConfidenceLevel(beta) => {
+                write!(f, "confidence level must be in (0, 1), got {beta}")
             }
             QueryError::Transform(msg) => write!(f, "transform error: {msg}"),
             QueryError::BadConfig(msg) => write!(f, "bad workload config: {msg}"),

@@ -124,6 +124,38 @@ impl ReleaseCore {
         Self::with_meta(schema.clone(), transform.clone(), coefficients, out.meta)
     }
 
+    /// Rolls this core to a new epoch of the *same* release series: a
+    /// fresh [`CoefficientOutput`] (e.g. from
+    /// `IncrementalRelease::advance_epoch` in `privelet`) re-validated
+    /// against this core's serving lineage, then rebuilt (refinement +
+    /// total) into a new immutable core.
+    ///
+    /// Lineage validation errors with [`QueryError::ShapeMismatch`] when
+    /// the epoch's transform does not describe this core's schema —
+    /// including a nominal hierarchy that differs structurally — or its
+    /// coefficient matrix has different dims. Serving tiers advance by
+    /// swapping the returned core in; the old core stays valid for
+    /// threads still holding it (epoch advance is never destructive to
+    /// in-flight reads).
+    ///
+    /// Cache note: per-dimension supports are pure functions of
+    /// `(dim, lo, hi)` and the transform, and the transform is pinned by
+    /// the lineage check — so support caches **survive** an epoch
+    /// advance untouched. Only coefficient state (this core's refined
+    /// matrix and noisy total) rolls.
+    pub fn advance_epoch(&self, out: &CoefficientOutput) -> Result<Self> {
+        crate::plan::check_release_metadata(&self.schema, &out.transform)?;
+        if out.coefficients.dims() != self.coeffs.dims() {
+            return Err(QueryError::ShapeMismatch);
+        }
+        Self::with_meta(
+            self.schema.clone(),
+            out.transform.clone(),
+            &out.coefficients,
+            out.meta,
+        )
+    }
+
     /// The schema queries are validated against.
     pub fn schema(&self) -> &Schema {
         &self.schema

@@ -112,7 +112,9 @@ fn main() {
     // confidence interval next to each count.
     let annotated = answerer.answer_with_error(&query).unwrap();
     assert_eq!(annotated.value, coeff_answer, "same supports, same dot");
-    let (lo95, hi95) = annotated.interval(0.95);
+    let (lo95, hi95) = annotated
+        .interval(0.95)
+        .expect("0.95 is a valid confidence level");
     println!(
         "  error bars: {:+.2} ± {:.2} std dev; 95% interval [{lo95:+.2}, {hi95:+.2}]",
         annotated.value, annotated.std_dev

@@ -13,13 +13,16 @@ use privelet_repro::core::bounds::eq4_ordinal_bound;
 use privelet_repro::core::mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig,
 };
+use privelet_repro::core::IncrementalRelease;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
 use privelet_repro::eval::ExactEvaluate;
 use privelet_repro::matrix::NdMatrix;
 use privelet_repro::noise::derive_rng;
-use privelet_repro::query::{Predicate, RangeQuery};
+use privelet_repro::query::{ConcurrentEngine, Predicate, RangeQuery};
 use rand::Rng;
+use std::collections::BTreeSet;
+use std::thread;
 
 const HOURS: usize = 24 * 365;
 
@@ -90,4 +93,88 @@ fn main() {
         "\nBasic's window error grows like sqrt(window); the two polylog\n\
          mechanisms stay nearly flat — the paper's headline, on time series."
     );
+
+    // ---- Streaming ingest: the same year, arriving week by week. ----
+    //
+    // Instead of republishing from scratch every time new hours land,
+    // an `IncrementalRelease` keeps the exact Haar coefficients current
+    // with O(log m) coefficient touches per arriving cell, and re-noises
+    // only at explicit epoch boundaries — each epoch debiting its ε from
+    // a lifetime budget ledger (sequential composition). The serving
+    // tier rolls to the new epoch with `ConcurrentEngine::advance_epoch`
+    // while keeping its support cache warm: supports are
+    // data-independent, so nothing is re-derived across epochs.
+    println!("\nstreaming ingest: one epoch per week, ε = 0.25 each, lifetime budget 2.0");
+    let total_epsilon = 2.0;
+    let epoch_epsilon = 0.25;
+    let zeros = FrequencyMatrix::from_parts(
+        fm.schema().clone(),
+        NdMatrix::from_vec(&[HOURS], vec![0.0; HOURS]).unwrap(),
+    )
+    .unwrap();
+    let mut release = IncrementalRelease::new(&zeros, &BTreeSet::new(), total_epsilon).unwrap();
+    println!(
+        "  per-cell touch bound: {} of {} coefficients (⌈log₂ m⌉ + 1)",
+        release.touch_bound(),
+        release.exact_coefficients().as_slice().len()
+    );
+
+    let mut engine: Option<ConcurrentEngine> = None;
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "week", "touched", "week total", "exact", "ε spent", "cache"
+    );
+    for week in 0..4usize {
+        // The week's 168 hourly counts arrive as increments...
+        let mut touched = 0usize;
+        for hour in week * 168..(week + 1) * 168 {
+            touched += release
+                .apply_increment(&[hour], fm.matrix().get(&[hour]).unwrap())
+                .unwrap();
+        }
+        // ...and the epoch boundary draws fresh noise under its own ε.
+        let out = release
+            .advance_epoch(epoch_epsilon, 1000 + week as u64)
+            .unwrap();
+        engine = Some(match engine {
+            // The sharded support cache is *shared* across the bump.
+            Some(prev) => prev.advance_epoch(&out).unwrap(),
+            None => ConcurrentEngine::from_output(&out).unwrap(),
+        });
+        let serving = engine.as_ref().unwrap();
+
+        // Served concurrently from the same release: both analyst
+        // threads read the epoch just published.
+        let this_week = RangeQuery::new(vec![Predicate::Range {
+            lo: week * 168,
+            hi: (week + 1) * 168 - 1,
+        }]);
+        let answers: Vec<f64> = thread::scope(|s| {
+            (0..2)
+                .map(|_| {
+                    let eng = serving.clone();
+                    let q = &this_week;
+                    s.spawn(move || eng.answer(q).unwrap())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(answers[0].to_bits(), answers[1].to_bits());
+        let stats = serving.cache_stats();
+        println!(
+            "{week:>6} {touched:>10} {:>12.1} {:>12.0} {:>12.2} {:>7}h/{}m",
+            answers[0],
+            this_week.evaluate(&fm).unwrap(),
+            release.ledger().spent(),
+            stats.hits,
+            stats.misses
+        );
+    }
+
+    // The ledger refuses an over-draw *before* any noise is drawn.
+    let remaining = release.ledger().remaining();
+    let err = release.advance_epoch(remaining + 0.5, 9999).unwrap_err();
+    println!("  over-spend refused: {err}  (remaining ε = {remaining:.2})");
 }
