@@ -26,6 +26,29 @@
 //! *indices* are exactly `update_weights`' support; only the value
 //! arithmetic routes through the state.
 //!
+//! **Coalesced bulk ingest.** A heavy-traffic stream delivers increments in
+//! batches whose coefficient paths overlap heavily — B arrivals into one
+//! hot region dirty far fewer than `B·∏ log mᵢ` distinct coefficients.
+//! [`apply_increments`](IncrementalRelease::apply_increments) absorbs a
+//! whole batch at a cost proportional to the *distinct dirty
+//! coefficients*: it validates the batch up front, coalesces duplicate
+//! cells, and propagates axis by axis over a **dirty set** — pending
+//! changes are grouped by lane, each dirty lane's kernel state is walked
+//! once, and every dirty coefficient is recomputed exactly once with the
+//! same per-node expressions as the sequential walk. Because each touched
+//! value is a pure function of the final child states, the result is
+//! **bit-identical** to an [`apply_increment`](IncrementalRelease::apply_increment)
+//! loop over the same batch in the same order (proptested in
+//! `tests/streaming_release.rs`); the only order-sensitive operations —
+//! the `+=` leaf additions of duplicate cells — are replayed in arrival
+//! order. The propagation works on flat linear indices in a reusable
+//! internal workspace (no per-touch coordinate-vector clones, no
+//! allocation once the buffers reach the batch's working-set size), and
+//! a lane whose distinct dirty-leaf count crosses the
+//! [`PRIVELET_BULK_LANE_CUTOVER`](BULK_LANE_CUTOVER_ENV) density cutover
+//! is recomputed with one contiguous whole-lane pass through the same
+//! kernel expressions instead of per-node pointer chasing.
+//!
 //! **Epoch budgets.** Re-noising the same statistics k times is k releases
 //! of one mechanism: sequential composition sums the epsilons. A
 //! [`BudgetLedger`] tracks the lifetime budget;
@@ -35,6 +58,9 @@
 //! never a silent over-spend. Noise injection reuses the publishers'
 //! chunked weighted-Laplace seam, so an epoch's output coefficients are
 //! bit-identical to a from-scratch publish at the epoch's seed.
+//!
+//! The sliding-window and exponentially-decayed-sum streaming variants
+//! are thin layers over the bulk primitive — see [`crate::streaming`].
 
 use crate::mechanism::privelet::add_weighted_noise;
 use crate::mechanism::CoefficientOutput;
@@ -43,8 +69,22 @@ use crate::transform::{DimTransform, HnTransform, Transform1d};
 use crate::{CoreError, Result};
 use privelet_data::schema::Schema;
 use privelet_data::FrequencyMatrix;
+use privelet_matrix::knob::env_usize_knob;
 use privelet_matrix::NdMatrix;
 use std::collections::BTreeSet;
+
+/// Environment knob naming the whole-lane recompute cutover as a dirty
+/// leaf *percentage* of the lane length (parsed through the shared
+/// warn-once [`knob`](privelet_matrix::knob) machinery): `0` forces the
+/// contiguous kernel path for every dirty lane, values above `100`
+/// disable it. Read once at [`IncrementalRelease::new`].
+pub const BULK_LANE_CUTOVER_ENV: &str = "PRIVELET_BULK_LANE_CUTOVER";
+
+/// Default whole-lane cutover: a dirty lane switches from per-node dirty
+/// walks to one contiguous kernel recompute when at least half its
+/// leaves are dirty — the point where the dirty closure approaches the
+/// whole coefficient tree and a linear pass beats pointer chasing.
+pub const DEFAULT_BULK_LANE_CUTOVER_PCT: usize = 50;
 
 /// Per-axis intermediate state of the staged forward transform, stored for
 /// every lane of that axis.
@@ -211,10 +251,360 @@ fn update_lane(
     out
 }
 
+/// Runs the staged forward pipeline over `table` (row-major over the
+/// transform's input dims), producing every axis's per-lane kernel state
+/// and the final coefficient values. The per-lane math is the forward
+/// kernels' own, so the final values are bit-identical to
+/// `transform.forward` on the same table.
+fn staged_forward(
+    transform: &HnTransform,
+    table: Vec<f64>,
+) -> (Vec<AxisState>, Vec<f64>, Vec<usize>) {
+    let d = transform.ndim();
+    let mut cur_dims = transform.input_dims();
+    let mut cur = table;
+    let mut states = Vec::with_capacity(d);
+    for (axis, t) in transform.transforms().iter().enumerate() {
+        let n = t.input_len();
+        let out_n = t.output_len();
+        let s_n = state_len(t);
+        let mut state_dims = cur_dims.clone();
+        state_dims[axis] = s_n;
+        let mut out_dims = cur_dims.clone();
+        out_dims[axis] = out_n;
+        let in_strides = row_major_strides(&cur_dims);
+        let state_strides = row_major_strides(&state_dims);
+        let out_strides = row_major_strides(&out_dims);
+        let mut state = AxisState {
+            axis,
+            data: vec![0.0f64; state_dims.iter().product()],
+            strides: state_strides,
+        };
+        let mut out = vec![0.0f64; out_dims.iter().product()];
+
+        let mut src_lane = vec![0.0f64; n];
+        let mut state_lane = vec![0.0f64; s_n];
+        let mut out_lane = vec![0.0f64; out_n];
+        // Odometer over every lane (all coords with the axis fixed).
+        let mut coords = vec![0usize; d];
+        loop {
+            let in_off: usize = coords
+                .iter()
+                .zip(&in_strides)
+                .enumerate()
+                .filter(|&(j, _)| j != axis)
+                .map(|(_, (&c, &s))| c * s)
+                .sum();
+            for (k, slot) in src_lane.iter_mut().enumerate() {
+                *slot = cur[in_off + k * in_strides[axis]];
+            }
+            init_lane(t, &src_lane, &mut state_lane, &mut out_lane);
+            let st_off = state.lane_offset(&coords);
+            for (k, &v) in state_lane.iter().enumerate() {
+                state.data[st_off + k * state.strides[axis]] = v;
+            }
+            let out_off: usize = coords
+                .iter()
+                .zip(&out_strides)
+                .enumerate()
+                .filter(|&(j, _)| j != axis)
+                .map(|(_, (&c, &s))| c * s)
+                .sum();
+            for (k, &v) in out_lane.iter().enumerate() {
+                out[out_off + k * out_strides[axis]] = v;
+            }
+            // Advance the odometer, skipping the lane axis.
+            let mut j = d;
+            let mut done = true;
+            while j > 0 {
+                j -= 1;
+                if j == axis {
+                    continue;
+                }
+                coords[j] += 1;
+                if coords[j] < cur_dims[j] {
+                    done = false;
+                    break;
+                }
+                coords[j] = 0;
+            }
+            if done {
+                break;
+            }
+        }
+        states.push(state);
+        cur = out;
+        cur_dims = out_dims;
+    }
+    (states, cur, cur_dims)
+}
+
+/// Saturating `∏ᵢ max_update_support(i)`: a 5-dim schema of wide nominal
+/// fanouts can push the plain `product()` fold past `usize::MAX`, and a
+/// wrapped bound is worse than a useless one — it *under*-reports.
+fn saturating_touch_bound(transforms: &[DimTransform]) -> usize {
+    transforms
+        .iter()
+        .map(Transform1d::max_update_support)
+        .fold(1usize, usize::saturating_mul)
+}
+
+/// Diagnostics of one bulk batch: how much duplicate-cell coalescing and
+/// dirty-path sharing actually saved, observable by callers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Increments in the batch as submitted (duplicates included).
+    pub increments: usize,
+    /// Duplicate-cell arrivals merged onto an already-dirty cell —
+    /// `increments` minus the distinct cells the batch touched.
+    pub coalesced_cells: usize,
+    /// Distinct coefficients written — the dirty-set size, which a
+    /// sequential [`apply_increment`](IncrementalRelease::apply_increment)
+    /// loop would have written at least this many times.
+    pub coefficients_written: usize,
+    /// Tightened per-batch bound: `distinct cells × per-increment touch
+    /// bound`, saturating, capped at the coefficient-tensor size.
+    /// `coefficients_written ≤ touch_bound` always holds.
+    pub touch_bound: usize,
+}
+
+/// One pending change, lane-decomposed: `lane` keys the grouping,
+/// `pos` is the coordinate along the axis being processed, `seq`
+/// preserves arrival order so duplicate-cell `+=` replays match the
+/// sequential loop bit for bit.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    lane: usize,
+    pos: usize,
+    seq: usize,
+    value: f64,
+}
+
+/// Per-lane scratch for the dirty walk, reused across lanes and batches.
+#[derive(Debug, Clone, Default)]
+struct LaneScratch {
+    /// Dirty-node marks, indexed by state slot (heap node for Haar,
+    /// hierarchy node id for nominal); cleared via `marked` after each
+    /// lane so clearing costs O(dirty), not O(lane).
+    marks: Vec<bool>,
+    /// The marked nodes of the lane in hand.
+    marked: Vec<usize>,
+    /// Contiguous lane buffers for whole-lane kernel recomputes.
+    src_lane: Vec<f64>,
+    state_lane: Vec<f64>,
+    out_lane: Vec<f64>,
+}
+
+/// Dirty-set workspace reused across batches — the bulk-ingest analogue
+/// of `LaneExecutor`'s ping-pong buffers. Changes travel as flat linear
+/// indices in the mixed space (coefficient coordinates on processed
+/// axes, data coordinates on the rest); no per-touch coordinate vectors
+/// are cloned, and nothing allocates once the buffers have grown to the
+/// batch's working-set size.
+#[derive(Debug, Clone, Default)]
+struct BatchWorkspace {
+    /// Changes entering the current axis: `(linear index, value)` where
+    /// the value is a delta on axis 0 and an absolute recompute after.
+    pending: Vec<(usize, f64)>,
+    /// Lane-decomposed, `(lane, pos, seq)`-sorted view of `pending`.
+    entries: Vec<Entry>,
+    /// Changes emitted for the next axis.
+    next: Vec<(usize, f64)>,
+    scratch: LaneScratch,
+}
+
+/// Geometry + mode of one dirty lane.
+#[derive(Debug, Clone, Copy)]
+struct LaneCtx {
+    /// Element stride along the axis (the inner block size).
+    stride: usize,
+    /// Flat offset of the lane's slot 0 in the axis state.
+    state_base: usize,
+    /// Flat offset of the lane's position 0 in the axis output space.
+    out_base: usize,
+    /// Entry axis: changes are `+=` deltas, not absolute assignments.
+    is_delta: bool,
+    /// Whole-lane recompute density cutover, in percent of lane length.
+    cutover_pct: usize,
+}
+
+/// Whole-lane cutover predicate: switch to the contiguous kernel
+/// recompute when the distinct dirty leaves reach `pct`% of the lane.
+/// `0` always switches; anything above `100` never does. Saturating so a
+/// `usize::MAX` knob can't wrap into "always".
+fn whole_lane(distinct: usize, input_len: usize, pct: usize) -> bool {
+    distinct.saturating_mul(100) >= pct.saturating_mul(input_len)
+}
+
+/// Processes one dirty lane of one axis: applies the lane's pending
+/// changes to the kernel state (duplicate positions replayed in arrival
+/// order), recomputes every dirty node **exactly once** bottom-up with
+/// the kernels' own float expressions — or, past the density cutover,
+/// with one contiguous [`init_lane`] pass, which computes the identical
+/// bits because every node value is the same pure function of the final
+/// leaf states — and emits the dirty output positions into `next`.
+/// Returns the lane's distinct dirty position count (on axis 0: distinct
+/// cells after coalescing).
+fn process_lane(
+    t: &DimTransform,
+    state: &mut [f64],
+    ctx: LaneCtx,
+    group: &[Entry],
+    scratch: &mut LaneScratch,
+    next: &mut Vec<(usize, f64)>,
+) -> usize {
+    let sidx = |k: usize| ctx.state_base + k * ctx.stride;
+    let oidx = |q: usize| ctx.out_base + q * ctx.stride;
+    let LaneScratch {
+        marks,
+        marked,
+        src_lane,
+        state_lane,
+        out_lane,
+    } = scratch;
+    marked.clear();
+    let mut distinct = 0usize;
+    match t {
+        DimTransform::Haar(_) => {
+            let m = t.output_len();
+            let mut gi = 0usize;
+            while gi < group.len() {
+                let pos = group[gi].pos;
+                distinct += 1;
+                let li = sidx(m + pos);
+                while gi < group.len() && group[gi].pos == pos {
+                    if ctx.is_delta {
+                        state[li] += group[gi].value;
+                    } else {
+                        state[li] = group[gi].value;
+                    }
+                    gi += 1;
+                }
+                let mut j = (m + pos) >> 1;
+                while j >= 1 && !marks[j] {
+                    marks[j] = true;
+                    marked.push(j);
+                    j >>= 1;
+                }
+            }
+            if whole_lane(distinct, t.input_len(), ctx.cutover_pct) {
+                src_lane.clear();
+                src_lane.extend((0..t.input_len()).map(|k| state[sidx(m + k)]));
+                state_lane.resize(2 * m, 0.0);
+                out_lane.resize(m, 0.0);
+                init_lane(t, src_lane, state_lane, out_lane);
+                for (k, &v) in state_lane.iter().enumerate() {
+                    state[sidx(k)] = v;
+                }
+                for &j in marked.iter() {
+                    next.push((oidx(j), out_lane[j]));
+                }
+                next.push((ctx.out_base, out_lane[0]));
+            } else {
+                // Descending heap index = children before parents.
+                marked.sort_unstable_by(|a, b| b.cmp(a));
+                for &j in marked.iter() {
+                    let a = state[sidx(2 * j)];
+                    let b = state[sidx(2 * j + 1)];
+                    state[sidx(j)] = 0.5 * (a + b);
+                    next.push((oidx(j), 0.5 * (a - b)));
+                }
+                // Base coefficient = the root average (slot 1; for m == 1
+                // slot 1 *is* the single leaf), as in the sequential walk.
+                next.push((ctx.out_base, state[sidx(1)]));
+            }
+        }
+        DimTransform::Nominal(nt) => {
+            let h = nt.hierarchy();
+            let mut gi = 0usize;
+            while gi < group.len() {
+                let pos = group[gi].pos;
+                distinct += 1;
+                let li = sidx(h.leaf_node(pos));
+                while gi < group.len() && group[gi].pos == pos {
+                    if ctx.is_delta {
+                        state[li] += group[gi].value;
+                    } else {
+                        state[li] = group[gi].value;
+                    }
+                    gi += 1;
+                }
+                let mut node = h.leaf_node(pos);
+                while let Some(p) = h.parent(node) {
+                    if marks[p] {
+                        break;
+                    }
+                    marks[p] = true;
+                    marked.push(p);
+                    node = p;
+                }
+            }
+            if whole_lane(distinct, t.input_len(), ctx.cutover_pct) {
+                src_lane.clear();
+                src_lane.extend((0..h.leaf_count()).map(|k| state[sidx(h.leaf_node(k))]));
+                state_lane.resize(h.node_count(), 0.0);
+                out_lane.resize(h.node_count(), 0.0);
+                init_lane(t, src_lane, state_lane, out_lane);
+                for (k, &v) in state_lane.iter().enumerate() {
+                    state[sidx(k)] = v;
+                }
+                let root_pos = h.level_order_pos(h.root());
+                next.push((oidx(root_pos), out_lane[root_pos]));
+                for &p in marked.iter() {
+                    for &c in h.children(p) {
+                        let q = h.level_order_pos(c);
+                        next.push((oidx(q), out_lane[q]));
+                    }
+                }
+            } else {
+                // Deeper level-order positions first = children before
+                // parents (level order is breadth-first from the root).
+                marked.sort_unstable_by_key(|&id| std::cmp::Reverse(h.level_order_pos(id)));
+                for &p in marked.iter() {
+                    state[sidx(p)] = h.children(p).iter().map(|&c| state[sidx(c)]).sum();
+                }
+                let root = h.root();
+                next.push((oidx(h.level_order_pos(root)), state[sidx(root)]));
+                // A dirty leaf-sum feeds the coefficient of every child of
+                // that node, so whole sibling groups re-derive — exactly
+                // the union of the sequential walks' emissions.
+                for &p in marked.iter() {
+                    let f = h.fanout(p) as f64;
+                    let lsp = state[sidx(p)];
+                    for &c in h.children(p) {
+                        next.push((oidx(h.level_order_pos(c)), state[sidx(c)] - lsp / f));
+                    }
+                }
+            }
+        }
+        DimTransform::Identity(_) => {
+            let mut gi = 0usize;
+            while gi < group.len() {
+                let pos = group[gi].pos;
+                distinct += 1;
+                let li = sidx(pos);
+                while gi < group.len() && group[gi].pos == pos {
+                    if ctx.is_delta {
+                        state[li] += group[gi].value;
+                    } else {
+                        state[li] = group[gi].value;
+                    }
+                    gi += 1;
+                }
+                next.push((oidx(pos), state[li]));
+            }
+        }
+    }
+    for &id in marked.iter() {
+        marks[id] = false;
+    }
+    distinct
+}
+
 /// A streaming release: the exact (pre-noise) HN coefficients of a live
-/// table, maintained under single-cell / row-batch increments in
-/// `∏ᵢ O(log mᵢ)` work per increment, re-noised only at explicit epoch
-/// boundaries under a lifetime privacy budget.
+/// table, maintained under single-cell / coalesced-batch increments, re-
+/// noised only at explicit epoch boundaries under a lifetime privacy
+/// budget.
 ///
 /// See the [module docs](self) for the bit-identity design. The latest
 /// published epoch is kept on the release
@@ -230,6 +620,8 @@ pub struct IncrementalRelease {
     states: Vec<AxisState>,
     ledger: BudgetLedger,
     latest: Option<CoefficientOutput>,
+    workspace: BatchWorkspace,
+    lane_cutover_pct: usize,
 }
 
 impl IncrementalRelease {
@@ -240,88 +632,15 @@ impl IncrementalRelease {
     pub fn new(fm: &FrequencyMatrix, sa: &BTreeSet<usize>, total_epsilon: f64) -> Result<Self> {
         let transform = HnTransform::for_schema(fm.schema(), sa)?;
         let ledger = BudgetLedger::new(total_epsilon)?;
-        let d = transform.ndim();
-
         // Staged forward pipeline, one axis at a time, capturing each
-        // axis's per-lane state. The per-lane math is the forward kernels'
-        // own, so the final matrix is bit-identical to `transform.forward`.
-        let mut cur_dims = transform.input_dims();
-        let mut cur = fm.matrix().as_slice().to_vec();
-        let mut states = Vec::with_capacity(d);
-        for (axis, t) in transform.transforms().iter().enumerate() {
-            let n = t.input_len();
-            let out_n = t.output_len();
-            let s_n = state_len(t);
-            let mut state_dims = cur_dims.clone();
-            state_dims[axis] = s_n;
-            let mut out_dims = cur_dims.clone();
-            out_dims[axis] = out_n;
-            let in_strides = row_major_strides(&cur_dims);
-            let state_strides = row_major_strides(&state_dims);
-            let out_strides = row_major_strides(&out_dims);
-            let mut state = AxisState {
-                axis,
-                data: vec![0.0f64; state_dims.iter().product()],
-                strides: state_strides,
-            };
-            let mut out = vec![0.0f64; out_dims.iter().product()];
-
-            let mut src_lane = vec![0.0f64; n];
-            let mut state_lane = vec![0.0f64; s_n];
-            let mut out_lane = vec![0.0f64; out_n];
-            // Odometer over every lane (all coords with the axis fixed).
-            let mut coords = vec![0usize; d];
-            loop {
-                let in_off: usize = coords
-                    .iter()
-                    .zip(&in_strides)
-                    .enumerate()
-                    .filter(|&(j, _)| j != axis)
-                    .map(|(_, (&c, &s))| c * s)
-                    .sum();
-                for (k, slot) in src_lane.iter_mut().enumerate() {
-                    *slot = cur[in_off + k * in_strides[axis]];
-                }
-                init_lane(t, &src_lane, &mut state_lane, &mut out_lane);
-                let st_off = state.lane_offset(&coords);
-                for (k, &v) in state_lane.iter().enumerate() {
-                    state.data[st_off + k * state.strides[axis]] = v;
-                }
-                let out_off: usize = coords
-                    .iter()
-                    .zip(&out_strides)
-                    .enumerate()
-                    .filter(|&(j, _)| j != axis)
-                    .map(|(_, (&c, &s))| c * s)
-                    .sum();
-                for (k, &v) in out_lane.iter().enumerate() {
-                    out[out_off + k * out_strides[axis]] = v;
-                }
-                // Advance the odometer, skipping the lane axis.
-                let mut j = d;
-                let mut done = true;
-                while j > 0 {
-                    j -= 1;
-                    if j == axis {
-                        continue;
-                    }
-                    coords[j] += 1;
-                    if coords[j] < cur_dims[j] {
-                        done = false;
-                        break;
-                    }
-                    coords[j] = 0;
-                }
-                if done {
-                    break;
-                }
-            }
-            states.push(state);
-            cur = out;
-            cur_dims = out_dims;
-        }
-
-        let exact = NdMatrix::from_vec(&cur_dims, cur)?;
+        // axis's per-lane state.
+        let (states, data, dims) = staged_forward(&transform, fm.matrix().as_slice().to_vec());
+        let exact = NdMatrix::from_vec(&dims, data)?;
+        let lane_cutover_pct = env_usize_knob(
+            BULK_LANE_CUTOVER_ENV,
+            "a dirty-leaf percentage",
+            DEFAULT_BULK_LANE_CUTOVER_PCT,
+        );
         Ok(IncrementalRelease {
             schema: fm.schema().clone(),
             transform,
@@ -329,6 +648,8 @@ impl IncrementalRelease {
             states,
             ledger,
             latest: None,
+            workspace: BatchWorkspace::default(),
+            lane_cutover_pct,
         })
     }
 
@@ -364,24 +685,32 @@ impl IncrementalRelease {
         self.ledger.epochs()
     }
 
-    /// Upper bound on coefficients touched by one increment:
-    /// `∏ᵢ max_update_support(i)` (for all-ordinal schemas this is the
-    /// `∏ᵢ (⌈log₂ mᵢ⌉ + 1)` of the paper's Haar path analysis).
-    pub fn touch_bound(&self) -> usize {
-        self.transform
-            .transforms()
-            .iter()
-            .map(Transform1d::max_update_support)
-            .product()
+    /// Overrides the whole-lane recompute cutover (percent of a lane's
+    /// leaves that must be dirty; `0` = always, `> 100` = never),
+    /// normally read from [`PRIVELET_BULK_LANE_CUTOVER`](BULK_LANE_CUTOVER_ENV).
+    /// Both modes are bit-identical — this is a performance knob and a
+    /// test seam, never a semantics switch.
+    pub fn with_lane_cutover_pct(mut self, pct: usize) -> Self {
+        self.lane_cutover_pct = pct;
+        self
     }
 
-    /// Absorbs `delta` added to table cell `cell`, updating the exact
-    /// coefficients sparsely. Returns the number of coefficients written
-    /// (≤ [`touch_bound`](Self::touch_bound)).
-    ///
-    /// Validation mirrors `query_supports`: wrong arity or an
-    /// out-of-domain coordinate is an `Err`, never a panic.
-    pub fn apply_increment(&mut self, cell: &[usize], delta: f64) -> Result<usize> {
+    /// The active whole-lane recompute cutover, in percent.
+    pub fn lane_cutover_pct(&self) -> usize {
+        self.lane_cutover_pct
+    }
+
+    /// Upper bound on coefficients touched by one increment:
+    /// `∏ᵢ max_update_support(i)` (for all-ordinal schemas this is the
+    /// `∏ᵢ (⌈log₂ mᵢ⌉ + 1)` of the paper's Haar path analysis). The
+    /// product saturates instead of wrapping on very wide schemas.
+    pub fn touch_bound(&self) -> usize {
+        saturating_touch_bound(self.transform.transforms())
+    }
+
+    /// Validation shared by the single-increment and bulk paths — wrong
+    /// arity or an out-of-domain coordinate is an `Err`, never a panic.
+    fn validate_cell(&self, cell: &[usize]) -> Result<()> {
         let d = self.transform.ndim();
         if cell.len() != d {
             return Err(CoreError::BadQueryArity {
@@ -399,6 +728,19 @@ impl IncrementalRelease {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// Absorbs `delta` added to table cell `cell`, updating the exact
+    /// coefficients sparsely. Returns the number of coefficients written
+    /// (≤ [`touch_bound`](Self::touch_bound)).
+    ///
+    /// This is the sequential reference path;
+    /// [`apply_increments`](Self::apply_increments) absorbs batches at
+    /// the cost of the *distinct* dirty coefficients and is pinned
+    /// bit-identical to a loop over this method.
+    pub fn apply_increment(&mut self, cell: &[usize], delta: f64) -> Result<usize> {
+        self.validate_cell(cell)?;
 
         // Propagate the change axis by axis. Entering axis i, every
         // pending change has coefficient coordinates on axes < i and the
@@ -441,14 +783,189 @@ impl IncrementalRelease {
         Ok(written)
     }
 
-    /// Absorbs a batch of row arrivals (each row is `+1` at its cell).
-    /// Returns the total coefficients written across the batch.
-    pub fn apply_rows(&mut self, rows: &[Vec<usize>]) -> Result<usize> {
-        let mut written = 0usize;
-        for row in rows {
-            written += self.apply_increment(row, 1.0)?;
+    /// Absorbs a whole batch of `(cell, delta)` increments at a cost
+    /// proportional to the **distinct dirty coefficients** instead of
+    /// `batch × ∏ log mᵢ`: the batch is validated up front (a bad cell
+    /// rejects it before *any* state changes), duplicate cells coalesce
+    /// onto one dirty path (their `+=` deltas replay in arrival order),
+    /// and each axis walks every dirty lane's kernel state once,
+    /// recomputing each dirty coefficient exactly once.
+    ///
+    /// The exact coefficient tensor afterwards is **bit-identical** to an
+    /// [`apply_increment`](Self::apply_increment) loop over the same
+    /// batch in order (every recomputed node is the same pure float
+    /// expression of the same final leaf states), and the returned
+    /// [`IngestReport`] shows what coalescing saved.
+    pub fn apply_increments(&mut self, increments: &[(Vec<usize>, f64)]) -> Result<IngestReport> {
+        for (cell, _) in increments {
+            self.validate_cell(cell)?;
         }
-        Ok(written)
+        let in_strides = row_major_strides(&self.transform.input_dims());
+        self.workspace.pending.clear();
+        for (cell, delta) in increments {
+            let lin: usize = cell.iter().zip(&in_strides).map(|(&c, &s)| c * s).sum();
+            self.workspace.pending.push((lin, *delta));
+        }
+        self.bulk_apply_pending()
+    }
+
+    /// Absorbs a batch of row arrivals (each row is `+1` at its cell)
+    /// through the coalesced bulk path — rows hitting the same cell share
+    /// one dirty walk.
+    pub fn apply_rows(&mut self, rows: &[Vec<usize>]) -> Result<IngestReport> {
+        for row in rows {
+            self.validate_cell(row)?;
+        }
+        let in_strides = row_major_strides(&self.transform.input_dims());
+        self.workspace.pending.clear();
+        for row in rows {
+            let lin: usize = row.iter().zip(&in_strides).map(|(&c, &s)| c * s).sum();
+            self.workspace.pending.push((lin, 1.0));
+        }
+        self.bulk_apply_pending()
+    }
+
+    /// The dirty-set propagation over `workspace.pending` (already
+    /// validated and linearized). See the module docs for the design.
+    fn bulk_apply_pending(&mut self) -> Result<IngestReport> {
+        let increments = self.workspace.pending.len();
+        let cutover_pct = self.lane_cutover_pct;
+        let mut distinct_cells = 0usize;
+        {
+            let Self {
+                ref transform,
+                ref mut states,
+                ref mut workspace,
+                ..
+            } = *self;
+            let BatchWorkspace {
+                pending,
+                entries,
+                next,
+                scratch,
+            } = workspace;
+            for (axis, t) in transform.transforms().iter().enumerate() {
+                let state = &mut states[axis];
+                // The element stride along the axis (= the inner block) is
+                // the product of the trailing dims, which no axis step
+                // changes — shared by the input, state, and output spaces.
+                let stride = state.strides[axis];
+                let in_n = t.input_len();
+                let out_n = t.output_len();
+                let s_n = state_len(t);
+                if scratch.marks.len() < s_n {
+                    scratch.marks.resize(s_n, false);
+                }
+                let chunk = in_n * stride;
+                entries.clear();
+                for (seq, &(lin, value)) in pending.iter().enumerate() {
+                    let outer = lin / chunk;
+                    let rem = lin % chunk;
+                    entries.push(Entry {
+                        lane: outer * stride + rem % stride,
+                        pos: rem / stride,
+                        seq,
+                        value,
+                    });
+                }
+                // Total order (seq is unique), so the unstable sort is
+                // deterministic and allocation-free.
+                entries.sort_unstable_by_key(|e| (e.lane, e.pos, e.seq));
+                next.clear();
+                let is_delta = axis == 0;
+                let mut i = 0usize;
+                while i < entries.len() {
+                    let lane = entries[i].lane;
+                    let mut j = i + 1;
+                    while j < entries.len() && entries[j].lane == lane {
+                        j += 1;
+                    }
+                    let outer = lane / stride;
+                    let inner = lane % stride;
+                    let ctx = LaneCtx {
+                        stride,
+                        state_base: outer * s_n * stride + inner,
+                        out_base: outer * out_n * stride + inner,
+                        is_delta,
+                        cutover_pct,
+                    };
+                    let dc = process_lane(t, &mut state.data, ctx, &entries[i..j], scratch, next);
+                    if is_delta {
+                        distinct_cells += dc;
+                    }
+                    i = j;
+                }
+                std::mem::swap(pending, next);
+            }
+        }
+        // The surviving pending set is the distinct dirty coefficients,
+        // as linear indices into the (row-major) exact tensor.
+        let slab = self.exact.as_mut_slice();
+        for &(lin, v) in &self.workspace.pending {
+            slab[lin] = v;
+        }
+        let written = self.workspace.pending.len();
+        let per_increment = saturating_touch_bound(self.transform.transforms());
+        let bound = distinct_cells.saturating_mul(per_increment).min(slab.len());
+        debug_assert!(written <= bound || increments == 0);
+        Ok(IngestReport {
+            increments,
+            coalesced_cells: increments - distinct_cells,
+            coefficients_written: written,
+            touch_bound: bound,
+        })
+    }
+
+    /// Exponential decay: scales the maintained table by `alpha` and
+    /// rebuilds every kernel state and the exact tensor with one linear
+    /// staged-forward pass over the scaled leaves.
+    ///
+    /// Why rebuild instead of just multiplying every stored state and
+    /// coefficient by `alpha`? Floating-point multiplication does not
+    /// distribute over the kernels' additions — `α·(a + b)` and
+    /// `α·a + α·b` can differ in the last ulp — so a scaled pyramid would
+    /// drift off the "forward of the scaled table" contract. Rebuilding
+    /// from the scaled leaves keeps [`advance_epoch`](Self::advance_epoch)
+    /// bit-identical to a from-scratch publish on a table whose cells
+    /// were scaled by the same `α · x` expression (pinned in
+    /// `tests/streaming_release.rs`). Cost is one forward, the same
+    /// linear pass [`new`](Self::new) runs.
+    pub fn decay(&mut self, alpha: f64) -> Result<()> {
+        if !alpha.is_finite() || alpha <= 0.0 {
+            return Err(CoreError::BadDecayFactor(alpha));
+        }
+        let mut table = self.current_table();
+        for v in &mut table {
+            *v *= alpha;
+        }
+        let (states, data, dims) = staged_forward(&self.transform, table);
+        self.states = states;
+        self.exact = NdMatrix::from_vec(&dims, data)?;
+        Ok(())
+    }
+
+    /// The current (pre-noise) data-domain table, read back from axis 0's
+    /// kernel-state leaves, row-major over the input dims.
+    fn current_table(&self) -> Vec<f64> {
+        let t0 = &self.transform.transforms()[0];
+        let state = &self.states[0];
+        // Axis 0 is outermost, so lin = pos·stride + inner with no outer
+        // part, and the trailing stride is shared with the state space.
+        let stride = state.strides[0];
+        let in_dims = self.transform.input_dims();
+        let total: usize = in_dims.iter().product();
+        (0..total)
+            .map(|lin| {
+                let pos = lin / stride;
+                let inner = lin % stride;
+                let slot = match t0 {
+                    DimTransform::Haar(_) => t0.output_len() + pos,
+                    DimTransform::Nominal(nt) => nt.hierarchy().leaf_node(pos),
+                    DimTransform::Identity(_) => pos,
+                };
+                state.data[inner + slot * stride]
+            })
+            .collect()
     }
 
     /// Publishes one epoch: debits `epoch_epsilon` from the lifetime
@@ -485,7 +1002,7 @@ mod tests {
     use super::*;
     use crate::mechanism::{publish_coefficients, PriveletConfig};
     use privelet_data::schema::Attribute;
-    use privelet_hierarchy::builder::three_level;
+    use privelet_hierarchy::builder::{flat, three_level};
 
     fn fm_for(schema: Schema, seed: u64) -> FrequencyMatrix {
         let n = schema.cell_count();
@@ -553,6 +1070,164 @@ mod tests {
             {
                 assert_eq!(a.to_bits(), b.to_bits(), "step {k} coeff {i}");
             }
+        }
+    }
+
+    /// The bulk path must equal the sequential loop bit for bit — same
+    /// cells, same order, duplicates included — in every cutover mode.
+    #[test]
+    fn bulk_batch_matches_sequential_loop_bitwise() {
+        let schema = mixed_schema();
+        let fm = fm_for(schema.clone(), 13);
+        let batch: Vec<(Vec<usize>, f64)> = vec![
+            (vec![0, 0, 0], 2.0),
+            (vec![4, 5, 3], -1.5),
+            (vec![0, 0, 0], 0.25), // duplicate cell: += replay order matters
+            (vec![2, 3, 1], 7.0),
+            (vec![0, 0, 0], -3.0),
+            (vec![2, 3, 2], 1.0),
+        ];
+        let mut seq = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let mut seq_written = 0usize;
+        for (cell, delta) in &batch {
+            seq_written += seq.apply_increment(cell, *delta).unwrap();
+        }
+        for pct in [0usize, DEFAULT_BULK_LANE_CUTOVER_PCT, 101] {
+            let mut bulk = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0)
+                .unwrap()
+                .with_lane_cutover_pct(pct);
+            let report = bulk.apply_increments(&batch).unwrap();
+            assert_eq!(report.increments, 6);
+            assert_eq!(report.coalesced_cells, 2, "three arrivals at one cell");
+            assert!(report.coefficients_written <= seq_written);
+            assert!(report.coefficients_written <= report.touch_bound);
+            for (i, (a, b)) in bulk
+                .exact_coefficients()
+                .as_slice()
+                .iter()
+                .zip(seq.exact_coefficients().as_slice())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "pct {pct} coeff {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_well_defined_no_op() {
+        let fm = fm_for(mixed_schema(), 3);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        let before: Vec<u64> = rel
+            .exact_coefficients()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let report = rel.apply_increments(&[]).unwrap();
+        assert_eq!(
+            report,
+            IngestReport {
+                increments: 0,
+                coalesced_cells: 0,
+                coefficients_written: 0,
+                touch_bound: 0,
+            }
+        );
+        let after: Vec<u64> = rel
+            .exact_coefficients()
+            .as_slice()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn bulk_rejects_bad_cells_before_any_state_change() {
+        let fm = fm_for(mixed_schema(), 5);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        // A good increment ahead of the bad one must not be applied.
+        let batch = vec![(vec![0usize, 0, 0], 5.0), (vec![5, 0, 0], 1.0)];
+        assert!(matches!(
+            rel.apply_increments(&batch).unwrap_err(),
+            CoreError::BadQueryBounds { axis: 0, lo: 5, .. }
+        ));
+        let hn = HnTransform::for_schema(fm.schema(), &BTreeSet::new()).unwrap();
+        let dense = hn.forward(fm.matrix()).unwrap();
+        assert_eq!(rel.exact_coefficients().as_slice(), dense.as_slice());
+    }
+
+    /// Satellite: the touch-bound product saturates instead of wrapping.
+    /// Five flat nominal dimensions of 2^17 leaves put the true product
+    /// near 2^85 — a plain `product()` fold wraps to a small lie.
+    #[test]
+    fn touch_bound_saturates_on_wide_schemas() {
+        let wide = std::sync::Arc::new(flat(1 << 17).unwrap());
+        let transforms: Vec<DimTransform> = (0..5)
+            .map(|_| DimTransform::Nominal(crate::transform::NominalTransform::new(wide.clone())))
+            .collect();
+        let per_dim = transforms[0].max_update_support();
+        assert_eq!(per_dim, (1 << 17) + 1);
+        assert_eq!(saturating_touch_bound(&transforms), usize::MAX);
+        // Sanity: the same fold on a small schema is exact.
+        let small = vec![
+            DimTransform::Haar(crate::transform::HaarTransform::new(8)),
+            DimTransform::Identity(crate::transform::IdentityTransform::new(3)),
+        ];
+        assert_eq!(saturating_touch_bound(&small), 4);
+    }
+
+    /// `decay` must be bit-identical to a forward transform of the
+    /// elementwise-scaled table — including for an α whose scaling does
+    /// *not* distribute over float addition.
+    #[test]
+    fn decay_matches_forward_of_scaled_table_bitwise() {
+        let schema = mixed_schema();
+        let fm = fm_for(schema.clone(), 17);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        rel.apply_increment(&[1, 2, 3], 0.371).unwrap();
+
+        let mut table = fm.matrix().as_slice().to_vec();
+        let dims = schema.dims();
+        table[dims[1] * dims[2] + 2 * dims[2] + 3] += 0.371;
+        for alpha in [0.5f64, 0.3, 0.875] {
+            rel.decay(alpha).unwrap();
+            for v in &mut table {
+                *v *= alpha;
+            }
+            let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+            let dense = hn
+                .forward(&NdMatrix::from_vec(&dims, table.clone()).unwrap())
+                .unwrap();
+            for (i, (a, b)) in rel
+                .exact_coefficients()
+                .as_slice()
+                .iter()
+                .zip(dense.as_slice())
+                .enumerate()
+            {
+                assert_eq!(a.to_bits(), b.to_bits(), "alpha {alpha} coeff {i}");
+            }
+        }
+        // And the decayed state keeps absorbing increments bit-exactly.
+        rel.apply_increment(&[4, 1, 0], 2.0).unwrap();
+        table[4 * dims[1] * dims[2] + dims[2]] += 2.0;
+        let hn = HnTransform::for_schema(&schema, &BTreeSet::new()).unwrap();
+        let dense = hn
+            .forward(&NdMatrix::from_vec(&dims, table).unwrap())
+            .unwrap();
+        assert_eq!(rel.exact_coefficients().as_slice(), dense.as_slice());
+    }
+
+    #[test]
+    fn decay_rejects_non_positive_factors() {
+        let fm = fm_for(mixed_schema(), 5);
+        let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
+        for bad in [0.0, -0.5, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                rel.decay(bad).unwrap_err(),
+                CoreError::BadDecayFactor(_)
+            ));
         }
     }
 
@@ -670,8 +1345,11 @@ mod tests {
         let fm = fm_for(mixed_schema(), 9);
         let mut rel = IncrementalRelease::new(&fm, &BTreeSet::new(), 1.0).unwrap();
         let rows = vec![vec![0, 0, 0], vec![4, 5, 3], vec![0, 0, 0]];
-        let written = rel.apply_rows(&rows).unwrap();
-        assert!(written <= 3 * rel.touch_bound());
+        let report = rel.apply_rows(&rows).unwrap();
+        assert_eq!(report.increments, 3);
+        assert_eq!(report.coalesced_cells, 1, "one repeated row coalesces");
+        assert!(report.coefficients_written <= report.touch_bound);
+        assert!(report.touch_bound <= 2 * rel.touch_bound());
 
         let mut table = fm.matrix().as_slice().to_vec();
         let dims = fm.schema().dims();

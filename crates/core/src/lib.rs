@@ -61,14 +61,16 @@ pub mod incremental;
 pub mod mechanism;
 pub mod privacy;
 pub mod sensitivity;
+pub mod streaming;
 pub mod transform;
 pub mod variance;
 
-pub use incremental::IncrementalRelease;
+pub use incremental::{IncrementalRelease, IngestReport};
 pub use mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig, PriveletOutput,
 };
 pub use privacy::{BudgetLedger, PrivacyMeta};
+pub use streaming::{DecayedSumRelease, SlidingWindowRelease};
 pub use transform::{DimTransform, HnTransform, Transform1d};
 
 /// Errors produced by the Privelet core.
@@ -98,6 +100,12 @@ pub enum CoreError {
     },
     /// ε must be finite and strictly positive.
     BadEpsilon(f64),
+    /// An exponential-decay factor must be finite and strictly positive
+    /// (α ≥ 1 is allowed: "decay" then amplifies, which some
+    /// damped-oscillator workloads legitimately use).
+    BadDecayFactor(f64),
+    /// A sliding window must retain at least one epoch.
+    BadWindow(usize),
     /// A streaming release's lifetime privacy budget cannot cover the
     /// requested epoch. Raised *before* any noise is drawn, so a refused
     /// epoch never leaks a partially noised release.
@@ -142,6 +150,12 @@ impl std::fmt::Display for CoreError {
                 )
             }
             CoreError::BadEpsilon(e) => write!(f, "epsilon must be finite and > 0, got {e}"),
+            CoreError::BadDecayFactor(a) => {
+                write!(f, "decay factor must be finite and > 0, got {a}")
+            }
+            CoreError::BadWindow(n) => {
+                write!(f, "sliding window must retain at least one epoch, got {n}")
+            }
             CoreError::BudgetExhausted {
                 requested,
                 remaining,

@@ -143,10 +143,11 @@ impl BudgetLedger {
         self.epochs
     }
 
-    /// Debits `epsilon` for one epoch, or refuses with
-    /// [`CoreError::BudgetExhausted`] when the ledger cannot cover it.
-    /// On `Err` the ledger is unchanged — a refused epoch spends nothing.
-    pub fn try_spend(&mut self, epsilon: f64) -> Result<()> {
+    /// Answers "would [`try_spend`](Self::try_spend) grant `epsilon`?"
+    /// without debiting anything. Layers that must refuse *before* any
+    /// side effects (e.g. a sliding window about to expire old epochs)
+    /// gate on this first.
+    pub fn check(&self, epsilon: f64) -> Result<()> {
         check_epsilon(epsilon)?;
         if epsilon > self.remaining() {
             return Err(CoreError::BudgetExhausted {
@@ -154,6 +155,14 @@ impl BudgetLedger {
                 remaining: self.remaining(),
             });
         }
+        Ok(())
+    }
+
+    /// Debits `epsilon` for one epoch, or refuses with
+    /// [`CoreError::BudgetExhausted`] when the ledger cannot cover it.
+    /// On `Err` the ledger is unchanged — a refused epoch spends nothing.
+    pub fn try_spend(&mut self, epsilon: f64) -> Result<()> {
+        self.check(epsilon)?;
         self.spent += epsilon;
         self.epochs += 1;
         Ok(())

@@ -13,7 +13,7 @@ use privelet_repro::core::bounds::eq4_ordinal_bound;
 use privelet_repro::core::mechanism::{
     publish_basic, publish_hierarchical_1d, publish_privelet, PriveletConfig,
 };
-use privelet_repro::core::IncrementalRelease;
+use privelet_repro::core::SlidingWindowRelease;
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
 use privelet_repro::eval::ExactEvaluate;
@@ -94,45 +94,50 @@ fn main() {
          mechanisms stay nearly flat — the paper's headline, on time series."
     );
 
-    // ---- Streaming ingest: the same year, arriving week by week. ----
+    // ---- Streaming ingest: a 4-week sliding window, week by week. ----
     //
-    // Instead of republishing from scratch every time new hours land,
-    // an `IncrementalRelease` keeps the exact Haar coefficients current
-    // with O(log m) coefficient touches per arriving cell, and re-noises
-    // only at explicit epoch boundaries — each epoch debiting its ε from
-    // a lifetime budget ledger (sequential composition). The serving
-    // tier rolls to the new epoch with `ConcurrentEngine::advance_epoch`
-    // while keeping its support cache warm: supports are
-    // data-independent, so nothing is re-derived across epochs.
-    println!("\nstreaming ingest: one epoch per week, ε = 0.25 each, lifetime budget 2.0");
+    // Instead of republishing from scratch every time new hours land, a
+    // `SlidingWindowRelease` keeps the exact Haar coefficients current
+    // for "admissions in the last 4 weeks": each week's 168 hourly
+    // counts arrive as ONE coalesced batch (`apply_increments` walks the
+    // dirty coefficient set once, not 168 leaf-to-root paths), and a
+    // week that slides out of the window replays its logged increments
+    // negated — the same dirty-set walk, run backwards. Noise is drawn
+    // only at epoch boundaries, each debiting its ε from a lifetime
+    // budget ledger (sequential composition). The serving tier rolls to
+    // the new epoch with `ConcurrentEngine::advance_epoch` while keeping
+    // its support cache warm: supports are data-independent, so nothing
+    // is re-derived across epochs.
+    println!("\nsliding window: last 4 weeks, one epoch per week, ε = 0.25 each, budget 2.0");
     let total_epsilon = 2.0;
     let epoch_epsilon = 0.25;
+    let window_weeks = 4usize;
     let zeros = FrequencyMatrix::from_parts(
         fm.schema().clone(),
         NdMatrix::from_vec(&[HOURS], vec![0.0; HOURS]).unwrap(),
     )
     .unwrap();
-    let mut release = IncrementalRelease::new(&zeros, &BTreeSet::new(), total_epsilon).unwrap();
+    let mut release =
+        SlidingWindowRelease::new(&zeros, &BTreeSet::new(), total_epsilon, window_weeks).unwrap();
     println!(
         "  per-cell touch bound: {} of {} coefficients (⌈log₂ m⌉ + 1)",
-        release.touch_bound(),
-        release.exact_coefficients().as_slice().len()
+        release.release().touch_bound(),
+        release.release().exact_coefficients().as_slice().len()
     );
 
     let mut engine: Option<ConcurrentEngine> = None;
     println!(
-        "{:>6} {:>10} {:>12} {:>12} {:>12} {:>10}",
-        "week", "touched", "week total", "exact", "ε spent", "cache"
+        "{:>6} {:>8} {:>10} {:>12} {:>12} {:>8} {:>10} {:>10}",
+        "week", "batch", "written", "window sum", "exact", "weeks", "ε spent", "cache"
     );
-    for week in 0..4usize {
-        // The week's 168 hourly counts arrive as increments...
-        let mut touched = 0usize;
-        for hour in week * 168..(week + 1) * 168 {
-            touched += release
-                .apply_increment(&[hour], fm.matrix().get(&[hour]).unwrap())
-                .unwrap();
-        }
-        // ...and the epoch boundary draws fresh noise under its own ε.
+    for week in 0..6usize {
+        // The week's hourly counts arrive as one coalesced batch...
+        let increments: Vec<(Vec<usize>, f64)> = (week * 168..(week + 1) * 168)
+            .map(|hour| (vec![hour], fm.matrix().get(&[hour]).unwrap()))
+            .collect();
+        let report = release.apply_increments(&increments).unwrap();
+        // ...and the epoch boundary expires week - 4 (if any), then
+        // draws fresh noise under its own ε.
         let out = release
             .advance_epoch(epoch_epsilon, 1000 + week as u64)
             .unwrap();
@@ -143,17 +148,18 @@ fn main() {
         });
         let serving = engine.as_ref().unwrap();
 
-        // Served concurrently from the same release: both analyst
-        // threads read the epoch just published.
-        let this_week = RangeQuery::new(vec![Predicate::Range {
-            lo: week * 168,
-            hi: (week + 1) * 168 - 1,
+        // The whole published table is the windowed sum. Served
+        // concurrently: both analyst threads read the epoch just
+        // published and must agree bitwise.
+        let whole = RangeQuery::new(vec![Predicate::Range {
+            lo: 0,
+            hi: HOURS - 1,
         }]);
         let answers: Vec<f64> = thread::scope(|s| {
             (0..2)
                 .map(|_| {
                     let eng = serving.clone();
-                    let q = &this_week;
+                    let q = &whole;
                     s.spawn(move || eng.answer(q).unwrap())
                 })
                 .collect::<Vec<_>>()
@@ -162,18 +168,29 @@ fn main() {
                 .collect()
         });
         assert_eq!(answers[0].to_bits(), answers[1].to_bits());
+        let window_lo = (week + 1).saturating_sub(window_weeks) * 168;
+        let exact_window = RangeQuery::new(vec![Predicate::Range {
+            lo: window_lo,
+            hi: (week + 1) * 168 - 1,
+        }])
+        .evaluate(&fm)
+        .unwrap();
         let stats = serving.cache_stats();
         println!(
-            "{week:>6} {touched:>10} {:>12.1} {:>12.0} {:>12.2} {:>7}h/{}m",
+            "{week:>6} {:>8} {:>10} {:>12.1} {:>12.0} {:>8} {:>10.2} {:>7}h/{}m",
+            report.increments,
+            report.coefficients_written,
             answers[0],
-            this_week.evaluate(&fm).unwrap(),
+            exact_window,
+            release.retained_epochs(),
             release.ledger().spent(),
             stats.hits,
             stats.misses
         );
     }
 
-    // The ledger refuses an over-draw *before* any noise is drawn.
+    // The ledger refuses an over-draw *before* sealing, expiring or
+    // drawing anything.
     let remaining = release.ledger().remaining();
     let err = release.advance_epoch(remaining + 0.5, 9999).unwrap_err();
     println!("  over-spend refused: {err}  (remaining ε = {remaining:.2})");

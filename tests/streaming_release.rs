@@ -19,13 +19,22 @@
 //!    `invalidate_where`, exactly one re-derivation happens per
 //!    invalidated key, evictions don't move, and
 //!    `hits + misses == lookups` stays conserved throughout.
+//! 5. **Coalesced bulk ingest** — `apply_increments` (duplicates
+//!    included, in every lane-recompute cutover mode) leaves the exact
+//!    tensor and the next epoch output bit-identical to a sequential
+//!    `apply_increment` loop, while writing no more coefficients than
+//!    the loop did.
+//! 6. **Sliding windows** — a full expire-then-ingest cycle equals a
+//!    publish-from-scratch on a table holding exactly the retained
+//!    epochs' increments (exact for the integer-valued deltas used
+//!    here, since expiry relies on `x + δ − δ == x`).
 
 mod common;
 
 use common::{data_matrix, distinct_triples, schema_strategy, workload};
 use privelet_repro::core::mechanism::{publish_coefficients, PriveletConfig};
 use privelet_repro::core::transform::Transform1d;
-use privelet_repro::core::{CoreError, IncrementalRelease};
+use privelet_repro::core::{CoreError, IncrementalRelease, SlidingWindowRelease};
 use privelet_repro::data::schema::{Attribute, Schema};
 use privelet_repro::data::FrequencyMatrix;
 use privelet_repro::matrix::NdMatrix;
@@ -207,6 +216,122 @@ proptest! {
         prop_assert_eq!(s3.evictions, 0, "capacity is never exceeded here");
         for (got, want) in round3.iter().zip(&cold_answers) {
             prop_assert_eq!(got.to_bits(), want.to_bits());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Tentpole pin: a coalesced bulk batch — duplicate cells included,
+    /// in every lane-recompute cutover mode (0 = always whole-lane,
+    /// 50 = default, 101 = never) — leaves the exact tensor AND the next
+    /// epoch output bit-identical to a sequential `apply_increment` loop
+    /// over the same batch in order, while writing no more coefficients
+    /// than the loop did.
+    #[test]
+    fn bulk_ingest_is_bit_identical_to_sequential_loop(
+        (schema, sa) in schema_strategy(),
+        data_seed in any::<u64>(),
+        inc_seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+        pct_idx in 0usize..3,
+    ) {
+        let pct = [0usize, 50, 101][pct_idx];
+        let fm = data_matrix(&schema, data_seed);
+        let mut batch = increment_stream(&schema, inc_seed, 10);
+        // Guarantee duplicate cells: replay the first three cells with
+        // fresh deltas at the end of the batch, so the `+=` arrival-order
+        // replay is actually exercised.
+        let dups: Vec<(Vec<usize>, f64)> = batch
+            .iter()
+            .take(3)
+            .enumerate()
+            .map(|(i, (cell, _))| (cell.clone(), i as f64 - 1.0))
+            .collect();
+        batch.extend(dups);
+
+        let mut seq = IncrementalRelease::new(&fm, &sa, 4.0).unwrap();
+        let mut seq_written = 0usize;
+        for (cell, delta) in &batch {
+            seq_written += seq.apply_increment(cell, *delta).unwrap();
+        }
+        let mut bulk = IncrementalRelease::new(&fm, &sa, 4.0)
+            .unwrap()
+            .with_lane_cutover_pct(pct);
+        let report = bulk.apply_increments(&batch).unwrap();
+        prop_assert_eq!(report.increments, batch.len());
+        prop_assert!(
+            report.coefficients_written <= seq_written,
+            "bulk wrote {} coefficients, sequential loop wrote {}",
+            report.coefficients_written, seq_written
+        );
+        prop_assert!(report.coefficients_written <= report.touch_bound);
+        for (a, b) in bulk
+            .exact_coefficients()
+            .as_slice()
+            .iter()
+            .zip(seq.exact_coefficients().as_slice())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        // The next epoch output matches too, noise and meta included.
+        let eo_seq = seq.advance_epoch(1.0, noise_seed).unwrap();
+        let eo_bulk = bulk.advance_epoch(1.0, noise_seed).unwrap();
+        prop_assert_eq!(eo_seq.meta, eo_bulk.meta);
+        for (a, b) in eo_bulk
+            .coefficients
+            .as_slice()
+            .iter()
+            .zip(eo_seq.coefficients.as_slice())
+        {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    /// Satellite 3: a full expire-then-ingest cycle on a 2-epoch sliding
+    /// window equals `publish_coefficients` from scratch on a table
+    /// holding exactly the retained epochs' increments, every epoch.
+    #[test]
+    fn window_expiry_equals_publish_from_scratch(
+        (schema, sa) in schema_strategy(),
+        inc_seed in any::<u64>(),
+        noise_seed in any::<u64>(),
+    ) {
+        let zero_fm = FrequencyMatrix::from_parts(
+            schema.clone(),
+            NdMatrix::from_vec(&schema.dims(), vec![0.0; schema.cell_count()]).unwrap(),
+        )
+        .unwrap();
+        let window = 2usize;
+        let mut rel = SlidingWindowRelease::new(&zero_fm, &sa, 16.0, window).unwrap();
+        let mut logs: Vec<Vec<(Vec<usize>, f64)>> = Vec::new();
+        for e in 0..4u64 {
+            let batch = increment_stream(&schema, inc_seed ^ e.wrapping_mul(0x9E37), 8);
+            rel.apply_increments(&batch).unwrap();
+            logs.push(batch);
+            let out = rel.advance_epoch(0.5, noise_seed ^ e).unwrap();
+            prop_assert!(rel.retained_epochs() <= window);
+
+            let lo = logs.len().saturating_sub(window);
+            let flat: Vec<(Vec<usize>, f64)> =
+                logs[lo..].iter().flatten().cloned().collect();
+            let windowed = updated_table(&zero_fm, &flat);
+            let scratch = publish_coefficients(
+                &windowed,
+                &PriveletConfig::plus(0.5, sa.clone(), noise_seed ^ e),
+            )
+            .unwrap();
+            prop_assert_eq!(out.meta, scratch.meta);
+            for (a, b) in out
+                .coefficients
+                .as_slice()
+                .iter()
+                .zip(scratch.coefficients.as_slice())
+            {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 }
